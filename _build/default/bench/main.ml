@@ -1,0 +1,443 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus the ablations called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                  # everything, default knobs
+     dune exec bench/main.exe figure1 [--scale 0.04] [--timeout 10]
+     dune exec bench/main.exe figure2
+     dune exec bench/main.exe closure | unsat | implication | rewrite | approx | scaling | data
+     dune exec bench/main.exe micro            # bechamel microbenches
+
+   Experiment ids match DESIGN.md: E1 (Figure 1), E2 (Figure 2),
+   A1..A6 (ablations). *)
+
+open Dllite
+
+let timeit f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* E1 / Figure 1: classification times, 11 ontologies x 5 reasoners    *)
+(* ------------------------------------------------------------------ *)
+
+type cell =
+  | Time of float
+  | Timeout
+
+let pp_cell = function
+  | Time s -> Printf.sprintf "%10.3f" s
+  | Timeout -> Printf.sprintf "%10s" "timeout"
+
+let figure1 ~scale ~timeout () =
+  Printf.printf
+    "== E1 / Figure 1: classification times (seconds; scale %.3f, per-cell \
+     timeout %.0fs) ==\n"
+    scale timeout;
+  Printf.printf "%-16s %10s %10s %10s %10s %10s %10s\n" "Ontology" "|C|+|R|"
+    "QuOnto" "FaCT++" "HermiT" "Pellet" "CB";
+  let run_cell f =
+    match timeit f with
+    | _, elapsed -> Time elapsed
+    | exception Baselines.Personas.Timed_out -> Timeout
+  in
+  List.iter
+    (fun profile ->
+      let scaled = Ontgen.Generator.scale scale profile in
+      let tbox = Ontgen.Generator.generate scaled in
+      let size =
+        Signature.concept_count (Tbox.signature tbox)
+        + Signature.role_count (Tbox.signature tbox)
+      in
+      (* QuOnto: the digraph method (encode + SCC closure + computeUnsat) *)
+      let quonto = run_cell (fun () -> ignore (Quonto.Classify.classify tbox)) in
+      (* the three tableau personas, with the paper's timeout semantics *)
+      let persona p =
+        run_cell (fun () ->
+            ignore (Baselines.Personas.classify ~deadline:timeout p tbox))
+      in
+      let fact = persona Baselines.Personas.fact_plus_plus in
+      let hermit = persona Baselines.Personas.hermit in
+      let pellet = persona Baselines.Personas.pellet in
+      (* CB: consequence-based saturation (no property hierarchy) *)
+      let cb = run_cell (fun () -> ignore (Baselines.Cb.classify tbox)) in
+      Printf.printf "%-16s %10d %s %s %s %s %s\n%!" profile.Ontgen.Generator.label
+        size (pp_cell quonto) (pp_cell fact) (pp_cell hermit) (pp_cell pellet)
+        (pp_cell cb))
+    Ontgen.Profiles.figure1;
+  Printf.printf
+    "(CB column: concept hierarchy only - it does not compute the property \
+     hierarchy, as in the paper.)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2 / Figure 2: the qualified-existential diagram                    *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  Printf.printf "== E2 / Figure 2: County/State qualified existentials ==\n";
+  let d = Graphical.Translate.figure2 () in
+  let elements, scopes, inclusions = Graphical.Diagram.stats d in
+  Printf.printf "diagram: %d elements, %d scope edges, %d inclusion edges\n"
+    elements scopes inclusions;
+  let tbox = Graphical.Translate.to_tbox d in
+  Printf.printf "translated axioms:\n";
+  List.iter
+    (fun ax -> Printf.printf "  %s\n" (Syntax.axiom_to_string ax))
+    (Tbox.axioms tbox);
+  (* and back: TBox -> diagram -> TBox is the identity here *)
+  let d' = Graphical.Translate.of_tbox tbox in
+  let tbox' = Graphical.Translate.to_tbox d' in
+  Printf.printf "roundtrip exact: %b\n" (Tbox.axioms tbox = Tbox.axioms tbox');
+  Printf.printf "DOT output: %d bytes, SVG output: %d bytes\n\n"
+    (String.length (Graphical.Dot.render d))
+    (String.length (Graphical.Layout.to_svg d))
+
+(* ------------------------------------------------------------------ *)
+(* A1: transitive-closure algorithm ablation                           *)
+(* ------------------------------------------------------------------ *)
+
+let closure_ablation () =
+  Printf.printf "== A1: transitive-closure algorithms on Definition-1 digraphs ==\n";
+  Printf.printf "%-24s %8s %8s %10s %10s %10s\n" "profile" "nodes" "edges" "dfs"
+    "warshall" "scc";
+  List.iter
+    (fun (profile, scale) ->
+      let tbox = Ontgen.Generator.generate (Ontgen.Generator.scale scale profile) in
+      let enc = Quonto.Encoding.build tbox in
+      let g = Quonto.Encoding.graph enc in
+      let n = Graphlib.Graph.node_count g in
+      let time_alg algorithm =
+        let _, t = timeit (fun () -> ignore (Graphlib.Closure.compute ~algorithm g)) in
+        t
+      in
+      let dfs = time_alg Graphlib.Closure.Dfs in
+      let warshall =
+        if n <= 3000 then Printf.sprintf "%10.3f" (time_alg Graphlib.Closure.Warshall)
+        else Printf.sprintf "%10s" "skipped"
+      in
+      let scc = time_alg Graphlib.Closure.Scc_condense in
+      Printf.printf "%-24s %8d %8d %10.3f %s %10.3f\n%!"
+        (Printf.sprintf "%s x%.2f" profile.Ontgen.Generator.label scale)
+        n (Graphlib.Graph.edge_count g) dfs warshall scc)
+    [
+      (Ontgen.Profiles.dolce, 1.0);
+      (Ontgen.Profiles.transportation, 1.0);
+      (Ontgen.Profiles.galen, 0.05);
+      (Ontgen.Profiles.fma_2_0, 0.05);
+    ];
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* A2: computeUnsat cost vs disjointness density                       *)
+(* ------------------------------------------------------------------ *)
+
+let unsat_ablation () =
+  Printf.printf "== A2: computeUnsat vs disjointness density ==\n";
+  Printf.printf "%-12s %8s %8s %12s %12s %10s\n" "NI density" "axioms" "NIs"
+    "closure (s)" "unsat (s)" "unsat preds";
+  List.iter
+    (fun density ->
+      let profile =
+        {
+          Ontgen.Generator.default_profile with
+          Ontgen.Generator.label = Printf.sprintf "ni-%.2f" density;
+          concepts = 2000;
+          roles = 100;
+          disjoint_per_concept = density;
+          role_disjoint_per_role = density /. 4.;
+        }
+      in
+      let tbox = Ontgen.Generator.generate profile in
+      let enc = Quonto.Encoding.build tbox in
+      let _, closure_time =
+        timeit (fun () -> ignore (Graphlib.Closure.compute (Quonto.Encoding.graph enc)))
+      in
+      let unsat, unsat_time = timeit (fun () -> Quonto.Unsat.compute enc) in
+      Printf.printf "%-12.2f %8d %8d %12.4f %12.4f %10d\n%!" density
+        (Tbox.axiom_count tbox)
+        (List.length (Tbox.negative_inclusions tbox))
+        closure_time unsat_time (Quonto.Unsat.count unsat))
+    [ 0.0; 0.1; 0.5; 1.0; 2.0 ];
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* A3: logical implication - closure-based vs on-demand                *)
+(* ------------------------------------------------------------------ *)
+
+let implication_ablation () =
+  Printf.printf "== A3: logical implication, closure-based vs on-demand ==\n";
+  let tbox =
+    Ontgen.Generator.generate (Ontgen.Generator.scale 0.05 Ontgen.Profiles.galen)
+  in
+  let signature = Tbox.signature tbox in
+  let concepts = Array.of_list (Signature.concepts signature) in
+  let rng = Ontgen.Rng.create 7 in
+  let random_query () =
+    let a = concepts.(Ontgen.Rng.int rng (Array.length concepts)) in
+    let b = concepts.(Ontgen.Rng.int rng (Array.length concepts)) in
+    Syntax.Concept_incl (Syntax.Atomic a, Syntax.C_basic (Syntax.Atomic b))
+  in
+  Printf.printf "%-10s %16s %16s\n" "queries" "closure (s)" "on-demand (s)";
+  List.iter
+    (fun k ->
+      let queries = List.init k (fun _ -> random_query ()) in
+      let _, closure_time =
+        timeit (fun () ->
+            let d = Quonto.Deductive.compute tbox in
+            List.iter (fun q -> ignore (Quonto.Deductive.entails d q)) queries)
+      in
+      let _, on_demand_time =
+        timeit (fun () ->
+            let i = Quonto.Implication.prepare tbox in
+            List.iter (fun q -> ignore (Quonto.Implication.entails i q)) queries)
+      in
+      Printf.printf "%-10d %16.4f %16.4f\n%!" k closure_time on_demand_time)
+    [ 1; 10; 100; 1000 ];
+  Printf.printf "(on-demand wins for few queries; the closure amortizes)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* A4: rewriting - PerfectRef vs classification-aided (Presto-style)   *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite_ablation () =
+  Printf.printf "== A4: PerfectRef vs classification-aided rewriting ==\n";
+  Printf.printf "%-8s %14s %10s %10s %14s %10s %10s\n" "depth" "perfectref(s)"
+    "generated" "rounds" "presto(s)" "generated" "rounds";
+  List.iter
+    (fun depth ->
+      (* a subsumption chain of the given depth under the queried
+         concept, plus a role layer *)
+      let axioms =
+        List.concat
+          (List.init depth (fun i ->
+               [
+                 Syntax.Concept_incl
+                   ( Syntax.Atomic (Printf.sprintf "L%d" (i + 1)),
+                     Syntax.C_basic (Syntax.Atomic (Printf.sprintf "L%d" i)) );
+                 Syntax.Concept_incl
+                   ( Syntax.Exists (Syntax.Direct (Printf.sprintf "r%d" i)),
+                     Syntax.C_basic (Syntax.Atomic (Printf.sprintf "L%d" i)) );
+               ]))
+      in
+      let tbox = Tbox.of_axioms axioms in
+      let q =
+        Obda.Cq.make [ "x" ]
+          [ Obda.Cq.atom (Obda.Vabox.concept_pred "L0") [ Obda.Cq.Var "x" ] ]
+      in
+      let (_, s1), t1 = timeit (fun () -> Obda.Rewrite.perfect_ref tbox [ q ]) in
+      let (_, s2), t2 = timeit (fun () -> Obda.Rewrite.presto_ref tbox [ q ]) in
+      Printf.printf "%-8d %14.4f %10d %10d %14.4f %10d %10d\n%!" depth t1
+        s1.Obda.Rewrite.generated s1.Obda.Rewrite.iterations t2
+        s2.Obda.Rewrite.generated s2.Obda.Rewrite.iterations)
+    [ 2; 4; 8; 16; 32 ];
+  Printf.printf
+    "(same output UCQ - the classified rule base reaches the fixpoint in \
+     fewer rounds)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* A5: syntactic vs semantic approximation                             *)
+(* ------------------------------------------------------------------ *)
+
+let approx_ablation () =
+  Printf.printf "== A5: syntactic vs semantic ontology approximation ==\n";
+  Printf.printf "%-8s %12s %8s %8s %14s %8s %10s %10s\n" "axioms" "syntactic(s)"
+    "kept" "dropped" "semantic(s)" "kept" "syn recov" "sem recov";
+  List.iter
+    (fun n_axioms ->
+      let profile =
+        {
+          Ontgen.Generator.default_owl_profile with
+          Ontgen.Generator.owl_label = Printf.sprintf "owl-%d" n_axioms;
+          owl_axioms = n_axioms;
+          owl_concepts = 10;
+          owl_roles = 3;
+        }
+      in
+      let otbox = Ontgen.Generator.generate_owl profile in
+      let syn, syn_time = timeit (fun () -> Approx.Syntactic.approximate otbox) in
+      let sem, sem_time = timeit (fun () -> Approx.Semantic.approximate otbox) in
+      let syn_recovery =
+        Approx.Semantic.entailment_recovery ~source:otbox
+          ~approx:syn.Approx.Syntactic.tbox
+      in
+      let sem_recovery =
+        Approx.Semantic.entailment_recovery ~source:otbox
+          ~approx:sem.Approx.Semantic.tbox
+      in
+      Printf.printf "%-8d %12.4f %8d %8d %14.4f %8d %9.0f%% %9.0f%%\n%!" n_axioms
+        syn_time syn.Approx.Syntactic.kept
+        (List.length syn.Approx.Syntactic.dropped)
+        sem_time
+        (Tbox.axiom_count sem.Approx.Semantic.tbox)
+        (100. *. syn_recovery) (100. *. sem_recovery))
+    [ 10; 20; 40 ];
+  Printf.printf
+    "(recovery = share of the global-reference DL-Lite entailments preserved)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* A7: certain answers vs data size (OBDA end to end)                  *)
+(* ------------------------------------------------------------------ *)
+
+let data_ablation () =
+  Printf.printf "== A7: certain-answer evaluation vs data size (university OBDA) ==\n";
+  Printf.printf "%-10s %10s  %-18s %12s %10s %10s\n" "persons" "tuples" "query"
+    "rewrite (s)" "eval (s)" "answers";
+  List.iter
+    (fun persons ->
+      let instance =
+        Ontgen.Datagen.generate ~persons ~courses:(max 10 (persons / 10)) ()
+      in
+      let tuples = Obda.Database.size instance.Ontgen.Datagen.database in
+      List.iter
+        (fun (name, q) ->
+          let (rewritten, _), rewrite_time =
+            timeit (fun () ->
+                Obda.Rewrite.perfect_ref instance.Ontgen.Datagen.tbox [ q ])
+          in
+          let unfolded =
+            Obda.Mapping.unfold_ucq instance.Ontgen.Datagen.mappings rewritten
+          in
+          let answers, eval_time =
+            timeit (fun () ->
+                Obda.Cq.evaluate_ucq
+                  ~facts:(Obda.Database.facts instance.Ontgen.Datagen.database)
+                  unfolded)
+          in
+          Printf.printf "%-10d %10d  %-18s %12.4f %10.4f %10d\n%!" persons tuples
+            name rewrite_time eval_time (List.length answers))
+        Ontgen.Datagen.queries)
+    [ 1_000; 5_000; 20_000 ];
+  Printf.printf
+    "(the rewriting is data-independent - the OBDA promise: reasoning cost is \
+     paid on the TBox, evaluation scales with the sources)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* A6: scalability of the fast classifiers                             *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_ablation () =
+  Printf.printf "== A6: classification scalability (Galen profile, growing scale) ==\n";
+  Printf.printf "%-8s %8s %8s %12s %12s %12s\n" "scale" "|C|+|R|" "axioms"
+    "QuOnto (s)" "CB (s)" "naive (s)";
+  List.iter
+    (fun scale ->
+      let tbox =
+        Ontgen.Generator.generate (Ontgen.Generator.scale scale Ontgen.Profiles.galen)
+      in
+      let size =
+        Signature.concept_count (Tbox.signature tbox)
+        + Signature.role_count (Tbox.signature tbox)
+      in
+      let _, quonto = timeit (fun () -> ignore (Quonto.Classify.classify tbox)) in
+      let _, cb = timeit (fun () -> ignore (Baselines.Cb.classify tbox)) in
+      let naive =
+        if size <= 150 then
+          let _, t = timeit (fun () -> ignore (Baselines.Naive.classify tbox)) in
+          Printf.sprintf "%12.3f" t
+        else Printf.sprintf "%12s" "skipped"
+      in
+      Printf.printf "%-8.3f %8d %8d %12.3f %12.3f %s\n%!" scale size
+        (Tbox.axiom_count tbox) quonto cb naive)
+    [ 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ];
+  Printf.printf
+    "(QuOnto and CB scale smoothly; the set-based naive saturation is off the \
+     chart past a few hundred entities)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenches                                               *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let dolce = Ontgen.Generator.generate Ontgen.Profiles.dolce in
+  let transportation = Ontgen.Generator.generate Ontgen.Profiles.transportation in
+  let galen_005 =
+    Ontgen.Generator.generate (Ontgen.Generator.scale 0.05 Ontgen.Profiles.galen)
+  in
+  let enc = Quonto.Encoding.build galen_005 in
+  let g = Quonto.Encoding.graph enc in
+  let tests =
+    Test.make_grouped ~name:"obda"
+      [
+        Test.make ~name:"classify dolce"
+          (Staged.stage (fun () -> ignore (Quonto.Classify.classify dolce)));
+        Test.make ~name:"classify transportation"
+          (Staged.stage (fun () -> ignore (Quonto.Classify.classify transportation)));
+        Test.make ~name:"closure scc galen/20"
+          (Staged.stage (fun () ->
+               ignore
+                 (Graphlib.Closure.compute ~algorithm:Graphlib.Closure.Scc_condense g)));
+        Test.make ~name:"closure dfs galen/20"
+          (Staged.stage (fun () ->
+               ignore (Graphlib.Closure.compute ~algorithm:Graphlib.Closure.Dfs g)));
+        Test.make ~name:"computeUnsat galen/20"
+          (Staged.stage (fun () -> ignore (Quonto.Unsat.compute enc)));
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "== bechamel microbenches (monotonic clock) ==\n";
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-40s %14s\n" name "n/a")
+    (List.sort compare rows);
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec get_opt name default = function
+    | [] -> default
+    | flag :: value :: _ when flag = name -> float_of_string value
+    | _ :: rest -> get_opt name default rest
+  in
+  let scale = get_opt "--scale" 0.04 args in
+  let timeout = get_opt "--timeout" 10.0 args in
+  let modes =
+    List.filter
+      (fun a ->
+        List.mem a
+          [
+            "figure1"; "figure2"; "closure"; "unsat"; "implication"; "rewrite";
+            "approx"; "scaling"; "data"; "micro";
+          ])
+      args
+  in
+  let run mode =
+    match mode with
+    | "figure1" -> figure1 ~scale ~timeout ()
+    | "figure2" -> figure2 ()
+    | "closure" -> closure_ablation ()
+    | "unsat" -> unsat_ablation ()
+    | "implication" -> implication_ablation ()
+    | "rewrite" -> rewrite_ablation ()
+    | "approx" -> approx_ablation ()
+    | "scaling" -> scaling_ablation ()
+    | "data" -> data_ablation ()
+    | "micro" -> micro ()
+    | _ -> ()
+  in
+  match modes with
+  | [] ->
+    (* default: the full paper reproduction plus all ablations *)
+    figure2 ();
+    figure1 ~scale ~timeout ();
+    closure_ablation ();
+    unsat_ablation ();
+    implication_ablation ();
+    rewrite_ablation ();
+    approx_ablation ();
+    scaling_ablation ();
+    data_ablation ();
+    micro ()
+  | modes -> List.iter run modes

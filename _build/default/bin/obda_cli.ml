@@ -1,0 +1,492 @@
+(* Command-line front end for the OBDA toolkit.
+
+   Subcommands mirror the Section-3 workflow:
+     classify      graph-based classification (Phi_T + Omega_T)
+     taxonomy      classification as an indented Hasse-diagram tree
+     unsat         unsatisfiable predicates (computeUnsat)
+     implies       logical implication queries
+     rewrite       PerfectRef / Presto UCQ rewriting
+     render        diagram export (DOT or SVG)
+     modularize    horizontal / vertical modularization report
+     generate      synthetic benchmark ontologies
+     doc           automated documentation (Markdown / HTML)
+     diff          syntactic + logical diff of two versions
+     sql           rewriting + unfolding compiled to SQL text
+     answer        certain answers over mapped relational data
+     analyze       static mapping checks
+     export-owl    OWL 2 QL functional-syntax export
+     import-owl    OWL 2 QL functional-syntax import
+
+   Ontologies are read in the ASCII DL-Lite syntax (see README). *)
+
+open Cmdliner
+open Dllite
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_tbox path =
+  match Parser.tbox_of_string (read_file path) with
+  | Ok t -> t
+  | Error e ->
+    Printf.eprintf "error: %s: %s\n" path e;
+    exit 1
+
+let tbox_arg =
+  let doc = "Ontology file in the ASCII DL-Lite syntax." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ONTOLOGY" ~doc)
+
+(* ------------------------------ classify ----------------------------- *)
+
+let classify_cmd =
+  let run path show_equiv =
+    let tbox = load_tbox path in
+    let t0 = Unix.gettimeofday () in
+    let cls = Quonto.Classify.classify tbox in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let subs = Quonto.Classify.name_level cls in
+    List.iter
+      (fun s -> Format.printf "%a@." Quonto.Classify.pp_name_subsumption s)
+      subs;
+    if show_equiv then begin
+      Format.printf "@.equivalence classes:@.";
+      List.iter
+        (fun cls_names ->
+          if List.length cls_names > 1 then
+            Format.printf "  {%s}@." (String.concat ", " cls_names))
+        (Quonto.Classify.equivalence_classes cls)
+    end;
+    Format.eprintf "%d subsumptions in %.3fs@." (List.length subs) elapsed
+  in
+  let equiv =
+    Arg.(value & flag & info [ "equivalences" ] ~doc:"Also print equivalence classes.")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a DL-Lite ontology with the digraph method.")
+    Term.(const run $ tbox_arg $ equiv)
+
+(* ------------------------------- unsat ------------------------------- *)
+
+let unsat_cmd =
+  let run path =
+    let tbox = load_tbox path in
+    let enc = Quonto.Encoding.build tbox in
+    let unsat = Quonto.Unsat.compute enc in
+    match Quonto.Unsat.unsat_exprs unsat with
+    | [] -> print_endline "coherent: no unsatisfiable predicates"
+    | exprs ->
+      List.iter (fun e -> Format.printf "unsatisfiable: %s@." (Syntax.expr_to_string e)) exprs;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "unsat"
+       ~doc:"Run computeUnsat; exit 2 if the ontology has unsatisfiable predicates.")
+    Term.(const run $ tbox_arg)
+
+(* ------------------------------ implies ------------------------------ *)
+
+let implies_cmd =
+  let run path axiom_text on_demand =
+    let tbox = load_tbox path in
+    (* parse the query axiom in the context of the ontology's signature:
+       prepend declarations so sorts resolve *)
+    let s = Tbox.signature tbox in
+    let decls =
+      String.concat "\n"
+        (List.map (Printf.sprintf "concept %s") (Signature.concepts s)
+        @ List.map (Printf.sprintf "role %s") (Signature.roles s)
+        @ List.map (Printf.sprintf "attr %s") (Signature.attributes s))
+    in
+    match Parser.tbox_of_string (decls ^ "\n" ^ axiom_text) with
+    | Error e ->
+      Printf.eprintf "query parse error: %s\n" e;
+      exit 1
+    | Ok query_tbox -> (
+      match Tbox.axioms query_tbox with
+      | [ ax ] ->
+        let holds =
+          if on_demand then
+            Quonto.Implication.entails (Quonto.Implication.prepare tbox) ax
+          else Quonto.Deductive.entails (Quonto.Deductive.compute tbox) ax
+        in
+        print_endline (if holds then "entailed" else "not entailed");
+        if not holds then exit 3
+      | _ ->
+        prerr_endline "expected exactly one axiom";
+        exit 1)
+  in
+  let axiom_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"AXIOM"
+           ~doc:"Axiom in ASCII syntax, e.g. \"A [= exists p . B\".")
+  in
+  let on_demand =
+    Arg.(value & flag
+         & info [ "on-demand" ] ~doc:"Use the closure-free on-demand engine.")
+  in
+  Cmd.v
+    (Cmd.info "implies" ~doc:"Decide whether the ontology entails an axiom.")
+    Term.(const run $ tbox_arg $ axiom_arg $ on_demand)
+
+(* ------------------------------ rewrite ------------------------------ *)
+
+let rewrite_cmd =
+  let run path query_text presto =
+    let tbox = load_tbox path in
+    match Obda.Qparse.parse_query ~signature:(Tbox.signature tbox) query_text with
+    | exception Obda.Qparse.Parse_error e ->
+      Printf.eprintf "query error: %s\n" e;
+      exit 1
+    | q ->
+      let rewritten, stats =
+        if presto then Obda.Rewrite.presto_ref tbox [ q ]
+        else Obda.Rewrite.perfect_ref tbox [ q ]
+      in
+      List.iter (fun q' -> print_endline (Obda.Cq.to_string q')) rewritten;
+      Format.eprintf "%d disjuncts (%d generated, %d rounds)@."
+        stats.Obda.Rewrite.output_size stats.Obda.Rewrite.generated
+        stats.Obda.Rewrite.iterations
+  in
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Query, e.g. \"x <- worksFor(x, y)\".")
+  in
+  let presto =
+    Arg.(value & flag & info [ "presto" ] ~doc:"Use the classification-aided rule base.")
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Compute the perfect UCQ rewriting of a query.")
+    Term.(const run $ tbox_arg $ query_arg $ presto)
+
+(* ------------------------------- render ------------------------------ *)
+
+let render_cmd =
+  let run path format output =
+    let tbox = load_tbox path in
+    let diagram = Graphical.Translate.of_tbox tbox in
+    let contents =
+      match format with
+      | "dot" -> Graphical.Dot.render diagram
+      | "svg" -> Graphical.Layout.to_svg diagram
+      | other ->
+        Printf.eprintf "unknown format %s (use dot or svg)\n" other;
+        exit 1
+    in
+    match output with
+    | None -> print_string contents
+    | Some out ->
+      let oc = open_out out in
+      output_string oc contents;
+      close_out oc
+  in
+  let format =
+    Arg.(value & opt string "dot" & info [ "format"; "f" ] ~doc:"dot or svg.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render the ontology in the graphical language.")
+    Term.(const run $ tbox_arg $ format $ output)
+
+(* ----------------------------- modularize ---------------------------- *)
+
+let modularize_cmd =
+  let run path =
+    let tbox = load_tbox path in
+    Format.printf "== horizontal modules (connected components) ==@.";
+    List.iter
+      (fun m ->
+        Format.printf "  %-16s %4d axioms  %4d concepts@." m.Graphical.Modular.name
+          (Tbox.axiom_count m.Graphical.Modular.tbox)
+          (Signature.concept_count (Tbox.signature m.Graphical.Modular.tbox)))
+      (Graphical.Modular.horizontal tbox);
+    Format.printf "== vertical views ==@.";
+    List.iter
+      (fun (name, view) ->
+        Format.printf "  %-10s %4d axioms@." name (Tbox.axiom_count view))
+      (Graphical.Modular.views tbox)
+  in
+  Cmd.v
+    (Cmd.info "modularize" ~doc:"Report the 2-D modularization of the ontology.")
+    Term.(const run $ tbox_arg)
+
+(* ------------------------------ taxonomy ----------------------------- *)
+
+let taxonomy_cmd =
+  let run path sort =
+    let tbox = load_tbox path in
+    let cls = Quonto.Classify.classify tbox in
+    let sort =
+      match sort with
+      | "concepts" -> Quonto.Taxonomy.Concepts
+      | "roles" -> Quonto.Taxonomy.Roles
+      | "attributes" -> Quonto.Taxonomy.Attributes
+      | other ->
+        Printf.eprintf "unknown sort %s (use concepts, roles or attributes)\n" other;
+        exit 1
+    in
+    let taxonomy = Quonto.Taxonomy.build cls sort in
+    Format.printf "%a" (fun fmt t -> Quonto.Taxonomy.pp fmt t) taxonomy
+  in
+  let sort =
+    Arg.(value & opt string "concepts"
+         & info [ "sort" ] ~doc:"concepts, roles or attributes.")
+  in
+  Cmd.v
+    (Cmd.info "taxonomy" ~doc:"Print the classification as an indented taxonomy tree.")
+    Term.(const run $ tbox_arg $ sort)
+
+(* ------------------------------ generate ----------------------------- *)
+
+let generate_cmd =
+  let run label scale seed =
+    match Ontgen.Profiles.by_label label with
+    | None ->
+      Printf.eprintf "unknown profile %s; known: %s\n" label
+        (String.concat ", "
+           (List.map (fun p -> p.Ontgen.Generator.label) Ontgen.Profiles.figure1));
+      exit 1
+    | Some profile ->
+      let tbox =
+        Ontgen.Generator.generate ~seed (Ontgen.Generator.scale scale profile)
+      in
+      (* print with declarations so the output reparses losslessly *)
+      let s = Tbox.signature tbox in
+      List.iter (Printf.printf "concept %s\n") (Signature.concepts s);
+      List.iter (Printf.printf "role %s\n") (Signature.roles s);
+      List.iter (Printf.printf "attr %s\n") (Signature.attributes s);
+      List.iter
+        (fun ax -> print_endline (Syntax.axiom_to_string ax))
+        (Tbox.axioms tbox)
+  in
+  let label =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE"
+           ~doc:"Benchmark profile label, e.g. Galen.")
+  in
+  let scale =
+    Arg.(value & opt float 0.05 & info [ "scale" ] ~doc:"Signature scale factor.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Generator seed.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a synthetic benchmark ontology to stdout.")
+    Term.(const run $ label $ scale $ seed)
+
+(* -------------------------------- doc -------------------------------- *)
+
+let doc_cmd =
+  let run path format output =
+    let tbox = load_tbox path in
+    let document = Docgen.generate ~title:(Filename.basename path) tbox in
+    let contents =
+      match format with
+      | "markdown" | "md" -> Docgen.to_markdown document
+      | "html" -> Docgen.to_html document
+      | other ->
+        Printf.eprintf "unknown format %s (use markdown or html)\n" other;
+        exit 1
+    in
+    match output with
+    | None -> print_string contents
+    | Some out ->
+      let oc = open_out out in
+      output_string oc contents;
+      close_out oc
+  in
+  let format =
+    Arg.(value & opt string "markdown" & info [ "format"; "f" ] ~doc:"markdown or html.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "doc" ~doc:"Generate ontology documentation (Section 8 automation).")
+    Term.(const run $ tbox_arg $ format $ output)
+
+(* -------------------------------- diff ------------------------------- *)
+
+let diff_cmd =
+  let run prev_path next_path =
+    let prev = load_tbox prev_path and next = load_tbox next_path in
+    let report = Evolution.diff ~prev ~next in
+    Format.printf "%a" Evolution.pp report;
+    if Evolution.is_conservative report then begin
+      print_endline "conservative change";
+      exit 0
+    end
+    else exit 4
+  in
+  let prev_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PREV" ~doc:"Old version.")
+  in
+  let next_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEXT" ~doc:"New version.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Logical diff of two ontology versions; exit 4 on semantic change.")
+    Term.(const run $ prev_arg $ next_arg)
+
+(* -------------------------------- sql -------------------------------- *)
+
+let mappings_arg =
+  Arg.(required & opt (some file) None
+       & info [ "mappings"; "m" ] ~doc:"Mapping file (map HEAD <- ATOMS lines).")
+
+let sql_cmd =
+  let run path mappings_path query_text =
+    let tbox = load_tbox path in
+    let signature = Tbox.signature tbox in
+    match
+      let mappings = Obda.Qparse.parse_mappings ~signature (read_file mappings_path) in
+      let q = Obda.Qparse.parse_query ~signature query_text in
+      let rewritten, _ = Obda.Rewrite.perfect_ref tbox [ q ] in
+      let unfolded = Obda.Mapping.unfold_ucq mappings rewritten in
+      Obda.Sql.to_string (Obda.Sql.of_ucq unfolded)
+    with
+    | sql -> print_endline sql
+    | exception Obda.Qparse.Parse_error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  in
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Query, e.g. \"x <- Employee(x)\".")
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:"Rewrite, unfold and print the SQL for a query over the sources.")
+    Term.(const run $ tbox_arg $ mappings_arg $ query_arg)
+
+(* ------------------------------- answer ------------------------------ *)
+
+let answer_cmd =
+  let run path mappings_path data_path query_text =
+    let tbox = load_tbox path in
+    let signature = Tbox.signature tbox in
+    match
+      let mappings = Obda.Qparse.parse_mappings ~signature (read_file mappings_path) in
+      let db = Obda.Database.create () in
+      Obda.Qparse.load_facts db (read_file data_path);
+      let q = Obda.Qparse.parse_query ~signature query_text in
+      let system = Obda.Engine.create ~tbox ~mappings ~database:db () in
+      (Obda.Engine.certain_answers system q, Obda.Engine.consistent system)
+    with
+    | answers, consistent ->
+      List.iter
+        (fun tuple -> print_endline (String.concat ", " tuple))
+        (List.sort compare answers);
+      if not consistent then begin
+        prerr_endline "warning: knowledge base is inconsistent";
+        exit 5
+      end
+    | exception Obda.Qparse.Parse_error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  in
+  let data_arg =
+    Arg.(required & opt (some file) None
+         & info [ "data"; "d" ] ~doc:"Fact file (rel(a, b) lines).")
+  in
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"Query.")
+  in
+  Cmd.v
+    (Cmd.info "answer" ~doc:"Certain answers over mapped relational data.")
+    Term.(const run $ tbox_arg $ mappings_arg $ data_arg $ query_arg)
+
+(* ------------------------------- analyze ----------------------------- *)
+
+let analyze_cmd =
+  let run path mappings_path =
+    let tbox = load_tbox path in
+    let signature = Tbox.signature tbox in
+    match Obda.Qparse.parse_mappings ~signature (read_file mappings_path) with
+    | exception Obda.Qparse.Parse_error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | mappings ->
+      let issues = Obda.Mapping_analysis.analyze tbox mappings in
+      List.iter
+        (fun issue -> Format.printf "%a@." Obda.Mapping_analysis.pp_issue issue)
+        issues;
+      if Obda.Mapping_analysis.errors issues <> [] then exit 6
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static mapping analysis: incoherent targets, redundancy, gaps.")
+    Term.(const run $ tbox_arg $ mappings_arg)
+
+(* -------------------------------- owl -------------------------------- *)
+
+let export_owl_cmd =
+  let run path iri output =
+    let tbox = load_tbox path in
+    let text = Owl2ql.to_functional ?iri tbox in
+    match output with
+    | None -> print_string text
+    | Some out ->
+      let oc = open_out out in
+      output_string oc text;
+      close_out oc
+  in
+  let iri =
+    Arg.(value & opt (some string) None & info [ "iri" ] ~doc:"Ontology IRI.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export-owl"
+       ~doc:"Render the ontology in OWL 2 QL functional-style syntax.")
+    Term.(const run $ tbox_arg $ iri $ output)
+
+let import_owl_cmd =
+  let run path =
+    match Owl2ql.of_functional (read_file path) with
+    | exception Owl2ql.Unsupported m ->
+      Printf.eprintf "not in the OWL 2 QL fragment: %s\n" m;
+      exit 1
+    | tbox ->
+      let s = Tbox.signature tbox in
+      List.iter (Printf.printf "concept %s\n") (Signature.concepts s);
+      List.iter (Printf.printf "role %s\n") (Signature.roles s);
+      List.iter (Printf.printf "attr %s\n") (Signature.attributes s);
+      List.iter
+        (fun ax -> print_endline (Syntax.axiom_to_string ax))
+        (Tbox.axioms tbox)
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OWL_FILE"
+           ~doc:"OWL functional-syntax file (QL fragment).")
+  in
+  Cmd.v
+    (Cmd.info "import-owl"
+       ~doc:"Convert an OWL 2 QL functional-syntax file to the ASCII DL-Lite syntax.")
+    Term.(const run $ file_arg)
+
+let () =
+  let info = Cmd.info "obda_cli" ~doc:"DL-Lite / OBDA toolkit." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            classify_cmd;
+            taxonomy_cmd;
+            unsat_cmd;
+            implies_cmd;
+            rewrite_cmd;
+            render_cmd;
+            modularize_cmd;
+            generate_cmd;
+            doc_cmd;
+            diff_cmd;
+            sql_cmd;
+            answer_cmd;
+            analyze_cmd;
+            export_owl_cmd;
+            import_owl_cmd;
+          ]))

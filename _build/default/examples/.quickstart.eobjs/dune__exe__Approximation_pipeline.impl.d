@@ -1,0 +1,1 @@
+examples/approximation_pipeline.ml: Approx Dllite Format List Obda Owlfrag Parser Quonto String Syntax Sys Tbox

@@ -1,0 +1,1 @@
+examples/approximation_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/design_workflow.ml: Dllite Docgen Evolution Format Graphical List Owl2ql Parser Patterns Quonto String Syntax Tbox

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dllite Format List Obda Parser Quonto Signature String Tbox

@@ -1,0 +1,1 @@
+examples/telecom_modularization.ml: Dllite Format Graphical List Ontgen Parser Quonto Signature String Syntax Tbox

@@ -1,0 +1,1 @@
+examples/university_obda.ml: Dllite Format List Obda Parser String Syntax

@@ -1,0 +1,1 @@
+lib/approx/semantic.ml: Dllite List Owlfrag Quonto Syntax Tbox

@@ -1,0 +1,1 @@
+lib/approx/syntactic.ml: Dllite List Owlfrag Syntax Tbox

@@ -1,0 +1,100 @@
+(** Syntactic approximation of an expressive (ALCHI) ontology into
+    DL-Lite_R (Section 7).
+
+    "Common syntactic approximations only consider the syntactic form of
+    the axioms ..., disregarding those axioms which are not compliant
+    with the syntax of the [target] ontology language."  We implement
+    the usual recursive decomposition:
+
+    - right-hand conjunctions split: [B ⊑ C ⊓ D ⇒ B ⊑ C, B ⊑ D];
+    - left-hand disjunctions split: [C ⊔ D ⊑ E ⇒ C ⊑ E, D ⊑ E];
+    - compliant pieces are kept, everything else is *dropped* and
+      reported.
+
+    As the paper notes, this is fast but guarantees neither soundness in
+    general (we restrict to transformations that are entailed, so *this*
+    implementation is sound) nor completeness — the [dropped] report
+    makes the loss explicit, and ablation A5 quantifies it against the
+    semantic approximation. *)
+
+open Dllite
+module O = Owlfrag.Osyntax
+
+type report = {
+  tbox : Tbox.t;
+  kept : int;          (** DL-Lite axioms produced *)
+  dropped : O.axiom list;  (** axioms (or residues) beyond DL-Lite *)
+}
+
+(* Try to read an ALCHI concept as a DL-Lite basic concept. *)
+let as_basic = function
+  | O.Name a -> Some (Syntax.Atomic a)
+  | O.Some_ (O.Named p, O.Top) -> Some (Syntax.Exists (Syntax.Direct p))
+  | O.Some_ (O.Inv p, O.Top) -> Some (Syntax.Exists (Syntax.Inverse p))
+  | _ -> None
+
+let as_role = function
+  | O.Named p -> Syntax.Direct p
+  | O.Inv p -> Syntax.Inverse p
+
+(* Translate one [lhs ⊑ rhs] pair into DL-Lite axioms plus residue.
+   [lhs] is already a DL-Lite basic concept. *)
+let rec translate_rhs b rhs : Syntax.axiom list * O.concept list =
+  match rhs with
+  | O.Top -> ([], [])  (* trivially true *)
+  | O.And (c, d) ->
+    let a1, r1 = translate_rhs b c in
+    let a2, r2 = translate_rhs b d in
+    (a1 @ a2, r1 @ r2)
+  | O.Name a -> ([ Syntax.Concept_incl (b, Syntax.C_basic (Syntax.Atomic a)) ], [])
+  | O.Some_ (r, O.Top) ->
+    ([ Syntax.Concept_incl (b, Syntax.C_basic (Syntax.Exists (as_role r))) ], [])
+  | O.Some_ (r, O.Name a) ->
+    ([ Syntax.Concept_incl (b, Syntax.C_exists_qual (as_role r, a)) ], [])
+  | O.Not c -> (
+    match as_basic c with
+    | Some b' -> ([ Syntax.Concept_incl (b, Syntax.C_neg b') ], [])
+    | None -> ([], [ rhs ]))
+  | O.Bot ->
+    (* B ⊑ ⊥: expressible as B ⊑ ¬B in DL-Lite *)
+    ([ Syntax.Concept_incl (b, Syntax.C_neg b) ], [])
+  | O.Or _ | O.All _ | O.Some_ (_, _) -> ([], [ rhs ])
+
+(* Split a left-hand side into basic-concept disjuncts where possible. *)
+and split_lhs lhs : Syntax.basic list option =
+  match lhs with
+  | O.Or (c, d) -> (
+    match split_lhs c, split_lhs d with
+    | Some bs1, Some bs2 -> Some (bs1 @ bs2)
+    | _ -> None)
+  | c -> ( match as_basic c with Some b -> Some [ b ] | None -> None)
+
+(** [approximate otbox] — the syntactic approximation with its loss
+    report. *)
+let approximate (otbox : O.tbox) =
+  let axioms = ref [] in
+  let dropped = ref [] in
+  let handle_sub lhs rhs =
+    match split_lhs lhs with
+    | None -> dropped := O.Sub (lhs, rhs) :: !dropped
+    | Some bs ->
+      List.iter
+        (fun b ->
+          let kept, residues = translate_rhs b rhs in
+          axioms := kept @ !axioms;
+          List.iter (fun residue -> dropped := O.Sub (lhs, residue) :: !dropped) residues)
+        bs
+  in
+  List.iter
+    (function
+      | O.Sub (c, d) -> handle_sub c d
+      | O.Equiv (c, d) ->
+        handle_sub c d;
+        handle_sub d c
+      | O.Role_sub (r, s) ->
+        axioms := Syntax.Role_incl (as_role r, Syntax.R_role (as_role s)) :: !axioms
+      | O.Role_disjoint (r, s) ->
+        axioms := Syntax.Role_incl (as_role r, Syntax.R_neg (as_role s)) :: !axioms)
+    otbox;
+  let tbox = Tbox.of_axioms (List.rev !axioms) in
+  { tbox; kept = Tbox.axiom_count tbox; dropped = List.rev !dropped }

@@ -1,0 +1,1 @@
+lib/baselines/cb.ml: Array Dllite Graphlib Hashtbl List Queue Signature Syntax Tbox

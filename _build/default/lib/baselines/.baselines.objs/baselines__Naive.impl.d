@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: Dllite List Quonto Set Signature Syntax Tbox

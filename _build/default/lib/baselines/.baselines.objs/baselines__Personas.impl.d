@@ -1,0 +1,1 @@
+lib/baselines/personas.ml: Dllite Hashtbl List Option Owlfrag Signature Syntax Tbox Unix

@@ -1,0 +1,210 @@
+(** Naive rule-saturation classifier for DL-Lite_R.
+
+    A third, independent implementation of classification (besides the
+    digraph method and the tableau oracle): it saturates the set of
+    derived basic inclusions under the DL-Lite inference rules with a
+    plain worklist, without any graph machinery.  Quadratic-ish and
+    allocation-heavy on purpose — it exists as a cross-check and as the
+    "no cleverness" datapoint in the ablation benches. *)
+
+open Dllite
+
+module Pair_set = Set.Make (struct
+  type t = Syntax.expr * Syntax.expr
+
+  let compare (a1, b1) (a2, b2) =
+    match Syntax.compare_expr a1 a2 with 0 -> Syntax.compare_expr b1 b2 | c -> c
+end)
+
+module Expr_set = Set.Make (struct
+  type t = Syntax.expr
+
+  let compare = Syntax.compare_expr
+end)
+
+type t = {
+  subsumptions : Pair_set.t;  (* derived positive inclusions, reflexive *)
+  unsat : Expr_set.t;
+  universe : Syntax.expr list;
+}
+
+(* Direct (one-step) inclusions contributed by an axiom, expanded to all
+   components exactly as Definition 1 does arcs. *)
+let direct_pairs ax =
+  let c b = Syntax.E_concept b in
+  match ax with
+  | Syntax.Concept_incl (b1, Syntax.C_basic b2) -> [ (c b1, c b2) ]
+  | Syntax.Concept_incl (b1, Syntax.C_exists_qual (q, _)) ->
+    [ (c b1, c (Syntax.Exists q)) ]
+  | Syntax.Concept_incl (_, Syntax.C_neg _) -> []
+  | Syntax.Role_incl (q1, Syntax.R_role q2) ->
+    [
+      (Syntax.E_role q1, Syntax.E_role q2);
+      (Syntax.E_role (Syntax.role_inverse q1), Syntax.E_role (Syntax.role_inverse q2));
+      (c (Syntax.Exists q1), c (Syntax.Exists q2));
+      ( c (Syntax.Exists (Syntax.role_inverse q1)),
+        c (Syntax.Exists (Syntax.role_inverse q2)) );
+    ]
+  | Syntax.Role_incl (_, Syntax.R_neg _) -> []
+  | Syntax.Attr_incl (u1, Syntax.A_attr u2) ->
+    [
+      (Syntax.E_attr u1, Syntax.E_attr u2);
+      (c (Syntax.Attr_domain u1), c (Syntax.Attr_domain u2));
+    ]
+  | Syntax.Attr_incl (_, Syntax.A_neg _) -> []
+
+let negative_pairs ax =
+  let c b = Syntax.E_concept b in
+  match ax with
+  | Syntax.Concept_incl (b1, Syntax.C_neg b2) -> [ (c b1, c b2) ]
+  | Syntax.Role_incl (q1, Syntax.R_neg q2) ->
+    [
+      (Syntax.E_role q1, Syntax.E_role q2);
+      (Syntax.E_role (Syntax.role_inverse q1), Syntax.E_role (Syntax.role_inverse q2));
+    ]
+  | Syntax.Attr_incl (u1, Syntax.A_neg u2) -> [ (Syntax.E_attr u1, Syntax.E_attr u2) ]
+  | Syntax.Concept_incl (_, (Syntax.C_basic _ | Syntax.C_exists_qual _))
+  | Syntax.Role_incl (_, Syntax.R_role _)
+  | Syntax.Attr_incl (_, Syntax.A_attr _) -> []
+
+let universe_of tbox =
+  let s = Tbox.signature tbox in
+  List.map (fun a -> Syntax.E_concept (Syntax.Atomic a)) (Signature.concepts s)
+  @ List.concat_map
+      (fun p ->
+        [
+          Syntax.E_role (Syntax.Direct p);
+          Syntax.E_role (Syntax.Inverse p);
+          Syntax.E_concept (Syntax.Exists (Syntax.Direct p));
+          Syntax.E_concept (Syntax.Exists (Syntax.Inverse p));
+        ])
+      (Signature.roles s)
+  @ List.concat_map
+      (fun u -> [ Syntax.E_attr u; Syntax.E_concept (Syntax.Attr_domain u) ])
+      (Signature.attributes s)
+
+(** [classify tbox] saturates to a fixpoint. *)
+let classify tbox =
+  let universe = universe_of tbox in
+  let axioms = Tbox.axioms tbox in
+  (* 1. transitive closure of the direct pairs, naive semi-naive loop *)
+  let base =
+    List.fold_left
+      (fun acc ax -> List.fold_left (fun acc p -> Pair_set.add p acc) acc (direct_pairs ax))
+      Pair_set.empty axioms
+  in
+  let reflexive =
+    List.fold_left (fun acc e -> Pair_set.add (e, e) acc) base universe
+  in
+  let saturated = ref reflexive in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Pair_set.iter
+      (fun (a, b) ->
+        Pair_set.iter
+          (fun (b', c) ->
+            if Syntax.equal_expr b b' && not (Pair_set.mem (a, c) !saturated) then begin
+              saturated := Pair_set.add (a, c) !saturated;
+              changed := true
+            end)
+          !saturated)
+      !saturated
+  done;
+  let subsumptions = !saturated in
+  (* 2. unsatisfiable expressions, mirroring the computeUnsat rules but
+     over the saturated pair set *)
+  let nis = List.concat_map negative_pairs axioms in
+  let qualified =
+    List.filter_map
+      (function
+        | Syntax.Concept_incl (b, Syntax.C_exists_qual (q, a)) -> Some (b, q, a)
+        | _ -> None)
+      axioms
+  in
+  let subsumed_by x = Pair_set.mem x subsumptions in
+  let unsat = ref Expr_set.empty in
+  let is_unsat e = Expr_set.mem e !unsat in
+  let round () =
+    let changed = ref false in
+    let mark e =
+      if not (is_unsat e) then begin
+        unsat := Expr_set.add e !unsat;
+        changed := true
+      end
+    in
+    (* seeds: x with x ⊑ S1, x ⊑ S2 for an NI (S1, ¬S2) *)
+    List.iter
+      (fun x ->
+        if
+          List.exists (fun (s1, s2) -> subsumed_by (x, s1) && subsumed_by (x, s2)) nis
+        then mark x)
+      universe;
+    (* witness inconsistency of qualified axioms *)
+    List.iter
+      (fun (b, q, a) ->
+        let ca = Syntax.E_concept (Syntax.Atomic a) in
+        let cr = Syntax.E_concept (Syntax.Exists (Syntax.role_inverse q)) in
+        let from_witness s = subsumed_by (ca, s) || subsumed_by (cr, s) in
+        if List.exists (fun (s1, s2) -> from_witness s1 && from_witness s2) nis then
+          mark (Syntax.E_concept b);
+        (* qualifier or role unsat sinks the axiom's left-hand side *)
+        if is_unsat ca || is_unsat (Syntax.E_role q) then mark (Syntax.E_concept b))
+      qualified;
+    (* upward propagation: x ⊑ y, y unsat => x unsat *)
+    List.iter
+      (fun x ->
+        if not (is_unsat x) then
+          Expr_set.iter
+            (fun y -> if subsumed_by (x, y) then mark x)
+            !unsat)
+      universe;
+    (* role component propagation *)
+    List.iter
+      (fun x ->
+        match x with
+        | Syntax.E_role q when is_unsat x ->
+          mark (Syntax.E_role (Syntax.role_inverse q));
+          mark (Syntax.E_concept (Syntax.Exists q));
+          mark (Syntax.E_concept (Syntax.Exists (Syntax.role_inverse q)))
+        | Syntax.E_concept (Syntax.Exists q) when is_unsat x -> mark (Syntax.E_role q)
+        | Syntax.E_attr u when is_unsat x ->
+          mark (Syntax.E_concept (Syntax.Attr_domain u))
+        | Syntax.E_concept (Syntax.Attr_domain u) when is_unsat x ->
+          mark (Syntax.E_attr u)
+        | Syntax.E_concept _ | Syntax.E_role _ | Syntax.E_attr _ -> ())
+      universe;
+    !changed
+  in
+  while round () do
+    ()
+  done;
+  { subsumptions; unsat = !unsat; universe }
+
+(** [subsumes t e1 e2] — derived subsumption, including the unsat rule. *)
+let subsumes t e1 e2 =
+  Quonto.Encoding.same_sort e1 e2
+  && (Pair_set.mem (e1, e2) t.subsumptions || Expr_set.mem e1 t.unsat)
+
+let is_unsat t e = Expr_set.mem e t.unsat
+
+(** [concept_hierarchy t] — name-level concept pairs, reflexive omitted. *)
+let concept_hierarchy t =
+  let names =
+    List.filter_map
+      (function Syntax.E_concept (Syntax.Atomic a) -> Some a | _ -> None)
+      t.universe
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if a <> b
+             && subsumes t
+                  (Syntax.E_concept (Syntax.Atomic a))
+                  (Syntax.E_concept (Syntax.Atomic b))
+          then Some (a, b)
+          else None)
+        names)
+    names
+  |> List.sort compare

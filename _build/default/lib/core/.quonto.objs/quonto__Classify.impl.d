@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Dllite Encoding Format Graphlib Hashtbl List Logs Option Signature Stdlib Syntax Tbox Unsat

@@ -1,0 +1,1 @@
+lib/core/deductive.ml: Classify Dllite Encoding List Signature Syntax Tbox

@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Array Dllite Graphlib Hashtbl List Signature Syntax Tbox

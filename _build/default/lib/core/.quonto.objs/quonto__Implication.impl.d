@@ -1,0 +1,1 @@
+lib/core/implication.ml: Dllite Encoding Graphlib List Signature Syntax Tbox Unsat

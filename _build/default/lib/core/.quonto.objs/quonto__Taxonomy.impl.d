@@ -1,0 +1,1 @@
+lib/core/taxonomy.ml: Array Classify Dllite Format Graphlib Hashtbl List Signature String Syntax Tbox

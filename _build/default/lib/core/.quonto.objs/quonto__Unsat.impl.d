@@ -1,0 +1,1 @@
+lib/core/unsat.ml: Array Dllite Encoding Graphlib Hashtbl List Option Queue Syntax

@@ -1,0 +1,187 @@
+(** Graph-based classification of DL-Lite_R TBoxes — the paper's core
+    contribution (Section 5).
+
+    [Phi_T]   : all subsumptions between basic concepts / roles /
+                attributes entailed by the positive inclusions alone,
+                obtained as the transitive closure of the Definition-1
+                digraph (Theorem 1).
+    [Omega_T] : the subsumptions contributed by unsatisfiable predicates
+                ([S ⊑ ⊥] entails [S ⊑ S'] for every same-sort [S']),
+                obtained from [computeUnsat].
+
+    The classification is [Phi_T ∪ Omega_T], exposed both as a
+    subsumption test and as materialized name-level hierarchies. *)
+
+open Dllite
+
+let log_src = Logs.Src.create "quonto.classify" ~doc:"digraph classification"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  encoding : Encoding.t;
+  closure : Graphlib.Closure.t;
+  unsat : Unsat.t;
+}
+
+(** [classify ?algorithm tbox] builds the digraph representation,
+    materializes its transitive closure (default algorithm:
+    SCC condensation) and runs [computeUnsat]. *)
+let classify ?algorithm tbox =
+  let encoding = Encoding.build tbox in
+  let closure = Graphlib.Closure.compute ?algorithm (Encoding.graph encoding) in
+  let unsat = Unsat.compute encoding in
+  Log.debug (fun m ->
+      m "classified: %d nodes, %d arcs, %d unsatisfiable predicates"
+        (Encoding.node_count encoding)
+        (Graphlib.Graph.edge_count (Encoding.graph encoding))
+        (Unsat.count unsat));
+  { encoding; closure; unsat }
+
+let encoding t = t.encoding
+let closure t = t.closure
+let unsat t = t.unsat
+let tbox t = Encoding.tbox t.encoding
+
+(** [is_unsat t e] — unsatisfiability of a basic expression. *)
+let is_unsat t e = Unsat.is_unsat t.unsat e
+
+(** [subsumes t e1 e2] decides [T ⊨ e1 ⊑ e2] for same-sort basic
+    expressions: either [(e1, e2)] is in the closure ([Phi_T]) or [e1]
+    is unsatisfiable ([Omega_T]).  Expressions outside the signature
+    only subsume themselves. *)
+let subsumes t e1 e2 =
+  Encoding.same_sort e1 e2
+  &&
+  match Encoding.node_opt t.encoding e1, Encoding.node_opt t.encoding e2 with
+  | Some n1, Some n2 ->
+    Graphlib.Closure.reaches t.closure n1 n2 || Unsat.is_unsat_node t.unsat n1
+  | Some n1, None -> Unsat.is_unsat_node t.unsat n1
+  | None, Some _ | None, None -> Syntax.equal_expr e1 e2
+
+(** [subsumers t e] lists every basic expression [e'] with
+    [T ⊨ e ⊑ e'] (restricted to the signature's node set, [e] included). *)
+let subsumers t e =
+  match Encoding.node_opt t.encoding e with
+  | None -> [ e ]
+  | Some n ->
+    if Unsat.is_unsat_node t.unsat n then
+      (* unsat: subsumed by every same-sort expression *)
+      List.filter
+        (fun e' -> Encoding.same_sort e e')
+        (Array.to_list t.encoding.Encoding.expr_of_node)
+    else
+      Graphlib.Bitvec.to_list (Graphlib.Closure.descendants t.closure n)
+      |> List.map (Encoding.expr t.encoding)
+
+(** [subsumees t e] lists every basic expression [e'] with
+    [T ⊨ e' ⊑ e]: the closure ancestors of [e] plus all unsatisfiable
+    same-sort expressions. *)
+let subsumees t e =
+  match Encoding.node_opt t.encoding e with
+  | None -> [ e ]
+  | Some n ->
+    let anc = Graphlib.Closure.ancestors t.closure n in
+    let acc = ref [] in
+    Array.iteri
+      (fun v e' ->
+        if
+          Encoding.same_sort e' e
+          && (Graphlib.Bitvec.get anc v || Unsat.is_unsat_node t.unsat v)
+        then acc := e' :: !acc)
+      t.encoding.Encoding.expr_of_node;
+    List.rev !acc
+
+(** A subsumption between two named predicates, as reported by
+    classification output. *)
+type name_subsumption =
+  | Concept_sub of string * string
+  | Role_sub of string * string
+  | Attr_sub of string * string
+
+(** [name_level t] materializes the classification between *names* of
+    the signature (the paper's definition of ontology classification:
+    "all subsumption relationships inferred ... between concept and
+    property names").  Reflexive pairs are omitted. *)
+let name_level t =
+  let signature = Tbox.signature (tbox t) in
+  let acc = ref [] in
+  let sub_of_pair e1 e2 =
+    match e1, e2 with
+    | Syntax.E_concept (Syntax.Atomic a1), Syntax.E_concept (Syntax.Atomic a2) ->
+      Some (Concept_sub (a1, a2))
+    | Syntax.E_role (Syntax.Direct p1), Syntax.E_role (Syntax.Direct p2) ->
+      Some (Role_sub (p1, p2))
+    | Syntax.E_attr u1, Syntax.E_attr u2 -> Some (Attr_sub (u1, u2))
+    | _ -> None
+  in
+  (* Phi_T pairs between names. *)
+  Graphlib.Closure.iter_pairs t.closure (fun n1 n2 ->
+      if n1 <> n2 then
+        match sub_of_pair (Encoding.expr t.encoding n1) (Encoding.expr t.encoding n2) with
+        | Some s -> acc := s :: !acc
+        | None -> ());
+  (* Omega_T pairs: unsat names subsumed by every name of their sort. *)
+  let add_unsat_pairs of_name names mk =
+    List.iter
+      (fun x1 ->
+        if Unsat.is_unsat t.unsat (of_name x1) then
+          List.iter (fun x2 -> if x1 <> x2 then acc := mk x1 x2 :: !acc) names)
+      names
+  in
+  add_unsat_pairs
+    (fun a -> Syntax.E_concept (Syntax.Atomic a))
+    (Signature.concepts signature)
+    (fun a b -> Concept_sub (a, b));
+  add_unsat_pairs
+    (fun p -> Syntax.E_role (Syntax.Direct p))
+    (Signature.roles signature)
+    (fun a b -> Role_sub (a, b));
+  add_unsat_pairs
+    (fun u -> Syntax.E_attr u)
+    (Signature.attributes signature)
+    (fun a b -> Attr_sub (a, b));
+  List.sort_uniq Stdlib.compare !acc
+
+(** [concept_hierarchy t] is the name-level concept taxonomy as
+    association pairs [(sub, super)], reflexive pairs omitted. *)
+let concept_hierarchy t =
+  List.filter_map
+    (function Concept_sub (a, b) -> Some (a, b) | Role_sub _ | Attr_sub _ -> None)
+    (name_level t)
+
+(** [role_hierarchy t] is the name-level role taxonomy. *)
+let role_hierarchy t =
+  List.filter_map
+    (function Role_sub (a, b) -> Some (a, b) | Concept_sub _ | Attr_sub _ -> None)
+    (name_level t)
+
+(** [equivalence_classes t] groups concept names mutually subsuming each
+    other (cycles in the digraph), a common design-quality signal. *)
+let equivalence_classes t =
+  let signature = Tbox.signature (tbox t) in
+  let names = Signature.concepts signature in
+  let canon = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let representative =
+        List.find
+          (fun b ->
+            subsumes t
+              (Syntax.E_concept (Syntax.Atomic a))
+              (Syntax.E_concept (Syntax.Atomic b))
+            && subsumes t
+                 (Syntax.E_concept (Syntax.Atomic b))
+                 (Syntax.E_concept (Syntax.Atomic a)))
+          names
+      in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt canon representative) in
+      Hashtbl.replace canon representative (a :: prev))
+    names;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) canon []
+  |> List.sort Stdlib.compare
+
+let pp_name_subsumption fmt = function
+  | Concept_sub (a, b) -> Format.fprintf fmt "%s [= %s" a b
+  | Role_sub (p, q) -> Format.fprintf fmt "role %s [= %s" p q
+  | Attr_sub (u, v) -> Format.fprintf fmt "attr %s [= %s" u v

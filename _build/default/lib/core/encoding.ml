@@ -1,0 +1,165 @@
+(** Digraph representation of a DL-Lite_R TBox (Definition 1 of the
+    paper), extended uniformly to attributes.
+
+    Nodes:
+    - one node per atomic concept [A];
+    - four nodes per atomic role [P]: [P], [P⁻], [∃P], [∃P⁻];
+    - two nodes per attribute [U]: [U] and [δ(U)].
+
+    Arcs, one group per *positive* inclusion:
+    - [B1 ⊑ B2]        → arc [(B1, B2)];
+    - [Q1 ⊑ Q2]        → arcs [(Q1, Q2)], [(Q1⁻, Q2⁻)], [(∃Q1, ∃Q2)],
+                          [(∃Q1⁻, ∃Q2⁻)];
+    - [B ⊑ ∃Q.A]       → arc [(B, ∃Q)] (the qualifier is kept aside in
+                          [qualified_axioms] for [computeUnsat] and the
+                          deductive closure);
+    - [U1 ⊑ U2]        → arcs [(U1, U2)], [(δ(U1), δ(U2))].
+
+    Negative inclusions contribute no arcs; they are collected in
+    [negative_pairs] as node pairs for [computeUnsat]. *)
+
+open Dllite
+
+type t = {
+  tbox : Tbox.t;
+  graph : Graphlib.Graph.t;
+  node_of_expr : (Syntax.expr, int) Hashtbl.t;
+  expr_of_node : Syntax.expr array;
+  negative_pairs : (int * int) list;
+      (** [(n1, n2)] for every entailed-by-syntax disjointness
+          [S1 ⊑ ¬S2], already expanded with the inverse-component pair
+          for role disjointness *)
+  qualified_axioms : (int * Syntax.role * string) list;
+      (** [(node(B), Q, A)] for every axiom [B ⊑ ∃Q.A] *)
+}
+
+let node_count t = Array.length t.expr_of_node
+let graph t = t.graph
+let tbox t = t.tbox
+
+(** [node t e] is the node id of expression [e].
+    @raise Not_found if [e] is not over the TBox signature. *)
+let node t e = Hashtbl.find t.node_of_expr e
+
+let node_opt t e = Hashtbl.find_opt t.node_of_expr e
+
+(** [expr t n] is the expression labelling node [n]. *)
+let expr t n = t.expr_of_node.(n)
+
+(** [concept_nodes t] lists the nodes of concept sort (atomic concepts,
+    unqualified existentials, attribute domains). *)
+let concept_nodes t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e -> match e with Syntax.E_concept _ -> acc := i :: !acc | _ -> ())
+    t.expr_of_node;
+  List.rev !acc
+
+let role_nodes t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e -> match e with Syntax.E_role _ -> acc := i :: !acc | _ -> ())
+    t.expr_of_node;
+  List.rev !acc
+
+let attr_nodes t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e -> match e with Syntax.E_attr _ -> acc := i :: !acc | _ -> ())
+    t.expr_of_node;
+  List.rev !acc
+
+(** [same_sort e1 e2] holds when an inclusion [e1 ⊑ e2] is well-sorted. *)
+let same_sort e1 e2 =
+  match e1, e2 with
+  | Syntax.E_concept _, Syntax.E_concept _ -> true
+  | Syntax.E_role _, Syntax.E_role _ -> true
+  | Syntax.E_attr _, Syntax.E_attr _ -> true
+  | (Syntax.E_concept _ | Syntax.E_role _ | Syntax.E_attr _), _ -> false
+
+(** [build tbox] constructs the Definition-1 digraph representation. *)
+let build tbox =
+  let signature = Tbox.signature tbox in
+  let node_of_expr = Hashtbl.create 256 in
+  let exprs = ref [] in
+  let next = ref 0 in
+  let intern e =
+    match Hashtbl.find_opt node_of_expr e with
+    | Some id -> id
+    | None ->
+      let id = !next in
+      incr next;
+      Hashtbl.add node_of_expr e id;
+      exprs := e :: !exprs;
+      id
+  in
+  (* Allocate the signature-driven node set first (Definition 1, items
+     1 and 2): ids are stable under axiom reordering. *)
+  List.iter
+    (fun a -> ignore (intern (Syntax.E_concept (Syntax.Atomic a))))
+    (Signature.concepts signature);
+  List.iter
+    (fun p ->
+      ignore (intern (Syntax.E_role (Syntax.Direct p)));
+      ignore (intern (Syntax.E_role (Syntax.Inverse p)));
+      ignore (intern (Syntax.E_concept (Syntax.Exists (Syntax.Direct p))));
+      ignore (intern (Syntax.E_concept (Syntax.Exists (Syntax.Inverse p)))))
+    (Signature.roles signature);
+  List.iter
+    (fun u ->
+      ignore (intern (Syntax.E_attr u));
+      ignore (intern (Syntax.E_concept (Syntax.Attr_domain u))))
+    (Signature.attributes signature);
+  let graph = Graphlib.Graph.create ~initial_nodes:!next () in
+  let concept_node b = intern (Syntax.E_concept b) in
+  let role_node q = intern (Syntax.E_role q) in
+  let attr_node u = intern (Syntax.E_attr u) in
+  let add u v =
+    Graphlib.Graph.ensure_nodes graph (max u v + 1);
+    Graphlib.Graph.add_edge graph u v
+  in
+  let negative_pairs = ref [] in
+  let qualified_axioms = ref [] in
+  List.iter
+    (fun ax ->
+      match ax with
+      | Syntax.Concept_incl (b1, Syntax.C_basic b2) ->
+        add (concept_node b1) (concept_node b2)
+      | Syntax.Concept_incl (b1, Syntax.C_exists_qual (q, a)) ->
+        let nb = concept_node b1 in
+        add nb (concept_node (Syntax.Exists q));
+        (* make sure the qualifier's node exists even if it is nowhere
+           else in the TBox *)
+        ignore (concept_node (Syntax.Atomic a));
+        qualified_axioms := (nb, q, a) :: !qualified_axioms
+      | Syntax.Concept_incl (b1, Syntax.C_neg b2) ->
+        negative_pairs := (concept_node b1, concept_node b2) :: !negative_pairs
+      | Syntax.Role_incl (q1, Syntax.R_role q2) ->
+        add (role_node q1) (role_node q2);
+        add (role_node (Syntax.role_inverse q1)) (role_node (Syntax.role_inverse q2));
+        add (concept_node (Syntax.Exists q1)) (concept_node (Syntax.Exists q2));
+        add
+          (concept_node (Syntax.Exists (Syntax.role_inverse q1)))
+          (concept_node (Syntax.Exists (Syntax.role_inverse q2)))
+      | Syntax.Role_incl (q1, Syntax.R_neg q2) ->
+        negative_pairs := (role_node q1, role_node q2) :: !negative_pairs;
+        negative_pairs :=
+          (role_node (Syntax.role_inverse q1), role_node (Syntax.role_inverse q2))
+          :: !negative_pairs
+      | Syntax.Attr_incl (u1, Syntax.A_attr u2) ->
+        add (attr_node u1) (attr_node u2);
+        add (concept_node (Syntax.Attr_domain u1)) (concept_node (Syntax.Attr_domain u2))
+      | Syntax.Attr_incl (u1, Syntax.A_neg u2) ->
+        negative_pairs := (attr_node u1, attr_node u2) :: !negative_pairs)
+    (Tbox.axioms tbox);
+  (* Interning above may have created nodes after graph creation. *)
+  Graphlib.Graph.ensure_nodes graph !next;
+  let expr_of_node = Array.of_list (List.rev !exprs) in
+  {
+    tbox;
+    graph;
+    node_of_expr;
+    expr_of_node;
+    negative_pairs = !negative_pairs;
+    qualified_axioms = !qualified_axioms;
+  }

@@ -1,0 +1,131 @@
+(** The [computeUnsat] algorithm (Section 5 of the paper): compute the
+    set of unsatisfiable basic concepts, basic roles and attributes of a
+    DL-Lite_R TBox from its digraph representation.
+
+    Seeds — for every syntactic disjointness [S1 ⊑ ¬S2], every node in
+    [predecessors(S1, G) ∩ predecessors(S2, G)] (reflexively: [T ⊨ S ⊑ S])
+    is unsatisfiable.
+
+    The seeds are then propagated to a fixpoint under the rules the paper
+    leaves to the refinement step:
+    - if [S] is unsatisfiable, every predecessor of [S] is;
+    - the four nodes of a role stand or fall together:
+      [P], [P⁻], [∃P], [∃P⁻] are equi-satisfiable;
+    - an attribute [U] and its domain [δ(U)] are equi-satisfiable;
+    - for an axiom [B ⊑ ∃Q.A]: if [A] is unsatisfiable then so is [B]
+      (the [Q]-unsatisfiable case follows from the [(B, ∃Q)] arc and the
+      component rule);
+    - for an axiom [B ⊑ ∃Q.A]: the created witness carries *both* type
+      sources [A] and [∃Q⁻]; if some disjointness [S1 ⊑ ¬S2] has [S1]
+      reachable from one source and [S2] from the other, the witness is
+      contradictory and [B] is unsatisfiable even though [A] and [∃Q⁻]
+      may each be satisfiable alone (e.g. [∃p⁻ ⊑ ¬C, ∃p⁻ ⊑ ∃p.C]). *)
+
+open Dllite
+
+type t = {
+  encoding : Encoding.t;
+  flags : bool array;  (* flags.(n) <=> node n is unsatisfiable *)
+}
+
+(** [compute enc] runs [computeUnsat] on a built encoding. *)
+let compute (enc : Encoding.t) =
+  let g = Encoding.graph enc in
+  let n = Encoding.node_count enc in
+  let flags = Array.make n false in
+  let queue = Queue.create () in
+  let mark v =
+    if not flags.(v) then begin
+      flags.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  (* Seeds: reflexive-ancestor intersections of each disjointness. *)
+  List.iter
+    (fun (n1, n2) ->
+      let a1 = Graphlib.Graph.ancestors g n1 in
+      let a2 = Graphlib.Graph.ancestors g n2 in
+      Graphlib.Bitvec.iter_set (Graphlib.Bitvec.inter ~a:a1 ~b:a2) mark)
+    enc.Encoding.negative_pairs;
+  (* Witness-inconsistency rule: for each axiom B ⊑ ∃Q.A, check whether
+     the type sources A and ∃Q⁻ of the created witness cross a
+     disjointness.  The descendant sets are static (they live in the
+     fixed positive graph), so this check runs once; if one of the
+     sources *becomes* unsatisfiable later, the predecessor and
+     qualifier rules below catch B anyway. *)
+  List.iter
+    (fun (nb, q, a) ->
+      let na = Encoding.node enc (Syntax.E_concept (Syntax.Atomic a)) in
+      let nrange =
+        Encoding.node enc (Syntax.E_concept (Syntax.Exists (Syntax.role_inverse q)))
+      in
+      let da = Graphlib.Graph.reachable_from g na in
+      let dr = Graphlib.Graph.reachable_from g nrange in
+      let crosses (n1, n2) =
+        (Graphlib.Bitvec.get da n1 && Graphlib.Bitvec.get dr n2)
+        || (Graphlib.Bitvec.get dr n1 && Graphlib.Bitvec.get da n2)
+      in
+      if List.exists crosses enc.Encoding.negative_pairs then mark nb)
+    enc.Encoding.qualified_axioms;
+  (* Index qualified axioms by qualifier name for the fourth rule. *)
+  let by_qualifier = Hashtbl.create 16 in
+  List.iter
+    (fun (nb, _q, a) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_qualifier a) in
+      Hashtbl.replace by_qualifier a (nb :: prev))
+    enc.Encoding.qualified_axioms;
+  (* Propagate to fixpoint. *)
+  let partners v =
+    match Encoding.expr enc v with
+    | Syntax.E_role q ->
+      let p = Syntax.role_name q in
+      [
+        Encoding.node enc (Syntax.E_role (Syntax.Direct p));
+        Encoding.node enc (Syntax.E_role (Syntax.Inverse p));
+        Encoding.node enc (Syntax.E_concept (Syntax.Exists (Syntax.Direct p)));
+        Encoding.node enc (Syntax.E_concept (Syntax.Exists (Syntax.Inverse p)));
+      ]
+    | Syntax.E_concept (Syntax.Exists q) ->
+      [ Encoding.node enc (Syntax.E_role q) ]
+    | Syntax.E_concept (Syntax.Attr_domain u) -> [ Encoding.node enc (Syntax.E_attr u) ]
+    | Syntax.E_attr u ->
+      [ Encoding.node enc (Syntax.E_concept (Syntax.Attr_domain u)) ]
+    | Syntax.E_concept (Syntax.Atomic _) -> []
+  in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter mark (Graphlib.Graph.predecessors g v);
+    List.iter mark (partners v);
+    (match Encoding.expr enc v with
+     | Syntax.E_concept (Syntax.Atomic a) ->
+       List.iter mark (Option.value ~default:[] (Hashtbl.find_opt by_qualifier a))
+     | Syntax.E_concept (Syntax.Exists _ | Syntax.Attr_domain _)
+     | Syntax.E_role _ | Syntax.E_attr _ -> ())
+  done;
+  { encoding = enc; flags }
+
+(** [is_unsat_node t v] tests node [v]. *)
+let is_unsat_node t v = t.flags.(v)
+
+(** [is_unsat t e] tests an expression; expressions outside the TBox
+    signature are trivially satisfiable. *)
+let is_unsat t e =
+  match Encoding.node_opt t.encoding e with
+  | Some v -> t.flags.(v)
+  | None -> false
+
+(** [unsat_exprs t] lists all unsatisfiable expressions. *)
+let unsat_exprs t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v b -> if b then acc := Encoding.expr t.encoding v :: !acc)
+    t.flags;
+  List.rev !acc
+
+(** [count t] is the number of unsatisfiable nodes. *)
+let count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.flags
+
+(** [tbox_satisfiable t] — a DL-Lite TBox alone is always satisfiable
+    (the empty model), but it is *coherent* iff no named predicate is
+    unsatisfiable; this is the design-quality check of Section 5. *)
+let coherent t = count t = 0

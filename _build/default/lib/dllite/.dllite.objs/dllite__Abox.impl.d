@@ -1,0 +1,1 @@
+lib/dllite/abox.pp.ml: Format List Set Stdlib String

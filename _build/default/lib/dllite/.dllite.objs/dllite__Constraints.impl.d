@@ -1,0 +1,1 @@
+lib/dllite/constraints.pp.ml: Format List Printf Stdlib String Syntax Tbox

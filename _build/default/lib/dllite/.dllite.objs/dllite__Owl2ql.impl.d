@@ -1,0 +1,1 @@
+lib/dllite/owl2ql.pp.ml: Buffer Format List Printf Signature String Syntax Tbox

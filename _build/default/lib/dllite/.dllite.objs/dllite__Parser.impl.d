@@ -1,0 +1,1 @@
+lib/dllite/parser.pp.ml: Abox Constraints Format List Printf Signature String Syntax Tbox

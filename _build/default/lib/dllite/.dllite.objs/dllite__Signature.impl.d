@@ -1,0 +1,1 @@
+lib/dllite/signature.pp.ml: Format List Set String Syntax

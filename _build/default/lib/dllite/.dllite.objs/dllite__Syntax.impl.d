@@ -1,0 +1,1 @@
+lib/dllite/syntax.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/dllite/tbox.pp.ml: Format List Set Signature Syntax

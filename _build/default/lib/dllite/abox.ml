@@ -1,0 +1,76 @@
+(** ABoxes: extensional assertions over individual constants.
+
+    In a full OBDA deployment the ABox is *virtual* — defined by the
+    mappings over the sources (see the [obda] library).  A materialized
+    ABox is still needed as the target of mapping unfolding, for the
+    chase-based test oracle, and for standalone examples. *)
+
+type assertion =
+  | Concept_assert of string * string          (** [A(c)] *)
+  | Role_assert of string * string * string    (** [P(c1, c2)] *)
+  | Attr_assert of string * string * string    (** [U(c, v)], [v] a value *)
+
+let compare_assertion = Stdlib.compare
+let equal_assertion a b = compare_assertion a b = 0
+
+module Assertion_set = Set.Make (struct
+  type t = assertion
+
+  let compare = compare_assertion
+end)
+
+type t = Assertion_set.t
+
+let empty = Assertion_set.empty
+let add = Assertion_set.add
+let of_list l = List.fold_left (fun s a -> add a s) empty l
+let assertions t = Assertion_set.elements t
+let mem = Assertion_set.mem
+let size = Assertion_set.cardinal
+let union = Assertion_set.union
+
+(** [individuals t] is the sorted list of individual constants occurring
+    in object positions (attribute values are not individuals). *)
+let individuals t =
+  let module S = Set.Make (String) in
+  let s =
+    Assertion_set.fold
+      (fun a acc ->
+        match a with
+        | Concept_assert (_, c) -> S.add c acc
+        | Role_assert (_, c1, c2) -> S.add c1 (S.add c2 acc)
+        | Attr_assert (_, c, _) -> S.add c acc)
+      t S.empty
+  in
+  S.elements s
+
+(** [concept_members t a] are the individuals asserted to belong to [a]. *)
+let concept_members t a =
+  Assertion_set.fold
+    (fun x acc ->
+      match x with Concept_assert (a', c) when a' = a -> c :: acc | _ -> acc)
+    t []
+
+(** [role_members t p] are the asserted pairs of role [p]. *)
+let role_members t p =
+  Assertion_set.fold
+    (fun x acc ->
+      match x with Role_assert (p', c1, c2) when p' = p -> (c1, c2) :: acc | _ -> acc)
+    t []
+
+(** [attr_members t u] are the asserted (individual, value) pairs of [u]. *)
+let attr_members t u =
+  Assertion_set.fold
+    (fun x acc ->
+      match x with Attr_assert (u', c, v) when u' = u -> (c, v) :: acc | _ -> acc)
+    t []
+
+let pp_assertion fmt = function
+  | Concept_assert (a, c) -> Format.fprintf fmt "%s(%s)" a c
+  | Role_assert (p, c1, c2) -> Format.fprintf fmt "%s(%s, %s)" p c1 c2
+  | Attr_assert (u, c, v) -> Format.fprintf fmt "%s(%s, %S)" u c v
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun a -> Format.fprintf fmt "%a@," pp_assertion a) (assertions t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,86 @@
+(** Extensional constraints beyond plain DL-Lite_R: functionality and
+    identification assertions, the "constraint management" service the
+    paper attributes to Mastro (Section 2).
+
+    These constraints are *checked*, not reasoned with: following the
+    DL-Lite_A / Mastro design they are evaluated against the (virtual)
+    ABox as integrity constraints, and a well-formedness condition keeps
+    them from interacting with the positive-inclusion machinery — a
+    functional role or attribute may not be specialized (no proper
+    sub-roles), which is exactly the syntactic restriction DL-Lite_A
+    imposes to stay first-order rewritable. *)
+
+type t =
+  | Funct_role of Syntax.role      (** (funct Q): at most one Q-filler *)
+  | Funct_attr of string           (** (funct U): at most one U-value *)
+  | Identification of string * Syntax.role list
+      (** (id B Q1 .. Qn): no two distinct instances of [B] agree on
+          (some filler of) every [Qi] *)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp fmt = function
+  | Funct_role q -> Format.fprintf fmt "funct %a" Syntax.pp_role_ascii q
+  | Funct_attr u -> Format.fprintf fmt "funct attr %s" u
+  | Identification (b, roles) ->
+    Format.fprintf fmt "id %s %s" b
+      (String.concat " "
+         (List.map (fun q -> Format.asprintf "%a" Syntax.pp_role_ascii q) roles))
+
+let to_string c = Format.asprintf "%a" pp c
+
+(** Why a constraint set is not admissible over a TBox. *)
+type violation = {
+  constraint_ : t;
+  reason : string;
+}
+
+(** [well_formed tbox constraints] — the DL-Lite_A admissibility check:
+    a functional role (or attribute) must not appear on the right-hand
+    side of a role (attribute) inclusion with a different left-hand
+    side, i.e. it has no proper specializations.  Returns the offending
+    constraints ([] = admissible). *)
+let well_formed tbox constraints =
+  let role_specialized q =
+    List.exists
+      (fun ax ->
+        match ax with
+        | Syntax.Role_incl (q1, Syntax.R_role q2) ->
+          (not (Syntax.equal_role q1 q))
+          && (Syntax.equal_role q2 q
+              || Syntax.equal_role q2 (Syntax.role_inverse q))
+        | _ -> false)
+      (Tbox.axioms tbox)
+  in
+  let attr_specialized u =
+    List.exists
+      (fun ax ->
+        match ax with
+        | Syntax.Attr_incl (u1, Syntax.A_attr u2) -> u1 <> u && u2 = u
+        | _ -> false)
+      (Tbox.axioms tbox)
+  in
+  List.filter_map
+    (fun c ->
+      match c with
+      | Funct_role q when role_specialized q ->
+        Some
+          {
+            constraint_ = c;
+            reason =
+              Printf.sprintf "functional role %s has proper sub-roles (DL-Lite_A \
+                              admissibility)"
+                (Syntax.role_name q);
+          }
+      | Funct_attr u when attr_specialized u ->
+        Some
+          {
+            constraint_ = c;
+            reason =
+              Printf.sprintf "functional attribute %s has proper sub-attributes" u;
+          }
+      | Identification (_, []) ->
+        Some { constraint_ = c; reason = "identification needs at least one path" }
+      | Funct_role _ | Funct_attr _ | Identification _ -> None)
+    constraints

@@ -1,0 +1,202 @@
+(** OWL 2 QL interchange: render a DL-Lite_R TBox in the OWL 2
+    functional-style syntax and read the same fragment back.
+
+    "The significance of the DL-Lite family is testified by the fact
+    that it constitutes the logical underpinning of OWL 2 QL" (Section
+    4) — this module is the bridge: ontologies edited in standard OWL
+    tooling round-trip into the toolkit.
+
+    The supported fragment is exactly our DL-Lite_R(+attributes):
+    [SubClassOf] with the QL-legal class expressions,
+    [SubObjectPropertyOf], [DisjointClasses]/[DisjointObjectProperties]/
+    [DisjointDataProperties], [SubDataPropertyOf], and declarations.
+    Everything else is rejected with a location. *)
+
+open Syntax
+
+exception Unsupported of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let role_to_functional = function
+  | Direct p -> Printf.sprintf ":%s" p
+  | Inverse p -> Printf.sprintf "ObjectInverseOf(:%s)" p
+
+let basic_to_functional = function
+  | Atomic a -> Printf.sprintf ":%s" a
+  | Exists q ->
+    Printf.sprintf "ObjectSomeValuesFrom(%s owl:Thing)" (role_to_functional q)
+  | Attr_domain u -> Printf.sprintf "DataSomeValuesFrom(:%s rdfs:Literal)" u
+
+let axiom_to_functional = function
+  | Concept_incl (b, C_basic b') ->
+    Printf.sprintf "SubClassOf(%s %s)" (basic_to_functional b) (basic_to_functional b')
+  | Concept_incl (b, C_neg b') ->
+    (* QL expresses disjointness natively *)
+    Printf.sprintf "DisjointClasses(%s %s)" (basic_to_functional b)
+      (basic_to_functional b')
+  | Concept_incl (b, C_exists_qual (q, a)) ->
+    Printf.sprintf "SubClassOf(%s ObjectSomeValuesFrom(%s :%s))"
+      (basic_to_functional b) (role_to_functional q) a
+  | Role_incl (q, R_role q') ->
+    Printf.sprintf "SubObjectPropertyOf(%s %s)" (role_to_functional q)
+      (role_to_functional q')
+  | Role_incl (q, R_neg q') ->
+    Printf.sprintf "DisjointObjectProperties(%s %s)" (role_to_functional q)
+      (role_to_functional q')
+  | Attr_incl (u, A_attr u') -> Printf.sprintf "SubDataPropertyOf(:%s :%s)" u u'
+  | Attr_incl (u, A_neg u') ->
+    Printf.sprintf "DisjointDataProperties(:%s :%s)" u u'
+
+(** [to_functional ?iri tbox] renders the whole document, declarations
+    included. *)
+let to_functional ?(iri = "http://example.org/ontology") tbox =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "Prefix(:=<";
+  Buffer.add_string buf iri;
+  Buffer.add_string buf "#>)\n";
+  Buffer.add_string buf "Prefix(owl:=<http://www.w3.org/2002/07/owl#>)\n";
+  Buffer.add_string buf "Prefix(rdfs:=<http://www.w3.org/2000/01/rdf-schema#>)\n";
+  Buffer.add_string buf (Printf.sprintf "Ontology(<%s>\n" iri);
+  let signature = Tbox.signature tbox in
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "Declaration(Class(:%s))\n" a))
+    (Signature.concepts signature);
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "Declaration(ObjectProperty(:%s))\n" p))
+    (Signature.roles signature);
+  List.iter
+    (fun u ->
+      Buffer.add_string buf (Printf.sprintf "Declaration(DataProperty(:%s))\n" u))
+    (Signature.attributes signature);
+  List.iter
+    (fun ax -> Buffer.add_string buf (axiom_to_functional ax ^ "\n"))
+    (Tbox.axioms tbox);
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny s-expression-ish reader for the functional syntax: tokens are
+   names, '(' and ')'. *)
+type sexp =
+  | Atom of string
+  | App of string * sexp list
+
+let tokenize source =
+  let tokens = ref [] in
+  let buf = Buffer.create 32 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := `Name (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        flush ();
+        tokens := `Open :: !tokens
+      | ')' ->
+        flush ();
+        tokens := `Close :: !tokens
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    source;
+  flush ();
+  List.rev !tokens
+
+let parse_sexps tokens =
+  (* returns (sexps, rest) up to an unmatched Close *)
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | `Close :: rest -> (List.rev acc, rest)
+    | `Open :: _ -> fail "unexpected bare '('"
+    | `Name n :: `Open :: rest ->
+      let args, rest = go [] rest in
+      go (App (n, args) :: acc) rest
+    | `Name n :: rest -> go (Atom n :: acc) rest
+  in
+  let sexps, rest = go [] tokens in
+  if rest <> [] then fail "unbalanced parentheses";
+  sexps
+
+let local name =
+  (* strip a ":" prefix; reject full IRIs beyond the known prefixes *)
+  if String.length name > 1 && name.[0] = ':' then
+    String.sub name 1 (String.length name - 1)
+  else name
+
+let parse_role = function
+  | Atom p -> Direct (local p)
+  | App ("ObjectInverseOf", [ Atom p ]) -> Inverse (local p)
+  | App (f, _) -> fail "unsupported property expression %s" f
+
+let parse_class = function
+  | Atom "owl:Thing" -> fail "owl:Thing is only allowed as a filler"
+  | Atom a -> Atomic (local a)
+  | App ("ObjectSomeValuesFrom", [ r; Atom "owl:Thing" ]) -> Exists (parse_role r)
+  | App ("DataSomeValuesFrom", [ Atom u; Atom "rdfs:Literal" ]) ->
+    Attr_domain (local u)
+  | App (f, _) -> fail "unsupported class expression %s" f
+
+(* class expressions allowed on the RHS of SubClassOf in our fragment *)
+let parse_rhs = function
+  | App ("ObjectSomeValuesFrom", [ r; Atom filler ]) when filler <> "owl:Thing" ->
+    C_exists_qual (parse_role r, local filler)
+  | App ("ObjectComplementOf", [ c ]) -> C_neg (parse_class c)
+  | c -> C_basic (parse_class c)
+
+let axiom_of_sexp = function
+  | App ("SubClassOf", [ lhs; rhs ]) -> Some (Concept_incl (parse_class lhs, parse_rhs rhs))
+  | App ("DisjointClasses", [ lhs; rhs ]) ->
+    Some (Concept_incl (parse_class lhs, C_neg (parse_class rhs)))
+  | App ("SubObjectPropertyOf", [ r; s ]) ->
+    Some (Role_incl (parse_role r, R_role (parse_role s)))
+  | App ("DisjointObjectProperties", [ r; s ]) ->
+    Some (Role_incl (parse_role r, R_neg (parse_role s)))
+  | App ("SubDataPropertyOf", [ Atom u; Atom w ]) ->
+    Some (Attr_incl (local u, A_attr (local w)))
+  | App ("DisjointDataProperties", [ Atom u; Atom w ]) ->
+    Some (Attr_incl (local u, A_neg (local w)))
+  | App ("Declaration", _) | App ("Prefix", _) -> None
+  | App (f, _) -> fail "unsupported axiom %s" f
+  | Atom a -> fail "stray token %s" a
+
+let declaration_of_sexp signature = function
+  | App ("Declaration", [ App ("Class", [ Atom a ]) ]) ->
+    Signature.add_concept (local a) signature
+  | App ("Declaration", [ App ("ObjectProperty", [ Atom p ]) ]) ->
+    Signature.add_role (local p) signature
+  | App ("Declaration", [ App ("DataProperty", [ Atom u ]) ]) ->
+    Signature.add_attribute (local u) signature
+  | _ -> signature
+
+(** [of_functional source] parses a functional-syntax document in the QL
+    fragment above.  @raise Unsupported on anything else. *)
+let of_functional source =
+  let sexps = parse_sexps (tokenize source) in
+  (* unwrap Ontology(...) if present, skip Prefix lines *)
+  let body =
+    List.concat_map
+      (function
+        | App ("Ontology", items) ->
+          (* the first item may be the ontology IRI atom *)
+          List.filter (function Atom _ -> false | App _ -> true) items
+        | App ("Prefix", _) -> []
+        | other -> [ other ])
+      sexps
+  in
+  let signature =
+    List.fold_left declaration_of_sexp Signature.empty body
+  in
+  let axioms = List.filter_map axiom_of_sexp body in
+  Tbox.of_axioms ~signature axioms

@@ -1,0 +1,75 @@
+(** Ontology signatures: the atomic concept, role and attribute names a
+    TBox speaks about.  Kept explicit (rather than always recomputed)
+    because classification must also report names that occur in no axiom
+    at all — they are still part of the vocabulary. *)
+
+module Sset = Set.Make (String)
+
+type t = {
+  concepts : Sset.t;
+  roles : Sset.t;
+  attributes : Sset.t;
+}
+
+let empty = { concepts = Sset.empty; roles = Sset.empty; attributes = Sset.empty }
+
+let add_concept s t = { t with concepts = Sset.add s t.concepts }
+let add_role s t = { t with roles = Sset.add s t.roles }
+let add_attribute s t = { t with attributes = Sset.add s t.attributes }
+
+let mem_concept s t = Sset.mem s t.concepts
+let mem_role s t = Sset.mem s t.roles
+let mem_attribute s t = Sset.mem s t.attributes
+
+let concepts t = Sset.elements t.concepts
+let roles t = Sset.elements t.roles
+let attributes t = Sset.elements t.attributes
+
+let concept_count t = Sset.cardinal t.concepts
+let role_count t = Sset.cardinal t.roles
+let attribute_count t = Sset.cardinal t.attributes
+
+(** [union a b] is the component-wise union. *)
+let union a b =
+  {
+    concepts = Sset.union a.concepts b.concepts;
+    roles = Sset.union a.roles b.roles;
+    attributes = Sset.union a.attributes b.attributes;
+  }
+
+let of_basic = function
+  | Syntax.Atomic a -> add_concept a empty
+  | Syntax.Exists q -> add_role (Syntax.role_name q) empty
+  | Syntax.Attr_domain u -> add_attribute u empty
+
+(** [of_axiom ax] is the signature of the symbols occurring in [ax]. *)
+let of_axiom = function
+  | Syntax.Concept_incl (b, rhs) ->
+    let s = of_basic b in
+    (match rhs with
+     | Syntax.C_basic b' | Syntax.C_neg b' -> union s (of_basic b')
+     | Syntax.C_exists_qual (q, a) ->
+       s |> add_role (Syntax.role_name q) |> add_concept a)
+  | Syntax.Role_incl (q, rhs) ->
+    let s = add_role (Syntax.role_name q) empty in
+    (match rhs with
+     | Syntax.R_role q' | Syntax.R_neg q' -> add_role (Syntax.role_name q') s)
+  | Syntax.Attr_incl (u, rhs) ->
+    let s = add_attribute u empty in
+    (match rhs with
+     | Syntax.A_attr v | Syntax.A_neg v -> add_attribute v s)
+
+(** [of_axioms axs] is the union of the axiom signatures. *)
+let of_axioms axs = List.fold_left (fun s ax -> union s (of_axiom ax)) empty axs
+
+(** [equal a b] is extensional equality. *)
+let equal a b =
+  Sset.equal a.concepts b.concepts
+  && Sset.equal a.roles b.roles
+  && Sset.equal a.attributes b.attributes
+
+let pp fmt t =
+  Format.fprintf fmt "concepts: %s@.roles: %s@.attributes: %s"
+    (String.concat ", " (concepts t))
+    (String.concat ", " (roles t))
+    (String.concat ", " (attributes t))

@@ -1,0 +1,122 @@
+(** Abstract syntax of DL-Lite_R extended with attributes and qualified
+    existential restrictions, following Section 4 of the paper:
+
+    {v
+      B ::= A | ∃Q | δ(U)         basic concepts
+      Q ::= P | P⁻                 basic roles
+      C ::= B | ¬B | ∃Q.A          general (right-hand side) concepts
+      R ::= Q | ¬Q                 general roles
+      V ::= U | ¬U                 general attributes
+    v}
+
+    A TBox is a finite set of inclusions [B ⊑ C], [Q ⊑ R], [U ⊑ V].
+    Attributes are binary relations from objects to values; the only
+    concept they induce is their domain [δ(U)]. *)
+
+(** Basic roles: an atomic role or its inverse. *)
+type role =
+  | Direct of string
+  | Inverse of string
+[@@deriving eq, ord, show { with_path = false }]
+
+(** [role_name q] is the underlying atomic role name. *)
+let role_name = function Direct p | Inverse p -> p
+
+(** [role_inverse q] swaps direction: [P ↦ P⁻], [P⁻ ↦ P]. *)
+let role_inverse = function Direct p -> Inverse p | Inverse p -> Direct p
+
+(** Basic concepts. *)
+type basic =
+  | Atomic of string        (** atomic concept [A] *)
+  | Exists of role          (** unqualified existential [∃Q] *)
+  | Attr_domain of string   (** attribute domain [δ(U)] *)
+[@@deriving eq, ord, show { with_path = false }]
+
+(** Right-hand sides of concept inclusions. *)
+type concept_rhs =
+  | C_basic of basic
+  | C_neg of basic                  (** negated basic concept [¬B] *)
+  | C_exists_qual of role * string  (** qualified existential [∃Q.A], [A] atomic *)
+[@@deriving eq, ord, show { with_path = false }]
+
+(** Right-hand sides of role inclusions. *)
+type role_rhs =
+  | R_role of role
+  | R_neg of role
+[@@deriving eq, ord, show { with_path = false }]
+
+(** Right-hand sides of attribute inclusions. *)
+type attr_rhs =
+  | A_attr of string
+  | A_neg of string
+[@@deriving eq, ord, show { with_path = false }]
+
+(** TBox axioms. *)
+type axiom =
+  | Concept_incl of basic * concept_rhs  (** [B ⊑ C] *)
+  | Role_incl of role * role_rhs         (** [Q ⊑ R] *)
+  | Attr_incl of string * attr_rhs       (** [U ⊑ V] *)
+[@@deriving eq, ord, show { with_path = false }]
+
+(** [is_positive ax] holds for positive inclusions (no negation on the
+    right-hand side); the complement are the negative inclusions. *)
+let is_positive = function
+  | Concept_incl (_, (C_basic _ | C_exists_qual _)) -> true
+  | Concept_incl (_, C_neg _) -> false
+  | Role_incl (_, R_role _) -> true
+  | Role_incl (_, R_neg _) -> false
+  | Attr_incl (_, A_attr _) -> true
+  | Attr_incl (_, A_neg _) -> false
+
+(** Uniform view of the two kinds of subsumable expressions, used by the
+    classification output ([S1 ⊑ S2] with both sides of the same sort). *)
+type expr =
+  | E_concept of basic
+  | E_role of role
+  | E_attr of string
+[@@deriving eq, ord, show { with_path = false }]
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-syntax printing (human-oriented, ASCII; also accepted by
+   [Parser]).                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_role_ascii fmt = function
+  | Direct p -> Format.pp_print_string fmt p
+  | Inverse p -> Format.fprintf fmt "%s^-" p
+
+let pp_basic_ascii fmt = function
+  | Atomic a -> Format.pp_print_string fmt a
+  | Exists q -> Format.fprintf fmt "exists %a" pp_role_ascii q
+  | Attr_domain u -> Format.fprintf fmt "delta(%s)" u
+
+let pp_concept_rhs_ascii fmt = function
+  | C_basic b -> pp_basic_ascii fmt b
+  | C_neg b -> Format.fprintf fmt "not %a" pp_basic_ascii b
+  | C_exists_qual (q, a) -> Format.fprintf fmt "exists %a . %s" pp_role_ascii q a
+
+let pp_role_rhs_ascii fmt = function
+  | R_role q -> pp_role_ascii fmt q
+  | R_neg q -> Format.fprintf fmt "not %a" pp_role_ascii q
+
+let pp_attr_rhs_ascii fmt = function
+  | A_attr u -> Format.pp_print_string fmt u
+  | A_neg u -> Format.fprintf fmt "not %s" u
+
+(** [pp_axiom_ascii] prints an axiom in the ASCII concrete syntax
+    ([ [= ] stands for the subsumption symbol ⊑). *)
+let pp_axiom_ascii fmt = function
+  | Concept_incl (b, c) ->
+    Format.fprintf fmt "%a [= %a" pp_basic_ascii b pp_concept_rhs_ascii c
+  | Role_incl (q, r) ->
+    Format.fprintf fmt "%a [= %a" pp_role_ascii q pp_role_rhs_ascii r
+  | Attr_incl (u, v) ->
+    Format.fprintf fmt "%s [= %a" u pp_attr_rhs_ascii v
+
+let pp_expr_ascii fmt = function
+  | E_concept b -> pp_basic_ascii fmt b
+  | E_role q -> pp_role_ascii fmt q
+  | E_attr u -> Format.fprintf fmt "attr %s" u
+
+let axiom_to_string ax = Format.asprintf "%a" pp_axiom_ascii ax
+let expr_to_string e = Format.asprintf "%a" pp_expr_ascii e

@@ -1,0 +1,68 @@
+(** TBoxes: a deduplicated set of DL-Lite_R axioms plus an explicit
+    signature (which may declare names not used by any axiom). *)
+
+module Axiom_set = Set.Make (struct
+  type t = Syntax.axiom
+
+  let compare = Syntax.compare_axiom
+end)
+
+type t = {
+  axioms : Axiom_set.t;
+  signature : Signature.t;
+}
+
+let empty = { axioms = Axiom_set.empty; signature = Signature.empty }
+
+(** [add ax t] inserts [ax], extending the signature with its symbols. *)
+let add ax t =
+  {
+    axioms = Axiom_set.add ax t.axioms;
+    signature = Signature.union t.signature (Signature.of_axiom ax);
+  }
+
+(** [of_axioms ?signature axs] builds a TBox from a list of axioms; an
+    optional [signature] declares additional (possibly unused) names. *)
+let of_axioms ?(signature = Signature.empty) axs =
+  let t = List.fold_left (fun t ax -> add ax t) empty axs in
+  { t with signature = Signature.union signature t.signature }
+
+(** [declare_concept]/[declare_role]/[declare_attribute] extend the
+    signature without adding axioms. *)
+let declare_concept a t = { t with signature = Signature.add_concept a t.signature }
+let declare_role p t = { t with signature = Signature.add_role p t.signature }
+let declare_attribute u t =
+  { t with signature = Signature.add_attribute u t.signature }
+
+let axioms t = Axiom_set.elements t.axioms
+let signature t = t.signature
+let axiom_count t = Axiom_set.cardinal t.axioms
+let mem ax t = Axiom_set.mem ax t.axioms
+
+(** [positive_inclusions t] are the axioms with no negated right-hand side. *)
+let positive_inclusions t = List.filter Syntax.is_positive (axioms t)
+
+(** [negative_inclusions t] are the disjointness axioms. *)
+let negative_inclusions t =
+  List.filter (fun ax -> not (Syntax.is_positive ax)) (axioms t)
+
+(** [union a b] merges axioms and signatures. *)
+let union a b =
+  {
+    axioms = Axiom_set.union a.axioms b.axioms;
+    signature = Signature.union a.signature b.signature;
+  }
+
+(** [filter p t] keeps the axioms satisfying [p]; the signature is kept
+    as-is (dropping axioms never shrinks the declared vocabulary). *)
+let filter p t = { t with axioms = Axiom_set.filter p t.axioms }
+
+(** [equal a b] compares axiom sets and signatures. *)
+let equal a b = Axiom_set.equal a.axioms b.axioms && Signature.equal a.signature b.signature
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun ax -> Format.fprintf fmt "%a@," Syntax.pp_axiom_ascii ax) (axioms t);
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

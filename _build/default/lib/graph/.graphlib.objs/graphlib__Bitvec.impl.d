@@ -1,0 +1,1 @@
+lib/graph/bitvec.ml: Array List Sys

@@ -1,0 +1,1 @@
+lib/graph/closure.ml: Array Bitvec Graph Hashtbl List Scc

@@ -1,0 +1,1 @@
+lib/graph/closure.mli: Bitvec Graph

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Bitvec Hashtbl List Queue Stack

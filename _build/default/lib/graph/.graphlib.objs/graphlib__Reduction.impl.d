@@ -1,0 +1,1 @@
+lib/graph/reduction.ml: Bitvec Closure List Scc

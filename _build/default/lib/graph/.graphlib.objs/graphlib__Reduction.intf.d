@@ -1,0 +1,1 @@
+lib/graph/reduction.mli: Closure Graph Scc

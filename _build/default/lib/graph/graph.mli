@@ -1,0 +1,65 @@
+(** Mutable directed graphs over dense integer node ids.
+
+    Nodes are the integers [0 .. node_count - 1].  Parallel edges are
+    collapsed; self-loops are allowed.  Both successor and predecessor
+    adjacency are maintained, so forward and backward traversals are
+    equally cheap. *)
+
+type t
+
+(** [create ?initial_nodes ()] is an empty graph with [initial_nodes]
+    pre-allocated nodes (default 0). *)
+val create : ?initial_nodes:int -> unit -> t
+
+val node_count : t -> int
+val edge_count : t -> int
+
+(** [add_node t] allocates and returns a fresh node id. *)
+val add_node : t -> int
+
+(** [ensure_nodes t n] makes sure node ids [0 .. n-1] exist. *)
+val ensure_nodes : t -> int -> unit
+
+(** [mem_edge t u v] is [true] iff the edge [(u, v)] is present.
+    @raise Invalid_argument on out-of-range nodes (all traversal
+    functions below share this behaviour). *)
+val mem_edge : t -> int -> int -> bool
+
+(** [add_edge t u v] inserts the edge [(u, v)]; duplicates are
+    ignored. *)
+val add_edge : t -> int -> int -> unit
+
+(** [successors t v] is the list of direct successors of [v]. *)
+val successors : t -> int -> int list
+
+(** [predecessors t v] is the list of direct predecessors of [v]. *)
+val predecessors : t -> int -> int list
+
+(** [iter_edges t f] applies [f u v] to every edge. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** [edges t] is the list of all edges in unspecified order. *)
+val edges : t -> (int * int) list
+
+(** [copy t] is an independent copy of [t]. *)
+val copy : t -> t
+
+(** [transpose t] is a fresh graph with every edge reversed. *)
+val transpose : t -> t
+
+(** [reachable_from t v] is the bit-set of nodes reachable from [v],
+    [v] itself included (reflexive reachability). *)
+val reachable_from : t -> int -> Bitvec.t
+
+(** [reaches t u v] is [true] iff there is a (possibly empty) path from
+    [u] to [v]. *)
+val reaches : t -> int -> int -> bool
+
+(** [ancestors t v] is the bit-set of nodes from which [v] is reachable,
+    including [v] itself. *)
+val ancestors : t -> int -> Bitvec.t
+
+(** [topological_order t] lists all nodes with every edge going from an
+    earlier to a later node.
+    @raise Failure on a cyclic graph (use {!Scc} for the cyclic case). *)
+val topological_order : t -> int list

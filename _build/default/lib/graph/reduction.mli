@@ -1,0 +1,13 @@
+(** Transitive reduction of a DAG: the minimal edge set with the same
+    reachability relation (the Hasse diagram of the subsumption
+    order). *)
+
+(** [reduce_dag closure] — given a *materialized reflexive closure* of a
+    DAG, the direct-edge list of its (unique) transitive reduction. *)
+val reduce_dag : Closure.t -> (int * int) list
+
+(** [reduce g] — transitive reduction of an arbitrary digraph:
+    mutually-reachable nodes collapse into their SCC, and the edge list
+    is the unique reduction of the condensation DAG (edges are pairs of
+    component ids). *)
+val reduce : Graph.t -> Scc.result * (int * int) list

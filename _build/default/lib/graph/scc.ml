@@ -1,0 +1,88 @@
+(** Strongly connected components (Tarjan) and graph condensation.
+
+    The condensation is the heart of the fastest transitive-closure
+    algorithm used by the classifier: within an SCC every node reaches
+    every other, so reachability only needs to be solved once per
+    component on the (acyclic) condensation. *)
+
+type result = {
+  count : int;              (** number of components *)
+  component : int array;    (** [component.(v)] is the component id of node [v] *)
+  members : int list array; (** [members.(c)] is the node list of component [c] *)
+}
+
+(** [tarjan g] computes the strongly connected components of [g].
+    Component ids are assigned in *reverse topological order* of the
+    condensation: if there is an edge from component [c1] to [c2] with
+    [c1 <> c2] then [c1 > c2].  This is the order Tarjan naturally emits
+    and the closure algorithm exploits it directly.
+
+    Implemented iteratively (explicit stack) so that deep hierarchies —
+    e.g. a 40k-concept FMA-like chain — cannot overflow the OCaml stack. *)
+let tarjan g =
+  let n = Graph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_component = ref 0 in
+  (* Explicit DFS frames: (node, remaining successors). *)
+  let frames = Stack.create () in
+  let start_visit v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref (Graph.successors g v)) frames
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      start_visit root;
+      while not (Stack.is_empty frames) do
+        let v, rest = Stack.top frames in
+        match !rest with
+        | w :: tl ->
+          rest := tl;
+          if index.(w) = -1 then start_visit w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          ignore (Stack.pop frames);
+          if lowlink.(v) = index.(v) then begin
+            let c = !next_component in
+            incr next_component;
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              component.(w) <- c;
+              if w = v then continue := false
+            done
+          end;
+          (* propagate lowlink to the parent frame, if any *)
+          if not (Stack.is_empty frames) then begin
+            let parent, _ = Stack.top frames in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+      done
+    end
+  done;
+  let count = !next_component in
+  let members = Array.make count [] in
+  for v = n - 1 downto 0 do
+    let c = component.(v) in
+    members.(c) <- v :: members.(c)
+  done;
+  { count; component; members }
+
+(** [condensation g r] is the acyclic graph whose nodes are the components
+    of [r] and whose edges are the inter-component edges of [g]
+    (deduplicated, without self-loops). *)
+let condensation g r =
+  let dag = Graph.create ~initial_nodes:r.count () in
+  Graph.iter_edges g (fun u v ->
+      let cu = r.component.(u) and cv = r.component.(v) in
+      if cu <> cv then Graph.add_edge dag cu cv);
+  dag

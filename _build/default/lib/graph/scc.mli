@@ -1,0 +1,19 @@
+(** Strongly connected components (Tarjan) and graph condensation. *)
+
+type result = {
+  count : int;              (** number of components *)
+  component : int array;    (** [component.(v)] is the component id of node [v] *)
+  members : int list array; (** [members.(c)] is the node list of component [c] *)
+}
+
+(** [tarjan g] computes the strongly connected components of [g].
+    Component ids are assigned in *reverse topological order* of the
+    condensation: an inter-component edge always goes from a larger to a
+    smaller id.  Implemented iteratively, so arbitrarily deep graphs are
+    safe. *)
+val tarjan : Graph.t -> result
+
+(** [condensation g r] is the acyclic graph whose nodes are the
+    components of [r] and whose edges are the deduplicated
+    inter-component edges of [g]. *)
+val condensation : Graph.t -> result -> Graph.t

@@ -1,0 +1,1 @@
+lib/graphical/context.pp.ml: Dllite Hashtbl List Option Queue Signature Syntax Tbox Translate

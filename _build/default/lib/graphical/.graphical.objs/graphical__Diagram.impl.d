@@ -1,0 +1,1 @@
+lib/graphical/diagram.pp.ml: Format List Ppx_deriving_runtime

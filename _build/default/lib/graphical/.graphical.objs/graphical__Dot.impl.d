@@ -1,0 +1,1 @@
+lib/graphical/dot.pp.ml: Buffer Diagram List Printf String

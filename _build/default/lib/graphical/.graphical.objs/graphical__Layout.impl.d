@@ -1,0 +1,1 @@
+lib/graphical/layout.pp.ml: Array Buffer Diagram Float List Printf String

@@ -1,0 +1,1 @@
+lib/graphical/modular.pp.ml: Dllite Hashtbl List Option Signature Syntax Tbox

@@ -1,0 +1,1 @@
+lib/graphical/owlize.pp.ml: Diagram Format List Owlfrag

@@ -1,0 +1,1 @@
+lib/graphical/translate.pp.ml: Diagram Dllite Format List Signature Syntax Tbox

@@ -1,0 +1,127 @@
+(** "Relevant context" extraction for large-ontology visualization
+    (Section 6, "Visualization"): "effectively identify, group together,
+    and highlight all the relevant concepts and roles in a specific
+    portion of the ontology, while moving the remaining information into
+    the background".
+
+    The context of a focus set is computed on the vocabulary
+    co-occurrence graph: symbols within [radius] hops of the focus form
+    the foreground; relevance decays with distance and grows with
+    degree, providing a ranking for progressive disclosure. *)
+
+open Dllite
+
+type entry = {
+  symbol : Syntax.expr;   (** a named concept, role or attribute *)
+  distance : int;         (** hops from the focus set *)
+  relevance : float;      (** degree-weighted, distance-decayed score *)
+}
+
+type view = {
+  foreground : entry list;  (** sorted by decreasing relevance *)
+  background : Syntax.expr list;
+  focus_tbox : Tbox.t;      (** axioms mentioning only foreground symbols *)
+}
+
+let named_symbols tbox =
+  let s = Tbox.signature tbox in
+  List.map (fun a -> Syntax.E_concept (Syntax.Atomic a)) (Signature.concepts s)
+  @ List.map (fun p -> Syntax.E_role (Syntax.Direct p)) (Signature.roles s)
+  @ List.map (fun u -> Syntax.E_attr u) (Signature.attributes s)
+
+let symbol_key = function
+  | Syntax.E_concept (Syntax.Atomic a) -> Some ("c:" ^ a)
+  | Syntax.E_role q -> Some ("r:" ^ Syntax.role_name q)
+  | Syntax.E_attr u -> Some ("a:" ^ u)
+  | Syntax.E_concept (Syntax.Exists q) -> Some ("r:" ^ Syntax.role_name q)
+  | Syntax.E_concept (Syntax.Attr_domain u) -> Some ("a:" ^ u)
+
+let axiom_keys ax =
+  let s = Signature.of_axiom ax in
+  List.map (fun a -> "c:" ^ a) (Signature.concepts s)
+  @ List.map (fun p -> "r:" ^ p) (Signature.roles s)
+  @ List.map (fun u -> "a:" ^ u) (Signature.attributes s)
+
+(** [compute ?radius tbox focus] — the context view around the [focus]
+    symbols (default radius 2). *)
+let compute ?(radius = 2) tbox focus =
+  (* adjacency: symbols co-occurring in an axiom are neighbours *)
+  let adjacency = Hashtbl.create 128 in
+  let degree = Hashtbl.create 128 in
+  let link a b =
+    if a <> b then begin
+      let prev = Option.value ~default:[] (Hashtbl.find_opt adjacency a) in
+      if not (List.mem b prev) then begin
+        Hashtbl.replace adjacency a (b :: prev);
+        Hashtbl.replace degree a
+          (1 + Option.value ~default:0 (Hashtbl.find_opt degree a))
+      end
+    end
+  in
+  List.iter
+    (fun ax ->
+      let keys = axiom_keys ax in
+      List.iter (fun a -> List.iter (fun b -> link a b) keys) keys)
+    (Tbox.axioms tbox);
+  (* BFS from the focus set *)
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun sym ->
+      match symbol_key sym with
+      | Some k when not (Hashtbl.mem dist k) ->
+        Hashtbl.replace dist k 0;
+        Queue.add k queue
+      | Some _ | None -> ())
+    focus;
+  while not (Queue.is_empty queue) do
+    let k = Queue.pop queue in
+    let d = Hashtbl.find dist k in
+    if d < radius then
+      List.iter
+        (fun k' ->
+          if not (Hashtbl.mem dist k') then begin
+            Hashtbl.replace dist k' (d + 1);
+            Queue.add k' queue
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt adjacency k))
+  done;
+  let all = named_symbols tbox in
+  let foreground, background =
+    List.partition_map
+      (fun sym ->
+        match symbol_key sym with
+        | Some k -> (
+          match Hashtbl.find_opt dist k with
+          | Some d ->
+            let deg =
+              float_of_int (Option.value ~default:0 (Hashtbl.find_opt degree k))
+            in
+            Left
+              {
+                symbol = sym;
+                distance = d;
+                relevance = (1.0 +. deg) /. float_of_int (1 + d);
+              }
+          | None -> Right sym)
+        | None -> Right sym)
+      all
+  in
+  let foreground =
+    List.sort (fun a b -> compare b.relevance a.relevance) foreground
+  in
+  let fg_keys =
+    List.filter_map (fun e -> symbol_key e.symbol) foreground
+  in
+  let focus_tbox =
+    Tbox.filter
+      (fun ax -> List.for_all (fun k -> List.mem k fg_keys) (axiom_keys ax))
+      tbox
+  in
+  { foreground; background; focus_tbox }
+
+(** [focus_diagram ?radius tbox focus] — context view rendered as a
+    diagram (the dynamic visualization model's foreground pane). *)
+let focus_diagram ?radius tbox focus =
+  let view = compute ?radius tbox focus in
+  Translate.of_tbox view.focus_tbox

@@ -1,0 +1,217 @@
+(** Abstract syntax of the paper's graphical language for DL-Lite
+    ontologies (Section 6).
+
+    "each graphical element in the diagram represents a specific term,
+    expression, or assertion":
+
+    - atomic graphical elements carry the signature: *rectangles* for
+      atomic concepts, *diamonds* for atomic roles, *circles* for
+      attributes;
+    - non-terminal elements build complex expressions: a *white square*
+      attached to a role diamond denotes the existential restriction on
+      the role ([∃P], the domain side), a *black square* the restriction
+      on its inverse ([∃P⁻], the range side); squares attach via
+      non-directed dotted edges, and a dotted edge from a square to a
+      rectangle scopes the restriction (qualified existential, Fig. 2);
+    - an inclusion assertion is a *directed edge* between the elements
+      denoting its two sides;
+    - a directed edge marked as *negated* denotes a disjointness
+      (crossed-out edges in the concrete visual syntax). *)
+
+(** Identifiers of diagram elements. *)
+type element_id = int [@@deriving eq, ord, show]
+
+type element =
+  | Concept_box of string            (** rectangle labelled with a concept name *)
+  | Role_diamond of string           (** diamond labelled with a role name *)
+  | Attribute_circle of string       (** circle labelled with an attribute name *)
+  | Domain_square of element_id      (** white square attached to a role diamond *)
+  | Range_square of element_id       (** black square attached to a role diamond *)
+  | Attr_domain_square of element_id (** white square attached to an attribute circle *)
+  | Universal_square of element_id * bool
+      (** the OWL extension of Section 6 ("universality by using labels
+          on the domain and range squares"): a square labelled ∀,
+          attached to a role diamond; the flag selects the range side
+          (inverse role).  Only meaningful in OWL-extended diagrams —
+          the DL-Lite translation rejects it. *)
+  | Cardinality_square of element_id * bool * int
+      (** cardinality label [≥ n] on a domain/range square; [≥ 1] is
+          the plain existential *)
+[@@deriving eq, ord, show { with_path = false }]
+
+(** Dotted scope edge: from a domain/range square to a concept box,
+    restricting the existential to that concept (Figure 2). *)
+type scope = {
+  square : element_id;
+  concept : element_id;
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+(** Directed inclusion edge; [negated = true] renders as a crossed edge
+    and denotes disjointness; [inverted = true] (meaningful only between
+    two role diamonds) carries an inversion marker and denotes
+    [P ⊑ Q⁻]-style inclusions. *)
+type inclusion_edge = {
+  source : element_id;
+  target : element_id;
+  negated : bool;
+  inverted : bool;
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+type t = {
+  elements : (element_id * element) list;  (* id-sorted association list *)
+  scopes : scope list;
+  inclusions : inclusion_edge list;
+}
+
+let empty = { elements = []; scopes = []; inclusions = [] }
+
+let element d id = List.assoc_opt id d.elements
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun m -> raise (Ill_formed m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable next_id : int;
+  mutable diagram : t;
+}
+
+let builder () = { next_id = 0; diagram = empty }
+
+let add_element b e =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.diagram <- { b.diagram with elements = b.diagram.elements @ [ (id, e) ] };
+  id
+
+(** [concept b name] adds (or finds) the rectangle for [name]. *)
+let concept b name =
+  match
+    List.find_opt
+      (fun (_, e) -> equal_element e (Concept_box name))
+      b.diagram.elements
+  with
+  | Some (id, _) -> id
+  | None -> add_element b (Concept_box name)
+
+let role b name =
+  match
+    List.find_opt
+      (fun (_, e) -> equal_element e (Role_diamond name))
+      b.diagram.elements
+  with
+  | Some (id, _) -> id
+  | None -> add_element b (Role_diamond name)
+
+let attribute b name =
+  match
+    List.find_opt
+      (fun (_, e) -> equal_element e (Attribute_circle name))
+      b.diagram.elements
+  with
+  | Some (id, _) -> id
+  | None -> add_element b (Attribute_circle name)
+
+(* The shared square for an *unqualified* restriction: a square carrying
+   a scope (dotted qualification edge) denotes a qualified existential
+   and must never be reused for the plain [∃Q] / [δ(U)] reading. *)
+let unscoped_square b shape =
+  List.find_opt
+    (fun (id, e) ->
+      equal_element e shape
+      && not (List.exists (fun s -> s.square = id) b.diagram.scopes))
+    b.diagram.elements
+
+let domain_square b role_id =
+  match unscoped_square b (Domain_square role_id) with
+  | Some (id, _) -> id
+  | None -> add_element b (Domain_square role_id)
+
+let range_square b role_id =
+  match unscoped_square b (Range_square role_id) with
+  | Some (id, _) -> id
+  | None -> add_element b (Range_square role_id)
+
+let attr_domain_square b attr_id =
+  match unscoped_square b (Attr_domain_square attr_id) with
+  | Some (id, _) -> id
+  | None -> add_element b (Attr_domain_square attr_id)
+
+(** [scope b ~square ~concept] attaches a qualification (dotted edge) to
+    a square. *)
+let scope b ~square ~concept =
+  b.diagram <- { b.diagram with scopes = b.diagram.scopes @ [ { square; concept } ] }
+
+(** [include_ b ~source ~target] adds a directed inclusion edge. *)
+let include_ ?(negated = false) ?(inverted = false) b ~source ~target =
+  b.diagram <-
+    {
+      b.diagram with
+      inclusions = b.diagram.inclusions @ [ { source; target; negated; inverted } ];
+    }
+
+let finish b = b.diagram
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [validate d] checks referential integrity and attachment sorts.
+    @raise Ill_formed with a description of the first violation. *)
+let validate d =
+  let get id =
+    match element d id with
+    | Some e -> e
+    | None -> ill_formed "dangling element id %d" id
+  in
+  List.iter
+    (fun (id, e) ->
+      match e with
+      | Domain_square r | Range_square r -> (
+        match get r with
+        | Role_diamond _ -> ()
+        | _ -> ill_formed "square %d must attach to a role diamond" id)
+      | Attr_domain_square a -> (
+        match get a with
+        | Attribute_circle _ -> ()
+        | _ -> ill_formed "square %d must attach to an attribute circle" id)
+      | Universal_square (r, _) | Cardinality_square (r, _, _) -> (
+        match get r with
+        | Role_diamond _ -> ()
+        | _ -> ill_formed "labelled square %d must attach to a role diamond" id)
+      | Concept_box _ | Role_diamond _ | Attribute_circle _ -> ())
+    d.elements;
+  List.iter
+    (fun { square; concept } ->
+      (match get square with
+       | Domain_square _ | Range_square _ | Universal_square _
+       | Cardinality_square _ -> ()
+       | _ -> ill_formed "scope must start at a domain/range square (%d)" square);
+      match get concept with
+      | Concept_box _ -> ()
+      | _ -> ill_formed "scope must end at a concept box (%d)" concept)
+    d.scopes;
+  List.iter
+    (fun { source; target; inverted; _ } ->
+      let sort id =
+        match get id with
+        | Concept_box _ | Domain_square _ | Range_square _ | Attr_domain_square _
+        | Universal_square _ | Cardinality_square _ -> `Concept
+        | Role_diamond _ -> `Role
+        | Attribute_circle _ -> `Attr
+      in
+      if sort source <> sort target then
+        ill_formed "inclusion edge %d -> %d crosses sorts" source target;
+      if inverted && sort source <> `Role then
+        ill_formed "inversion marker on non-role edge %d -> %d" source target)
+    d.inclusions
+
+(** [stats d] — element/edge counts for reporting. *)
+let stats d =
+  (List.length d.elements, List.length d.scopes, List.length d.inclusions)

@@ -1,0 +1,86 @@
+(** Graphviz DOT export of diagrams.
+
+    The symbol mapping follows Section 6: rectangles for concepts,
+    diamonds for roles, circles (ellipses) for attributes, white/black
+    squares for domain/range restrictions; inclusion edges are solid
+    arrows (crossed label when negated), scope edges are dotted and
+    undirected. *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let node_attrs = function
+  | Diagram.Concept_box a ->
+    Printf.sprintf "label=\"%s\", shape=box" (escape a)
+  | Diagram.Role_diamond p ->
+    Printf.sprintf "label=\"%s\", shape=diamond" (escape p)
+  | Diagram.Attribute_circle u ->
+    Printf.sprintf "label=\"%s\", shape=ellipse" (escape u)
+  | Diagram.Domain_square _ ->
+    "label=\"\", shape=square, width=0.18, height=0.18, style=filled, fillcolor=white"
+  | Diagram.Range_square _ ->
+    "label=\"\", shape=square, width=0.18, height=0.18, style=filled, fillcolor=black"
+  | Diagram.Attr_domain_square _ ->
+    "label=\"\", shape=square, width=0.18, height=0.18, style=filled, fillcolor=white"
+  | Diagram.Universal_square (_, range_side) ->
+    Printf.sprintf
+      "label=\"∀\", shape=square, width=0.22, height=0.22, style=filled, fillcolor=%s, fontcolor=%s"
+      (if range_side then "black" else "white")
+      (if range_side then "white" else "black")
+  | Diagram.Cardinality_square (_, range_side, n) ->
+    Printf.sprintf
+      "label=\"≥%d\", shape=square, width=0.22, height=0.22, style=filled, fillcolor=%s, fontcolor=%s"
+      n
+      (if range_side then "black" else "white")
+      (if range_side then "white" else "black")
+
+(** [render ?name d] is the DOT source of diagram [d]. *)
+let render ?(name = "ontology") d =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=BT;\n  node [fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun (id, e) ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" id (node_attrs e)))
+    d.Diagram.elements;
+  (* attachment edges: square to its diamond/circle *)
+  List.iter
+    (fun (id, e) ->
+      match e with
+      | Diagram.Domain_square r | Diagram.Range_square r
+      | Diagram.Attr_domain_square r
+      | Diagram.Universal_square (r, _)
+      | Diagram.Cardinality_square (r, _, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [dir=none, style=dotted];\n" id r)
+      | Diagram.Concept_box _ | Diagram.Role_diamond _ | Diagram.Attribute_circle _
+        -> ())
+    d.Diagram.elements;
+  (* scope edges *)
+  List.iter
+    (fun { Diagram.square; concept } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [dir=none, style=dotted];\n" square concept))
+    d.Diagram.scopes;
+  (* inclusion edges *)
+  List.iter
+    (fun { Diagram.source; target; negated; inverted } ->
+      let label =
+        match negated, inverted with
+        | true, true -> ", label=\"x,inv\""
+        | true, false -> ", label=\"x\""
+        | false, true -> ", label=\"inv\""
+        | false, false -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [style=solid%s];\n" source target label))
+    d.Diagram.inclusions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,262 @@
+(** Layered diagram layout and SVG rendering — the "static,
+    two-dimensional representation" of Section 6, rendered without
+    external tools.
+
+    A miniature Sugiyama pipeline:
+    1. rank assignment by longest path over the inclusion edges (so
+       subsumees sit below their subsumers, like a hierarchy drawing);
+    2. in-layer ordering by the barycenter heuristic, a few sweeps;
+    3. coordinate assignment on a fixed grid.
+
+    Squares and scope edges are placed next to the element they attach
+    to. *)
+
+type position = {
+  x : float;
+  y : float;
+}
+
+type layout = {
+  positions : (Diagram.element_id * position) list;
+  width : float;
+  height : float;
+}
+
+let node_width = 120.0
+let node_height = 40.0
+let h_gap = 40.0
+let v_gap = 70.0
+
+(* Edges that should influence the layering: inclusions (directed) and
+   attachments/scopes (undirected, kept close by the barycenter pass). *)
+let layering_edges d =
+  List.map (fun e -> (e.Diagram.source, e.Diagram.target)) d.Diagram.inclusions
+
+let neighbor_edges d =
+  List.filter_map
+    (fun (id, e) ->
+      match e with
+      | Diagram.Domain_square r | Diagram.Range_square r
+      | Diagram.Attr_domain_square r
+      | Diagram.Universal_square (r, _)
+      | Diagram.Cardinality_square (r, _, _) -> Some (id, r)
+      | Diagram.Concept_box _ | Diagram.Role_diamond _ | Diagram.Attribute_circle _
+        -> None)
+    d.Diagram.elements
+  @ List.map (fun s -> (s.Diagram.square, s.Diagram.concept)) d.Diagram.scopes
+
+(** [compute d] assigns a position to every element. *)
+let compute d =
+  let ids = List.map fst d.Diagram.elements in
+  let n = match List.fold_left max (-1) ids with m -> m + 1 in
+  if n = 0 then { positions = []; width = 0.; height = 0. }
+  else begin
+    (* 1. longest-path ranks over the inclusion DAG; cycles are broken
+       by ignoring edges that would increase a rank past n *)
+    let rank = Array.make n 0 in
+    let edges = layering_edges d in
+    let changed = ref true in
+    let guard = ref 0 in
+    while !changed && !guard <= n + 1 do
+      changed := false;
+      incr guard;
+      List.iter
+        (fun (u, v) ->
+          (* supers above: target rank > source rank *)
+          if rank.(v) < rank.(u) + 1 && rank.(u) + 1 < n + 1 && !guard <= n then begin
+            rank.(v) <- rank.(u) + 1;
+            changed := true
+          end)
+        edges
+    done;
+    (* squares share the rank of their attachment point *)
+    List.iter
+      (fun (sq, owner) -> if rank.(sq) = 0 then rank.(sq) <- rank.(owner))
+      (neighbor_edges d);
+    let max_rank = List.fold_left (fun m id -> max m rank.(id)) 0 ids in
+    (* 2. barycenter ordering, a few down-up sweeps *)
+    let layers = Array.make (max_rank + 1) [] in
+    List.iter (fun id -> layers.(rank.(id)) <- id :: layers.(rank.(id))) ids;
+    let order = Array.make n 0.0 in
+    Array.iteri
+      (fun _ layer -> List.iteri (fun i id -> order.(id) <- float_of_int i) layer)
+      layers;
+    let adjacency =
+      let adj = Array.make n [] in
+      List.iter
+        (fun (u, v) ->
+          adj.(u) <- v :: adj.(u);
+          adj.(v) <- u :: adj.(v))
+        (edges @ neighbor_edges d);
+      adj
+    in
+    for _sweep = 1 to 4 do
+      Array.iteri
+        (fun r layer ->
+          ignore r;
+          let keyed =
+            List.map
+              (fun id ->
+                let neighbors = adjacency.(id) in
+                let bary =
+                  match neighbors with
+                  | [] -> order.(id)
+                  | _ ->
+                    List.fold_left (fun acc v -> acc +. order.(v)) 0.0 neighbors
+                    /. float_of_int (List.length neighbors)
+                in
+                (bary, id))
+              layer
+          in
+          let sorted = List.sort compare keyed in
+          List.iteri (fun i (_, id) -> order.(id) <- float_of_int i) sorted;
+          layers.(r) <- List.map snd sorted)
+        layers
+    done;
+    (* 3. coordinates: rank 0 at the bottom *)
+    let positions =
+      List.map
+        (fun id ->
+          let x = (order.(id) *. (node_width +. h_gap)) +. (node_width /. 2.) in
+          let y =
+            (float_of_int (max_rank - rank.(id)) *. (node_height +. v_gap))
+            +. (node_height /. 2.)
+          in
+          (id, { x; y }))
+        ids
+    in
+    let width =
+      List.fold_left (fun m (_, p) -> Float.max m (p.x +. node_width)) 0. positions
+    in
+    let height =
+      List.fold_left (fun m (_, p) -> Float.max m (p.y +. node_height)) 0. positions
+    in
+    { positions; width; height }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* SVG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let xml_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let shape_svg e p =
+  let cx, cy = (p.x, p.y) in
+  match e with
+  | Diagram.Concept_box a ->
+    Printf.sprintf
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"white\" \
+       stroke=\"black\"/><text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+       dominant-baseline=\"middle\" font-size=\"12\">%s</text>"
+      (cx -. (node_width /. 2.)) (cy -. (node_height /. 2.)) node_width node_height
+      cx cy (xml_escape a)
+  | Diagram.Role_diamond pn ->
+    Printf.sprintf
+      "<polygon points=\"%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f\" fill=\"white\" \
+       stroke=\"black\"/><text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+       dominant-baseline=\"middle\" font-size=\"11\">%s</text>"
+      cx (cy -. 24.) (cx +. 60.) cy cx (cy +. 24.) (cx -. 60.) cy cx cy
+      (xml_escape pn)
+  | Diagram.Attribute_circle u ->
+    Printf.sprintf
+      "<ellipse cx=\"%.1f\" cy=\"%.1f\" rx=\"50\" ry=\"20\" fill=\"white\" \
+       stroke=\"black\"/><text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+       dominant-baseline=\"middle\" font-size=\"11\">%s</text>"
+      cx cy cx cy (xml_escape u)
+  | Diagram.Domain_square _ | Diagram.Attr_domain_square _ ->
+    Printf.sprintf
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"14\" height=\"14\" fill=\"white\" \
+       stroke=\"black\"/>"
+      (cx -. 7.) (cy -. 7.)
+  | Diagram.Universal_square (_, range_side) ->
+    Printf.sprintf
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"16\" height=\"16\" fill=\"%s\" \
+       stroke=\"black\"/><text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+       dominant-baseline=\"middle\" font-size=\"10\" fill=\"%s\">&#8704;</text>"
+      (cx -. 8.) (cy -. 8.)
+      (if range_side then "black" else "white")
+      cx cy
+      (if range_side then "white" else "black")
+  | Diagram.Cardinality_square (_, range_side, n) ->
+    Printf.sprintf
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"16\" height=\"16\" fill=\"%s\" \
+       stroke=\"black\"/><text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" \
+       dominant-baseline=\"middle\" font-size=\"9\" fill=\"%s\">&#8805;%d</text>"
+      (cx -. 8.) (cy -. 8.)
+      (if range_side then "black" else "white")
+      cx cy
+      (if range_side then "white" else "black")
+      n
+  | Diagram.Range_square _ ->
+    Printf.sprintf
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"14\" height=\"14\" fill=\"black\" \
+       stroke=\"black\"/>"
+      (cx -. 7.) (cy -. 7.)
+
+(** [to_svg d] lays out and renders the diagram as an SVG document. *)
+let to_svg d =
+  let l = compute d in
+  let pos id = List.assoc id l.positions in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+        viewBox=\"0 0 %.0f %.0f\">\n"
+       (l.width +. 20.) (l.height +. 20.) (l.width +. 20.) (l.height +. 20.));
+  Buffer.add_string buf
+    "<defs><marker id=\"arrow\" markerWidth=\"10\" markerHeight=\"8\" refX=\"9\" \
+     refY=\"4\" orient=\"auto\"><path d=\"M0,0 L10,4 L0,8 z\"/></marker></defs>\n";
+  let line ?(dotted = false) ?(arrow = false) ?(label = "") a b =
+    let pa = pos a and pb = pos b in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"%s%s/>\n"
+         pa.x pa.y pb.x pb.y
+         (if dotted then " stroke-dasharray=\"4,3\"" else "")
+         (if arrow then " marker-end=\"url(#arrow)\"" else ""));
+    if label <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"crimson\">%s</text>\n"
+           ((pa.x +. pb.x) /. 2.) ((pa.y +. pb.y) /. 2.) (xml_escape label))
+  in
+  (* edges under nodes *)
+  List.iter
+    (fun (id, e) ->
+      match e with
+      | Diagram.Domain_square r | Diagram.Range_square r
+      | Diagram.Attr_domain_square r
+      | Diagram.Universal_square (r, _)
+      | Diagram.Cardinality_square (r, _, _) -> line ~dotted:true id r
+      | Diagram.Concept_box _ | Diagram.Role_diamond _ | Diagram.Attribute_circle _
+        -> ())
+    d.Diagram.elements;
+  List.iter
+    (fun s -> line ~dotted:true s.Diagram.square s.Diagram.concept)
+    d.Diagram.scopes;
+  List.iter
+    (fun e ->
+      let label =
+        match e.Diagram.negated, e.Diagram.inverted with
+        | true, true -> "x,inv"
+        | true, false -> "x"
+        | false, true -> "inv"
+        | false, false -> ""
+      in
+      line ~arrow:true ~label e.Diagram.source e.Diagram.target)
+    d.Diagram.inclusions;
+  List.iter
+    (fun (id, e) -> Buffer.add_string buf (shape_svg e (pos id) ^ "\n"))
+    d.Diagram.elements;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,145 @@
+(** Two-dimensional modularization of ontologies (Section 6,
+    "Scalability and modularization"):
+
+    - *horizontal*: "dividing the ontology into separate domains" — we
+      partition the signature by connected components of the axiom
+      co-occurrence graph, or by an explicit domain assignment;
+    - *vertical*: "singling out particularly complex areas of a domain
+      and proposing various representations, each of growing detail" —
+      detail levels filter which axiom kinds a diagram shows.
+
+    Each module is itself a TBox, so every view re-enters the
+    [Translate]/[Layout] pipeline unchanged. *)
+
+open Dllite
+
+(* ------------------------------------------------------------------ *)
+(* Horizontal modularization                                           *)
+(* ------------------------------------------------------------------ *)
+
+type horizontal_module = {
+  name : string;
+  tbox : Tbox.t;
+}
+
+(* Union-find over signature symbols, keyed by sort-tagged names. *)
+let key_of_expr = function
+  | Syntax.E_concept (Syntax.Atomic a) -> "c:" ^ a
+  | Syntax.E_role q -> "r:" ^ Syntax.role_name q
+  | Syntax.E_attr u -> "a:" ^ u
+  | Syntax.E_concept (Syntax.Exists q) -> "r:" ^ Syntax.role_name q
+  | Syntax.E_concept (Syntax.Attr_domain u) -> "a:" ^ u
+
+let axiom_symbols ax =
+  let s = Signature.of_axiom ax in
+  List.map (fun a -> "c:" ^ a) (Signature.concepts s)
+  @ List.map (fun p -> "r:" ^ p) (Signature.roles s)
+  @ List.map (fun u -> "a:" ^ u) (Signature.attributes s)
+
+(** [horizontal tbox] partitions [tbox] into its connected components:
+    two axioms land in the same module iff they (transitively) share
+    vocabulary.  Module names are derived from the lexicographically
+    smallest concept of the component. *)
+let horizontal tbox =
+  let parent = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some "" -> x
+    | Some p when p = x -> x
+    | Some p ->
+      let root = find p in
+      Hashtbl.replace parent x root;
+      root
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then Hashtbl.replace parent rx ry
+  in
+  List.iter
+    (fun ax ->
+      match axiom_symbols ax with
+      | [] -> ()
+      | first :: rest -> List.iter (fun s -> union first s) rest)
+    (Tbox.axioms tbox);
+  (* group axioms by representative *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun ax ->
+      match axiom_symbols ax with
+      | [] -> ()
+      | s :: _ ->
+        let r = find s in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+        Hashtbl.replace groups r (ax :: prev))
+    (Tbox.axioms tbox);
+  Hashtbl.fold
+    (fun _ axioms acc ->
+      let tbox = Tbox.of_axioms (List.rev axioms) in
+      let name =
+        match Signature.concepts (Tbox.signature tbox) with
+        | c :: _ -> c
+        | [] -> (
+          match Signature.roles (Tbox.signature tbox) with
+          | r :: _ -> r
+          | [] -> "module")
+      in
+      { name; tbox } :: acc)
+    groups []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+(** [by_domains assignment tbox] — explicit horizontal modularization:
+    [assignment] maps concept names to domain labels; an axiom goes to
+    the domain of its first labelled concept, unlabelled axioms to
+    ["shared"]. *)
+let by_domains assignment tbox =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun ax ->
+      let s = Signature.of_axiom ax in
+      let domain =
+        List.find_map (fun c -> List.assoc_opt c assignment) (Signature.concepts s)
+        |> Option.value ~default:"shared"
+      in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups domain) in
+      Hashtbl.replace groups domain (ax :: prev))
+    (Tbox.axioms tbox);
+  Hashtbl.fold
+    (fun name axioms acc -> { name; tbox = Tbox.of_axioms (List.rev axioms) } :: acc)
+    groups []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+(* ------------------------------------------------------------------ *)
+(* Vertical modularization (detail levels)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Detail levels, "each of growing detail". *)
+type detail =
+  | Taxonomy       (** level 0: concept name hierarchy only *)
+  | With_roles     (** level 1: + role/attribute hierarchies & typings *)
+  | Full           (** level 2: everything, incl. disjointness and
+                       qualified existentials *)
+
+let level_keeps detail ax =
+  match detail, ax with
+  | Taxonomy, Syntax.Concept_incl (Syntax.Atomic _, Syntax.C_basic (Syntax.Atomic _))
+    -> true
+  | Taxonomy, _ -> false
+  | With_roles, Syntax.Concept_incl (_, Syntax.C_basic _) -> true
+  | With_roles, Syntax.Role_incl (_, Syntax.R_role _) -> true
+  | With_roles, Syntax.Attr_incl (_, Syntax.A_attr _) -> true
+  | With_roles, _ -> false
+  | Full, _ -> true
+
+(** [vertical detail tbox] filters the TBox to the axioms visible at the
+    given detail level (signature is kept in full — the vocabulary is
+    part of the "most abstract" view). *)
+let vertical detail tbox =
+  Tbox.filter (level_keeps detail) tbox
+
+(** [views tbox] — the standard three-level vertical stack. *)
+let views tbox =
+  [
+    ("taxonomy", vertical Taxonomy tbox);
+    ("roles", vertical With_roles tbox);
+    ("full", vertical Full tbox);
+  ]

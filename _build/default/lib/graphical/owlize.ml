@@ -1,0 +1,164 @@
+(** The OWL extension of the graphical language (Section 6: "a natural
+    evolution to this process is the expansion of the language to OWL,
+    by utilizing the same graphical symbols ... and by modeling
+    different property restrictions such as cardinality and universality
+    by using labels on the domain and range squares").
+
+    OWL-extended diagrams reuse every DL-Lite symbol and add the
+    labelled squares of {!Diagram.Universal_square} and
+    {!Diagram.Cardinality_square}.  Translation targets the ALCHI
+    fragment ({!Owlfrag.Osyntax}); cardinality labels beyond [≥ 1] are
+    outside ALCHI and are rejected with a precise message — exactly the
+    loss the approximation pipeline (Section 7) then deals with. *)
+
+module O = Owlfrag.Osyntax
+
+exception Untranslatable of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Untranslatable m)) fmt
+
+let role_of d id =
+  match Diagram.element d id with
+  | Some (Diagram.Role_diamond p) -> O.Named p
+  | _ -> fail "element %d is not a role diamond" id
+
+let scope_of d id =
+  List.find_map
+    (fun s -> if s.Diagram.square = id then Some s.Diagram.concept else None)
+    d.Diagram.scopes
+
+let scope_concept d id =
+  match scope_of d id with
+  | None -> O.Top
+  | Some cid -> (
+    match Diagram.element d cid with
+    | Some (Diagram.Concept_box a) -> O.Name a
+    | _ -> fail "scope of square %d is not a concept box" id)
+
+(* The ALCHI concept denoted by an element (as either side of an edge). *)
+let concept_of d id =
+  match Diagram.element d id with
+  | Some (Diagram.Concept_box a) -> O.Name a
+  | Some (Diagram.Domain_square r) ->
+    O.Some_ (role_of d r, scope_concept d id)
+  | Some (Diagram.Range_square r) ->
+    O.Some_ (O.role_inv (role_of d r), scope_concept d id)
+  | Some (Diagram.Universal_square (r, range_side)) ->
+    let role = if range_side then O.role_inv (role_of d r) else role_of d r in
+    O.All (role, scope_concept d id)
+  | Some (Diagram.Cardinality_square (r, range_side, n)) ->
+    if n = 1 then
+      let role = if range_side then O.role_inv (role_of d r) else role_of d r in
+      O.Some_ (role, scope_concept d id)
+    else
+      fail "cardinality label >= %d on square %d is beyond the ALCHI target" n id
+  | Some (Diagram.Attr_domain_square a) -> (
+    match Diagram.element d a with
+    | Some (Diagram.Attribute_circle u) ->
+      O.Some_ (O.Named (Owlfrag.Embed.attr_prefix ^ u), O.Top)
+    | _ -> fail "square %d not attached to an attribute" id)
+  | Some (Diagram.Role_diamond _ | Diagram.Attribute_circle _) ->
+    fail "element %d is not of concept sort" id
+  | None -> fail "dangling element %d" id
+
+(** [to_owl d] reads an OWL-extended diagram as an ALCHI TBox. *)
+let to_owl d =
+  Diagram.validate d;
+  List.map
+    (fun { Diagram.source; target; negated; inverted } ->
+      match Diagram.element d source, Diagram.element d target with
+      | Some (Diagram.Role_diamond p), Some (Diagram.Role_diamond q) ->
+        let rhs = if inverted then O.Inv q else O.Named q in
+        if negated then O.Role_disjoint (O.Named p, rhs)
+        else O.Role_sub (O.Named p, rhs)
+      | Some (Diagram.Attribute_circle u), Some (Diagram.Attribute_circle v) ->
+        let ru = O.Named (Owlfrag.Embed.attr_prefix ^ u) in
+        let rv = O.Named (Owlfrag.Embed.attr_prefix ^ v) in
+        if negated then O.Role_disjoint (ru, rv) else O.Role_sub (ru, rv)
+      | Some _, Some _ ->
+        let lhs = concept_of d source in
+        let rhs = concept_of d target in
+        O.Sub (lhs, if negated then O.Not rhs else rhs)
+      | None, _ | _, None -> fail "dangling inclusion edge")
+    d.Diagram.inclusions
+
+(* ------------------------------------------------------------------ *)
+(* OWL -> diagram (the supported fragment)                             *)
+(* ------------------------------------------------------------------ *)
+
+let element_of_concept b c =
+  let qualify square = function
+    | O.Top -> ()
+    | O.Name a -> Diagram.scope b ~square ~concept:(Diagram.concept b a)
+    | other ->
+      fail "filler %s is not drawable (atomic fillers only)"
+        (Format.asprintf "%a" O.pp_concept other)
+  in
+  match c with
+  | O.Name a -> Diagram.concept b a
+  | O.Some_ (O.Named p, filler) ->
+    let square = Diagram.add_element b (Diagram.Domain_square (Diagram.role b p)) in
+    qualify square filler;
+    square
+  | O.Some_ (O.Inv p, filler) ->
+    let square = Diagram.add_element b (Diagram.Range_square (Diagram.role b p)) in
+    qualify square filler;
+    square
+  | O.All (O.Named p, filler) ->
+    let square =
+      Diagram.add_element b (Diagram.Universal_square (Diagram.role b p, false))
+    in
+    qualify square filler;
+    square
+  | O.All (O.Inv p, filler) ->
+    let square =
+      Diagram.add_element b (Diagram.Universal_square (Diagram.role b p, true))
+    in
+    qualify square filler;
+    square
+  | other ->
+    fail "concept %s is not drawable in the graphical language"
+      (Format.asprintf "%a" O.pp_concept other)
+
+(** [of_owl tbox] draws the supported ALCHI fragment: [Sub]/[Equiv] with
+    drawable sides (names, qualified ∃/∀), role axioms, and negated
+    right-hand sides as crossed edges. *)
+let of_owl (tbox : O.tbox) =
+  let b = Diagram.builder () in
+  let draw_sub lhs rhs =
+    let negated, rhs =
+      match rhs with O.Not c -> (true, c) | c -> (false, c)
+    in
+    let source = element_of_concept b lhs in
+    let target = element_of_concept b rhs in
+    Diagram.include_ ~negated b ~source ~target
+  in
+  List.iter
+    (fun ax ->
+      match ax with
+      | O.Sub (lhs, rhs) -> draw_sub lhs rhs
+      | O.Equiv (lhs, rhs) ->
+        draw_sub lhs rhs;
+        draw_sub rhs lhs
+      | O.Role_sub (O.Named p, O.Named q) ->
+        Diagram.include_ b ~source:(Diagram.role b p) ~target:(Diagram.role b q)
+      | O.Role_sub (O.Named p, O.Inv q) ->
+        Diagram.include_ ~inverted:true b ~source:(Diagram.role b p)
+          ~target:(Diagram.role b q)
+      | O.Role_sub (O.Inv p, q) ->
+        (* normalize: P⁻ ⊑ Q iff P ⊑ Q⁻ *)
+        let inverted = match q with O.Named _ -> true | O.Inv _ -> false in
+        let base = O.role_base q in
+        Diagram.include_ ~inverted b ~source:(Diagram.role b p)
+          ~target:(Diagram.role b base)
+      | O.Role_disjoint (p, q) ->
+        let inverted =
+          match p, q with
+          | O.Named _, O.Inv _ | O.Inv _, O.Named _ -> true
+          | _ -> false
+        in
+        Diagram.include_ ~negated:true ~inverted b
+          ~source:(Diagram.role b (O.role_base p))
+          ~target:(Diagram.role b (O.role_base q)))
+    tbox;
+  Diagram.finish b

@@ -1,0 +1,219 @@
+(** Translation between diagrams and DL-Lite TBoxes — step (ii) of the
+    Section 3 workflow: "translation of this graphical formalization of
+    the ontology into a set of processable logical axioms, through an
+    automated tool".
+
+    The two directions are inverse up to normalization: [to_tbox
+    (of_tbox t)] re-derives exactly the axioms of [t] (property-tested).
+
+    Figure 2 is the canonical example: a white square on [isPartOf]
+    scoped to [State] with an incoming inclusion edge from [County]
+    reads as [County ⊑ ∃isPartOf.State]; the black square scoped to
+    [County] with the edge from [State] reads as
+    [State ⊑ ∃isPartOf⁻.County]. *)
+
+open Dllite
+
+exception Untranslatable of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Untranslatable m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Diagram -> TBox                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The basic concept denoted by an element used as an inclusion side. *)
+let basic_of_element d id =
+  match Diagram.element d id with
+  | Some (Diagram.Concept_box a) -> Syntax.Atomic a
+  | Some (Diagram.Domain_square r) -> (
+    match Diagram.element d r with
+    | Some (Diagram.Role_diamond p) -> Syntax.Exists (Syntax.Direct p)
+    | _ -> fail "square %d not attached to a role" id)
+  | Some (Diagram.Range_square r) -> (
+    match Diagram.element d r with
+    | Some (Diagram.Role_diamond p) -> Syntax.Exists (Syntax.Inverse p)
+    | _ -> fail "square %d not attached to a role" id)
+  | Some (Diagram.Attr_domain_square a) -> (
+    match Diagram.element d a with
+    | Some (Diagram.Attribute_circle u) -> Syntax.Attr_domain u
+    | _ -> fail "square %d not attached to an attribute" id)
+  | Some (Diagram.Universal_square _ | Diagram.Cardinality_square _) ->
+    fail
+      "element %d uses the OWL extension (universality/cardinality labels); use \
+       Owlize for OWL-extended diagrams"
+      id
+  | Some (Diagram.Role_diamond _ | Diagram.Attribute_circle _) ->
+    fail "element %d is not of concept sort" id
+  | None -> fail "dangling element %d" id
+
+(* Qualification of a square, if any. *)
+let scope_of d id =
+  List.find_map
+    (fun s -> if s.Diagram.square = id then Some s.Diagram.concept else None)
+    d.Diagram.scopes
+
+(** [to_tbox d] reads the diagram as a set of DL-Lite axioms.
+    @raise Untranslatable on ill-formed structure (call
+    [Diagram.validate] first for a cleaner error). *)
+let to_tbox d =
+  Diagram.validate d;
+  let axioms =
+    List.map
+      (fun { Diagram.source; target; negated; inverted } ->
+        match Diagram.element d source, Diagram.element d target with
+        | Some (Diagram.Role_diamond p), Some (Diagram.Role_diamond q) ->
+          let rhs_role = if inverted then Syntax.Inverse q else Syntax.Direct q in
+          Syntax.Role_incl
+            ( Syntax.Direct p,
+              if negated then Syntax.R_neg rhs_role else Syntax.R_role rhs_role )
+        | Some (Diagram.Attribute_circle u), Some (Diagram.Attribute_circle v) ->
+          Syntax.Attr_incl (u, if negated then Syntax.A_neg v else Syntax.A_attr v)
+        | Some _, Some _ ->
+          let b1 = basic_of_element d source in
+          (* a scoped square as *target* of a positive edge is a
+             qualified existential; everywhere else squares denote their
+             unqualified basic concept *)
+          let rhs =
+            match Diagram.element d target, negated with
+            | Some (Diagram.Domain_square r), false -> (
+              match scope_of d target, Diagram.element d r with
+              | Some cid, Some (Diagram.Role_diamond p) -> (
+                match Diagram.element d cid with
+                | Some (Diagram.Concept_box a) ->
+                  Syntax.C_exists_qual (Syntax.Direct p, a)
+                | _ -> fail "scope of square %d is not a concept box" target)
+              | None, _ -> Syntax.C_basic (basic_of_element d target)
+              | _ -> fail "square %d not attached to a role" target)
+            | Some (Diagram.Range_square r), false -> (
+              match scope_of d target, Diagram.element d r with
+              | Some cid, Some (Diagram.Role_diamond p) -> (
+                match Diagram.element d cid with
+                | Some (Diagram.Concept_box a) ->
+                  Syntax.C_exists_qual (Syntax.Inverse p, a)
+                | _ -> fail "scope of square %d is not a concept box" target)
+              | None, _ -> Syntax.C_basic (basic_of_element d target)
+              | _ -> fail "square %d not attached to a role" target)
+            | _, false -> Syntax.C_basic (basic_of_element d target)
+            | _, true -> Syntax.C_neg (basic_of_element d target)
+          in
+          Syntax.Concept_incl (b1, rhs)
+        | None, _ | _, None -> fail "dangling inclusion edge")
+      d.Diagram.inclusions
+  in
+  (* the diagram also declares its vocabulary *)
+  let signature =
+    List.fold_left
+      (fun s (_, e) ->
+        match e with
+        | Diagram.Concept_box a -> Signature.add_concept a s
+        | Diagram.Role_diamond p -> Signature.add_role p s
+        | Diagram.Attribute_circle u -> Signature.add_attribute u s
+        | Diagram.Domain_square _ | Diagram.Range_square _
+        | Diagram.Attr_domain_square _ | Diagram.Universal_square _
+        | Diagram.Cardinality_square _ -> s)
+      Signature.empty d.Diagram.elements
+  in
+  Tbox.of_axioms ~signature axioms
+
+(* ------------------------------------------------------------------ *)
+(* TBox -> Diagram                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let element_of_basic b builder =
+  match b with
+  | Syntax.Atomic a -> Diagram.concept builder a
+  | Syntax.Exists (Syntax.Direct p) ->
+    Diagram.domain_square builder (Diagram.role builder p)
+  | Syntax.Exists (Syntax.Inverse p) ->
+    Diagram.range_square builder (Diagram.role builder p)
+  | Syntax.Attr_domain u ->
+    Diagram.attr_domain_square builder (Diagram.attribute builder u)
+
+(** [of_tbox t] renders a TBox as a diagram.
+
+    Qualified existentials need care: the scope (dotted edge) hangs off
+    the square, so two axioms [B1 ⊑ ∃P.A1] and [B2 ⊑ ∃P.A2] with
+    [A1 ≠ A2] cannot share the [∃P] square.  We emit one *fresh* square
+    per distinct qualification, mirroring how the visual language draws
+    one restriction symbol per assertion (cf. Figure 2, where the white
+    and black squares of [isPartOf] each carry their own dotted edge). *)
+let of_tbox t =
+  let b = Diagram.builder () in
+  (* declare the vocabulary first: diagrams show the whole signature *)
+  let signature = Tbox.signature t in
+  List.iter (fun a -> ignore (Diagram.concept b a)) (Signature.concepts signature);
+  List.iter (fun p -> ignore (Diagram.role b p)) (Signature.roles signature);
+  List.iter (fun u -> ignore (Diagram.attribute b u)) (Signature.attributes signature);
+  let qualified_square q a =
+    (* fresh square + scope per qualified existential *)
+    let role_id = Diagram.role b (Syntax.role_name q) in
+    let square =
+      match q with
+      | Syntax.Direct _ -> Diagram.add_element b (Diagram.Domain_square role_id)
+      | Syntax.Inverse _ -> Diagram.add_element b (Diagram.Range_square role_id)
+    in
+    Diagram.scope b ~square ~concept:(Diagram.concept b a);
+    square
+  in
+  List.iter
+    (fun ax ->
+      match ax with
+      | Syntax.Concept_incl (b1, rhs) ->
+        let source = element_of_basic b1 b in
+        (match rhs with
+         | Syntax.C_basic b2 ->
+           Diagram.include_ b ~source ~target:(element_of_basic b2 b)
+         | Syntax.C_neg b2 ->
+           Diagram.include_ ~negated:true b ~source ~target:(element_of_basic b2 b)
+         | Syntax.C_exists_qual (q, a) ->
+           Diagram.include_ b ~source ~target:(qualified_square q a))
+      | Syntax.Role_incl (q1, rhs) ->
+        (* the visual language draws role inclusion between diamonds;
+           inclusions with an inverse on the left are normalized to the
+           direct form first ([Q1⁻ ⊑ Q2] iff [Q1 ⊑ Q2⁻]), and a
+           remaining right-hand inverse becomes the inversion marker *)
+        let p1, rhs =
+          match q1, rhs with
+          | Syntax.Direct p1, rhs -> (p1, rhs)
+          | Syntax.Inverse p1, Syntax.R_role q2 ->
+            (p1, Syntax.R_role (Syntax.role_inverse q2))
+          | Syntax.Inverse p1, Syntax.R_neg q2 ->
+            (p1, Syntax.R_neg (Syntax.role_inverse q2))
+        in
+        (match rhs with
+         | Syntax.R_role (Syntax.Direct p2) ->
+           Diagram.include_ b ~source:(Diagram.role b p1) ~target:(Diagram.role b p2)
+         | Syntax.R_neg (Syntax.Direct p2) ->
+           Diagram.include_ ~negated:true b ~source:(Diagram.role b p1)
+             ~target:(Diagram.role b p2)
+         | Syntax.R_role (Syntax.Inverse p2) ->
+           Diagram.include_ ~inverted:true b ~source:(Diagram.role b p1)
+             ~target:(Diagram.role b p2)
+         | Syntax.R_neg (Syntax.Inverse p2) ->
+           Diagram.include_ ~negated:true ~inverted:true b
+             ~source:(Diagram.role b p1) ~target:(Diagram.role b p2))
+      | Syntax.Attr_incl (u1, rhs) ->
+        (match rhs with
+         | Syntax.A_attr u2 ->
+           Diagram.include_ b ~source:(Diagram.attribute b u1)
+             ~target:(Diagram.attribute b u2)
+         | Syntax.A_neg u2 ->
+           Diagram.include_ ~negated:true b ~source:(Diagram.attribute b u1)
+             ~target:(Diagram.attribute b u2)))
+    (Tbox.axioms t);
+  Diagram.finish b
+
+(** [figure2 ()] — the literal diagram of Figure 2 of the paper. *)
+let figure2 () =
+  let b = Diagram.builder () in
+  let county = Diagram.concept b "County" in
+  let state = Diagram.concept b "State" in
+  let is_part_of = Diagram.role b "isPartOf" in
+  let white = Diagram.add_element b (Diagram.Domain_square is_part_of) in
+  let black = Diagram.add_element b (Diagram.Range_square is_part_of) in
+  Diagram.scope b ~square:white ~concept:state;
+  Diagram.scope b ~square:black ~concept:county;
+  Diagram.include_ b ~source:county ~target:white;
+  Diagram.include_ b ~source:state ~target:black;
+  Diagram.finish b

@@ -1,0 +1,1 @@
+lib/obda/chase.pp.ml: Abox Cq Dllite Hashtbl List Option Printf Set Stdlib String Syntax Tbox Vabox

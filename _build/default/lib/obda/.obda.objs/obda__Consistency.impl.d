@@ -1,0 +1,1 @@
+lib/obda/consistency.pp.ml: Cq Dllite List Option Rewrite Syntax Tbox Vabox

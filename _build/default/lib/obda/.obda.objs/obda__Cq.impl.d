@@ -1,0 +1,1 @@
+lib/obda/cq.pp.ml: Array Format Hashtbl List Map Option Ppx_deriving_runtime Printf String

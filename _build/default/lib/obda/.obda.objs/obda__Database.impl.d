@@ -1,0 +1,1 @@
+lib/obda/database.pp.ml: Format Hashtbl List Printf String

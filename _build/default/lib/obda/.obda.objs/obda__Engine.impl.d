@@ -1,0 +1,1 @@
+lib/obda/engine.pp.ml: Abox Consistency Constraints Cq Database Dllite Integrity List Logs Mapping Quonto Rewrite Tbox Vabox

@@ -1,0 +1,1 @@
+lib/obda/integrity.pp.ml: Constraints Dllite Format Hashtbl List Option Printf String Syntax Vabox

@@ -1,0 +1,1 @@
+lib/obda/mapping.pp.ml: Abox Cq Database Dllite List Printf String Vabox

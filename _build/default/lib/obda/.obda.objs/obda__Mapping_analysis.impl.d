@@ -1,0 +1,1 @@
+lib/obda/mapping_analysis.pp.ml: Cq Dllite Format List Mapping Quonto Signature Syntax Tbox

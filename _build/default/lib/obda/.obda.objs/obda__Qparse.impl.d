@@ -1,0 +1,1 @@
+lib/obda/qparse.pp.ml: Buffer Cq Database Dllite Format Fun List Mapping Signature String Vabox

@@ -1,0 +1,1 @@
+lib/obda/rewrite.pp.ml: Array Cq Dllite Hashtbl List Logs Option Printf Queue Quonto Set Signature String Syntax Tbox Vabox

@@ -1,0 +1,1 @@
+lib/obda/sql.pp.ml: Buffer Cq Database Hashtbl List Printf String

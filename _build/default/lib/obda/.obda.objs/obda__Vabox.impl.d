@@ -1,0 +1,1 @@
+lib/obda/vabox.pp.ml: Abox Cq Dllite Hashtbl List Option Syntax

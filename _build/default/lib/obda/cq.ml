@@ -1,0 +1,316 @@
+(** Conjunctive queries and unions thereof.
+
+    One query language serves two levels: queries over the *ontology*
+    vocabulary (concept/role/attribute atoms) and queries over the
+    *database* schema after mapping unfolding — atoms are just predicate
+    names with a term list, and the evaluator runs over any fact source.
+
+    Terms are variables or constants; the classic "unbound" (non-join,
+    non-answer) variable of the DL-Lite rewriting literature is any
+    variable that occurs exactly once in the query and is not an answer
+    variable. *)
+
+type term =
+  | Var of string
+  | Const of string
+[@@deriving eq, ord, show { with_path = false }]
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+type t = {
+  answer_vars : string list;  (** distinguished variables, in output order *)
+  body : atom list;
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+(** A union of conjunctive queries; all disjuncts must share the
+    answer-variable arity. *)
+type ucq = t list
+
+let atom pred args = { pred; args }
+
+(** [make answer_vars body] builds a query after sanity checks: answer
+    variables must occur in the body. *)
+let make answer_vars body =
+  let occurs v =
+    List.exists (fun a -> List.exists (equal_term (Var v)) a.args) body
+  in
+  List.iter
+    (fun v ->
+      if not (occurs v) then
+        invalid_arg (Printf.sprintf "Cq.make: answer variable %s not in body" v))
+    answer_vars;
+  { answer_vars; body }
+
+(** [vars q] is the list of distinct variables of [q], body order. *)
+let vars q =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (function
+          | Var v ->
+            if not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v ();
+              acc := v :: !acc
+            end
+          | Const _ -> ())
+        a.args)
+    q.body;
+  List.rev !acc
+
+(** [occurrences q v] counts how many argument positions hold [v]. *)
+let occurrences q v =
+  List.fold_left
+    (fun n a ->
+      n + List.length (List.filter (equal_term (Var v)) a.args))
+    0 q.body
+
+(** [is_bound q v] — bound variables are answer variables and join
+    variables (occurring more than once); everything else is "unbound"
+    in the PerfectRef sense. *)
+let is_bound q v = List.mem v q.answer_vars || occurrences q v > 1
+
+(* ------------------------------------------------------------------ *)
+(* Substitutions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Subst = Map.Make (String)
+
+let apply_term subst = function
+  | Var v as t -> (match Subst.find_opt v subst with Some t' -> t' | None -> t)
+  | Const _ as t -> t
+
+let apply_atom subst a = { a with args = List.map (apply_term subst) a.args }
+
+let apply subst q =
+  {
+    answer_vars = q.answer_vars;  (* answer vars are never substituted away here *)
+    body = List.map (apply_atom subst) q.body;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphisms and containment                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Extend [subst] so that [apply_term subst t1 = t2]; [None] on clash. *)
+let match_term subst t1 t2 =
+  match t1 with
+  | Const c1 -> (match t2 with Const c2 when c1 = c2 -> Some subst | _ -> None)
+  | Var v -> (
+    match Subst.find_opt v subst with
+    | Some t when equal_term t t2 -> Some subst
+    | Some _ -> None
+    | None -> Some (Subst.add v t2 subst))
+
+let match_atom subst a1 a2 =
+  if a1.pred <> a2.pred || List.length a1.args <> List.length a2.args then None
+  else
+    List.fold_left2
+      (fun acc t1 t2 -> match acc with None -> None | Some s -> match_term s t1 t2)
+      (Some subst) a1.args a2.args
+
+(** [homomorphism q1 q2] finds a homomorphism from [q1]'s body into
+    [q2]'s body that maps [q1]'s answer tuple onto [q2]'s answer tuple —
+    the witness for [q2 ⊆ q1] once [q2] is frozen. *)
+let homomorphism q1 q2 =
+  if List.length q1.answer_vars <> List.length q2.answer_vars then None
+  else
+    let init =
+      List.fold_left2
+        (fun s v1 v2 -> Subst.add v1 (Var v2) s)
+        Subst.empty q1.answer_vars q2.answer_vars
+    in
+    let rec go subst = function
+      | [] -> Some subst
+      | a :: rest ->
+        List.find_map
+          (fun b ->
+            match match_atom subst a b with
+            | Some subst' -> go subst' rest
+            | None -> None)
+          q2.body
+    in
+    go init q1.body
+
+(** [contains q1 q2] — [q2 ⊆ q1] as queries (every answer of [q2] is an
+    answer of [q1]), decided by homomorphism from [q1] into [q2] with
+    [q2]'s variables frozen as constants. *)
+let contains q1 q2 =
+  let freeze q =
+    let fv = List.map (fun v -> (v, Const ("?" ^ v))) (vars q) in
+    let subst = List.fold_left (fun s (v, t) -> Subst.add v t s) Subst.empty fv in
+    {
+      answer_vars = [];
+      body = List.map (apply_atom subst) q.body;
+    }
+  in
+  let frozen = freeze q2 in
+  (* answer-variable correspondence: map q1's answer vars to q2's frozen
+     answer terms *)
+  if List.length q1.answer_vars <> List.length q2.answer_vars then false
+  else
+    let init =
+      List.fold_left2
+        (fun s v1 v2 -> Subst.add v1 (Const ("?" ^ v2)) s)
+        Subst.empty q1.answer_vars q2.answer_vars
+    in
+    let rec go subst = function
+      | [] -> true
+      | a :: rest ->
+        List.exists
+          (fun b ->
+            match match_atom subst a b with
+            | Some subst' -> go subst' rest
+            | None -> false)
+          frozen.body
+    in
+    go init q1.body
+
+(** [minimize_ucq ucq] removes disjuncts contained in another disjunct
+    (keeping the first of two equivalent ones) — the standard final step
+    of PerfectRef, without which rewritings explode. *)
+let minimize_ucq ucq =
+  let arr = Array.of_list ucq in
+  let n = Array.length arr in
+  let dropped = Array.make n false in
+  for i = 0 to n - 1 do
+    let redundant =
+      (* an earlier kept disjunct already covers i (this also picks one
+         representative of each equivalence class) ... *)
+      (let found = ref false in
+       for j = 0 to i - 1 do
+         if (not !found) && (not dropped.(j)) && contains arr.(j) arr.(i) then
+           found := true
+       done;
+       !found)
+      ||
+      (* ... or a later disjunct covers i strictly *)
+      let found = ref false in
+      for j = i + 1 to n - 1 do
+        if (not !found) && contains arr.(j) arr.(i) && not (contains arr.(i) arr.(j))
+        then found := true
+      done;
+      !found
+    in
+    dropped.(i) <- redundant
+  done;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if not dropped.(i) then acc := arr.(i) :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [evaluate ~facts q] computes the answer tuples of [q] over the fact
+    source [facts : pred -> string list list] by backtracking joins.
+    When an atom has an argument already bound (a constant, or a join
+    variable bound by an earlier atom), candidate rows come from a
+    lazily built hash index on that column instead of a full relation
+    scan — the difference between quadratic and near-linear joins on
+    OBDA-sized data.  Duplicate answers are removed; tuple order is
+    unspecified. *)
+let evaluate ~facts q =
+  let results = Hashtbl.create 16 in
+  (* (pred, column) -> value -> rows; built on first use *)
+  let indexes = Hashtbl.create 8 in
+  let column_index pred i =
+    match Hashtbl.find_opt indexes (pred, i) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun row ->
+          match List.nth_opt row i with
+          | Some key ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+            Hashtbl.replace tbl key (row :: prev)
+          | None -> ())
+        (facts pred);
+      Hashtbl.add indexes (pred, i) tbl;
+      tbl
+  in
+  let candidates subst a =
+    let rec first_bound i = function
+      | [] -> None
+      | t :: rest -> (
+        match apply_term subst t with
+        | Const c -> Some (i, c)
+        | Var _ -> first_bound (i + 1) rest)
+    in
+    match first_bound 0 a.args with
+    | None -> facts a.pred
+    | Some (i, c) ->
+      Option.value ~default:[] (Hashtbl.find_opt (column_index a.pred i) c)
+  in
+  let rec go subst = function
+    | [] ->
+      let tuple =
+        List.map
+          (fun v ->
+            match Subst.find_opt v subst with
+            | Some (Const c) -> c
+            | Some (Var _) | None ->
+              invalid_arg "Cq.evaluate: unbound answer variable")
+          q.answer_vars
+      in
+      Hashtbl.replace results tuple ()
+    | a :: rest ->
+      List.iter
+        (fun row ->
+          if List.length row = List.length a.args then
+            let matched =
+              List.fold_left2
+                (fun acc t v ->
+                  match acc with
+                  | None -> None
+                  | Some s -> match_term s t (Const v))
+                (Some subst) a.args row
+            in
+            match matched with Some s -> go s rest | None -> ())
+        (candidates subst a)
+  in
+  go Subst.empty q.body;
+  Hashtbl.fold (fun tuple () acc -> tuple :: acc) results []
+
+(** [evaluate_ucq ~facts ucq] is the deduplicated union of the disjunct
+    answers. *)
+let evaluate_ucq ~facts ucq =
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun q -> List.iter (fun t -> Hashtbl.replace results t ()) (evaluate ~facts q))
+    ucq;
+  Hashtbl.fold (fun t () acc -> t :: acc) results []
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_term_ascii fmt = function
+  | Var v -> Format.fprintf fmt "?%s" v
+  | Const c -> Format.pp_print_string fmt c
+
+let pp_atom_ascii fmt a =
+  Format.fprintf fmt "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_term_ascii)
+    a.args
+
+let pp_ascii fmt q =
+  Format.fprintf fmt "q(%s) :- %a"
+    (String.concat ", " (List.map (fun v -> "?" ^ v) q.answer_vars))
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_atom_ascii)
+    q.body
+
+let to_string q = Format.asprintf "%a" pp_ascii q

@@ -1,0 +1,66 @@
+(** Minimal in-memory relational store: the "data sources" of the OBDA
+    architecture.
+
+    Relations are named, fixed-arity, duplicate-free sets of string
+    tuples.  The store doubles as the fact source for [Cq.evaluate]
+    after mapping unfolding. *)
+
+type relation = {
+  arity : int;
+  mutable rows : string list list;
+  mutable row_set : (string list, unit) Hashtbl.t;
+}
+
+type t = { relations : (string, relation) Hashtbl.t }
+
+let create () = { relations = Hashtbl.create 16 }
+
+(** [declare db name ~arity] registers a (possibly empty) relation.
+    Re-declaring with the same arity is a no-op. *)
+let declare db name ~arity =
+  match Hashtbl.find_opt db.relations name with
+  | Some r when r.arity = arity -> ()
+  | Some _ -> invalid_arg (Printf.sprintf "Database.declare: %s arity clash" name)
+  | None ->
+    Hashtbl.replace db.relations name
+      { arity; rows = []; row_set = Hashtbl.create 64 }
+
+(** [insert db name row] adds a tuple (declaring the relation on first
+    use); duplicates are ignored. *)
+let insert db name row =
+  (match Hashtbl.find_opt db.relations name with
+   | None -> declare db name ~arity:(List.length row)
+   | Some r when r.arity <> List.length row ->
+     invalid_arg (Printf.sprintf "Database.insert: %s arity mismatch" name)
+   | Some _ -> ());
+  let r = Hashtbl.find db.relations name in
+  if not (Hashtbl.mem r.row_set row) then begin
+    Hashtbl.replace r.row_set row ();
+    r.rows <- row :: r.rows
+  end
+
+(** [insert_all db name rows] bulk-inserts. *)
+let insert_all db name rows = List.iter (insert db name) rows
+
+(** [rows db name] is the tuple list of [name] ([[]] never: the empty
+    list for unknown relations). *)
+let rows db name =
+  match Hashtbl.find_opt db.relations name with Some r -> r.rows | None -> []
+
+(** [facts db] is the fact-source function expected by [Cq.evaluate]. *)
+let facts db name = rows db name
+
+let relation_names db =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.relations [] |> List.sort compare
+
+let size db =
+  Hashtbl.fold (fun _ r acc -> acc + List.length r.rows) db.relations 0
+
+let pp fmt db =
+  List.iter
+    (fun name ->
+      Format.fprintf fmt "%s:@." name;
+      List.iter
+        (fun row -> Format.fprintf fmt "  (%s)@." (String.concat ", " row))
+        (rows db name))
+    (relation_names db)

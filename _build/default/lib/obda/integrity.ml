@@ -1,0 +1,115 @@
+(** Data-level integrity checking of functionality and identification
+    constraints over the (virtual) ABox.
+
+    Unlike the negative-inclusion consistency check ([Consistency]),
+    these constraints are *epistemic*: they are evaluated against the
+    retrieved facts only (the Mastro treatment of DL-Lite_A
+    constraints), so no query rewriting is involved — functional roles
+    are not specializable by well-formedness, and labelled nulls
+    invented by existentials are fresh and cannot collide with data. *)
+
+open Dllite
+
+type violation = {
+  constraint_ : Constraints.t;
+  witness : string;          (** the individual violating the constraint *)
+  values : string list;      (** the conflicting fillers *)
+}
+
+let role_pairs ~facts q =
+  match q with
+  | Syntax.Direct p -> List.map (function
+      | [ a; b ] -> (a, b)
+      | row -> invalid_arg (Printf.sprintf "bad role row arity %d" (List.length row)))
+      (facts (Vabox.role_pred p))
+  | Syntax.Inverse p -> List.map (function
+      | [ a; b ] -> (b, a)
+      | row -> invalid_arg (Printf.sprintf "bad role row arity %d" (List.length row)))
+      (facts (Vabox.role_pred p))
+
+let group_by_first pairs =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt table a) in
+      if not (List.mem b prev) then Hashtbl.replace table a (b :: prev))
+    pairs;
+  table
+
+let check_funct_role ~facts q constraint_ =
+  let by_subject = group_by_first (role_pairs ~facts q) in
+  Hashtbl.fold
+    (fun subject fillers acc ->
+      match fillers with
+      | [] | [ _ ] -> acc
+      | _ -> { constraint_; witness = subject; values = List.sort compare fillers } :: acc)
+    by_subject []
+
+let check_funct_attr ~facts u constraint_ =
+  let pairs =
+    List.map (function
+        | [ a; b ] -> (a, b)
+        | _ -> invalid_arg "bad attr row arity")
+      (facts (Vabox.attr_pred u))
+  in
+  let by_subject = group_by_first pairs in
+  Hashtbl.fold
+    (fun subject values acc ->
+      match values with
+      | [] | [ _ ] -> acc
+      | _ -> { constraint_; witness = subject; values = List.sort compare values } :: acc)
+    by_subject []
+
+(* Identification: two distinct instances of B that share a filler on
+   every path violate (id B Q1..Qn).  This is the "local" reading over
+   retrieved facts. *)
+let check_identification ~facts b paths constraint_ =
+  let members = List.map (function
+      | [ a ] -> a
+      | _ -> invalid_arg "bad concept row arity")
+      (facts (Vabox.concept_pred b))
+  in
+  let fillers_along q =
+    let table = group_by_first (role_pairs ~facts q) in
+    fun x -> Option.value ~default:[] (Hashtbl.find_opt table x)
+  in
+  let path_fillers = List.map fillers_along paths in
+  let agree x y =
+    List.for_all
+      (fun fillers ->
+        let fx = fillers x and fy = fillers y in
+        List.exists (fun v -> List.mem v fy) fx)
+      path_fillers
+  in
+  let rec scan acc = function
+    | [] -> acc
+    | x :: rest ->
+      let clashes = List.filter (fun y -> y <> x && agree x y) rest in
+      let acc =
+        List.fold_left
+          (fun acc y -> { constraint_; witness = x; values = [ y ] } :: acc)
+          acc clashes
+      in
+      scan acc rest
+  in
+  scan [] (List.sort_uniq compare members)
+
+(** [check ~facts constraints] evaluates every constraint; [] means the
+    data satisfies them all. *)
+let check ~facts constraints =
+  List.concat_map
+    (fun c ->
+      match c with
+      | Constraints.Funct_role q -> check_funct_role ~facts q c
+      | Constraints.Funct_attr u -> check_funct_attr ~facts u c
+      | Constraints.Identification (b, paths) -> check_identification ~facts b paths c)
+    constraints
+
+(** [satisfied ~facts constraints] — boolean form. *)
+let satisfied ~facts constraints = check ~facts constraints = []
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s violated by %s (conflicting: %s)"
+    (Constraints.to_string v.constraint_)
+    v.witness
+    (String.concat ", " v.values)

@@ -1,0 +1,96 @@
+(** Static analysis of a mapping specification against its ontology —
+    the "mapping management" service of Mastro (Section 2).  Three
+    checks an OBDA engineer runs before deploying:
+
+    - *incoherence*: a mapping feeds an unsatisfiable predicate — every
+      tuple it retrieves makes the KB inconsistent;
+    - *redundancy*: a mapping's retrieved facts are already produced by
+      another mapping for the same predicate (source containment);
+    - *unmapped vocabulary*: ontology names no mapping ever populates —
+      queries over them can only be answered through TBox inferences,
+      which is worth a warning in reviews. *)
+
+open Dllite
+
+type issue =
+  | Maps_unsat_predicate of int * string
+      (** mapping index, predicate name: the target is unsatisfiable *)
+  | Redundant of int * int
+      (** mapping [i] is subsumed by mapping [j] (same target shape,
+          source of [j] contains source of [i]) *)
+  | Unmapped of Syntax.expr
+      (** a signature name no mapping populates *)
+
+let pp_issue fmt = function
+  | Maps_unsat_predicate (i, name) ->
+    Format.fprintf fmt "mapping #%d populates unsatisfiable predicate %s" i name
+  | Redundant (i, j) -> Format.fprintf fmt "mapping #%d is subsumed by mapping #%d" i j
+  | Unmapped e ->
+    Format.fprintf fmt "no mapping populates %s" (Syntax.expr_to_string e)
+
+let target_name m =
+  match m.Mapping.target with
+  | Mapping.Concept_head (a, _) -> Syntax.E_concept (Syntax.Atomic a)
+  | Mapping.Role_head (p, _, _) -> Syntax.E_role (Syntax.Direct p)
+  | Mapping.Attr_head (u, _, _) -> Syntax.E_attr u
+
+(* For redundancy: normalize a mapping into a source query whose answer
+   tuple is exactly the head argument tuple; then containment of these
+   queries is containment of the produced fact sets. *)
+let normalized_source m =
+  let args = Mapping.target_args m.Mapping.target in
+  (* constants in the head make the comparison positional: introduce a
+     fresh variable constrained by an artificial equality atom is
+     overkill here — mappings with head constants are just excluded from
+     the redundancy check *)
+  let vars =
+    List.filter_map (function Cq.Var v -> Some v | Cq.Const _ -> None) args
+  in
+  if List.length vars <> List.length args then None
+  else Some { m.Mapping.source with Cq.answer_vars = vars }
+
+(** [analyze ?classification tbox mappings] — the issue report.  Pass a
+    precomputed classification to avoid re-running it. *)
+let analyze ?classification tbox (mappings : Mapping.t) =
+  let cls =
+    match classification with Some c -> c | None -> Quonto.Classify.classify tbox
+  in
+  let issues = ref [] in
+  (* 1. incoherent targets *)
+  List.iteri
+    (fun i m ->
+      let e = target_name m in
+      if Quonto.Classify.is_unsat cls e then
+        issues := Maps_unsat_predicate (i, Syntax.expr_to_string e) :: !issues)
+    mappings;
+  (* 2. redundancy *)
+  let indexed = List.mapi (fun i m -> (i, m)) mappings in
+  List.iter
+    (fun (i, mi) ->
+      List.iter
+        (fun (j, mj) ->
+          if i <> j && Syntax.equal_expr (target_name mi) (target_name mj) then
+            match normalized_source mi, normalized_source mj with
+            | Some qi, Some qj ->
+              (* mi redundant if qj contains qi; break ties by index so a
+                 mutually-equivalent pair reports only the later one *)
+              if Cq.contains qj qi && ((not (Cq.contains qi qj)) || i > j) then
+                issues := Redundant (i, j) :: !issues
+            | _ -> ())
+        indexed)
+    indexed;
+  (* 3. unmapped vocabulary *)
+  let signature = Tbox.signature tbox in
+  let mapped = List.map target_name mappings in
+  let check e = if not (List.exists (Syntax.equal_expr e) mapped) then
+      issues := Unmapped e :: !issues
+  in
+  List.iter (fun a -> check (Syntax.E_concept (Syntax.Atomic a))) (Signature.concepts signature);
+  List.iter (fun p -> check (Syntax.E_role (Syntax.Direct p))) (Signature.roles signature);
+  List.iter (fun u -> check (Syntax.E_attr u)) (Signature.attributes signature);
+  List.rev !issues
+
+(** [errors issues] — the subset that makes deployment unsafe (unsat
+    targets); redundancy and unmapped names are warnings. *)
+let errors issues =
+  List.filter (function Maps_unsat_predicate _ -> true | _ -> false) issues

@@ -1,0 +1,185 @@
+(** Text syntax for queries and mapping specifications.
+
+    Queries:   [x, y <- worksFor(x, y), Employee(x), dept(x, "R&D")]
+    Mappings:  one per line, ontology head on the left:
+               [map Employee(id) <- t_emp(id, n, co)]
+
+    Identifiers are variables; double-quoted tokens are constants.
+    Ontology predicate names are sort-tagged against the TBox signature
+    ([c$]/[r$]/[a$], see {!Vabox}); unknown predicate names are treated
+    as database relations. *)
+
+open Dllite
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+(* --- tokenizing a term list "x, y, \"lit\"" -------------------------- *)
+
+let parse_term s =
+  let s = String.trim s in
+  if s = "" then fail "empty term"
+  else if s.[0] = '"' then
+    if String.length s >= 2 && s.[String.length s - 1] = '"' then
+      Cq.Const (String.sub s 1 (String.length s - 2))
+    else fail "unterminated constant %s" s
+  else Cq.Var s
+
+(* split "p(a, b), q(c)" into atom chunks, respecting parentheses *)
+let split_atoms body =
+  let chunks = ref [] in
+  let buf = Buffer.create 32 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        chunks := Buffer.contents buf :: !chunks;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    body;
+  if String.trim (Buffer.contents buf) <> "" then
+    chunks := Buffer.contents buf :: !chunks;
+  List.rev_map String.trim !chunks
+
+let parse_atom ~signature chunk =
+  match String.index_opt chunk '(' with
+  | Some i when String.length chunk > 1 && chunk.[String.length chunk - 1] = ')' ->
+    let pred = String.trim (String.sub chunk 0 i) in
+    let args_text = String.sub chunk (i + 1) (String.length chunk - i - 2) in
+    let args =
+      if String.trim args_text = "" then []
+      else List.map parse_term (String.split_on_char ',' args_text)
+    in
+    let tagged =
+      if Signature.mem_concept pred signature then Vabox.concept_pred pred
+      else if Signature.mem_role pred signature then Vabox.role_pred pred
+      else if Signature.mem_attribute pred signature then Vabox.attr_pred pred
+      else pred
+    in
+    Cq.atom tagged args
+  | _ -> fail "malformed atom: %s" chunk
+
+let split_arrow text =
+  (* find the first "<-" at depth 0 *)
+  let n = String.length text in
+  let rec go i depth =
+    if i + 1 >= n then None
+    else
+      match text.[i] with
+      | '(' -> go (i + 1) (depth + 1)
+      | ')' -> go (i + 1) (depth - 1)
+      | '<' when depth = 0 && text.[i + 1] = '-' ->
+        Some (String.sub text 0 i, String.sub text (i + 2) (n - i - 2))
+      | _ -> go (i + 1) depth
+  in
+  go 0 0
+
+(** [parse_query ~signature text] parses [vars <- atoms].
+    @raise Parse_error on malformed input. *)
+let parse_query ~signature text =
+  match split_arrow text with
+  | None -> fail "expected ANSWER_VARS <- ATOMS"
+  | Some (head, body) ->
+    let answer_vars =
+      String.split_on_char ',' head |> List.map String.trim
+      |> List.filter (fun v -> v <> "")
+    in
+    let atoms = List.map (parse_atom ~signature) (split_atoms body) in
+    (try Cq.make answer_vars atoms
+     with Invalid_argument m -> fail "%s" m)
+
+(** [parse_mappings ~signature text] parses a mapping file: one
+    [map HEAD <- ATOMS] line per mapping ([#] comments, blank lines
+    skipped).  Head predicates must be in the ontology signature. *)
+let parse_mappings ~signature text =
+  let parse_line line_no raw =
+    let line = String.trim raw in
+    if line = "" || line.[0] = '#' then None
+    else if String.length line > 4 && String.sub line 0 4 = "map " then begin
+      let rest = String.sub line 4 (String.length line - 4) in
+      match split_arrow rest with
+      | None -> fail "line %d: expected map HEAD <- ATOMS" line_no
+      | Some (head_text, body) ->
+        let head_atom = parse_atom ~signature (String.trim head_text) in
+        let body_atoms = List.map (parse_atom ~signature) (split_atoms body) in
+        let head_vars =
+          List.filter_map
+            (function Cq.Var v -> Some v | Cq.Const _ -> None)
+            head_atom.Cq.args
+          |> List.sort_uniq compare
+        in
+        let source =
+          try Cq.make head_vars body_atoms
+          with Invalid_argument m -> fail "line %d: %s" line_no m
+        in
+        let strip p = String.sub p 2 (String.length p - 2) in
+        let target =
+          match head_atom.Cq.args with
+          | [ t ] when String.length head_atom.Cq.pred > 2
+                       && String.sub head_atom.Cq.pred 0 2 = "c$" ->
+            Mapping.Concept_head (strip head_atom.Cq.pred, t)
+          | [ t1; t2 ] when String.length head_atom.Cq.pred > 2
+                            && String.sub head_atom.Cq.pred 0 2 = "r$" ->
+            Mapping.Role_head (strip head_atom.Cq.pred, t1, t2)
+          | [ t1; t2 ] when String.length head_atom.Cq.pred > 2
+                            && String.sub head_atom.Cq.pred 0 2 = "a$" ->
+            Mapping.Attr_head (strip head_atom.Cq.pred, t1, t2)
+          | _ ->
+            fail "line %d: head %s is not an ontology predicate of the right arity"
+              line_no head_atom.Cq.pred
+        in
+        Some (Mapping.make ~source ~target)
+    end
+    else fail "line %d: expected a map line" line_no
+  in
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw -> parse_line (i + 1) raw)
+  |> List.filter_map Fun.id
+
+(** [load_facts db text] loads ground facts into [db], one per line:
+    [rel(a, b, c)] (bare arguments are constants here; [#] comments and
+    blank lines skipped). *)
+let load_facts db text =
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+         let line = String.trim raw in
+         if line <> "" && line.[0] <> '#' then
+           match String.index_opt line '(' with
+           | Some j when line.[String.length line - 1] = ')' ->
+             let rel = String.trim (String.sub line 0 j) in
+             let args_text = String.sub line (j + 1) (String.length line - j - 2) in
+             (* split on commas outside double quotes *)
+             let chunks = ref [] in
+             let buf = Buffer.create 16 in
+             let in_quotes = ref false in
+             String.iter
+               (fun c ->
+                 match c with
+                 | '"' ->
+                   in_quotes := not !in_quotes;
+                   Buffer.add_char buf c
+                 | ',' when not !in_quotes ->
+                   chunks := Buffer.contents buf :: !chunks;
+                   Buffer.clear buf
+                 | c -> Buffer.add_char buf c)
+               args_text;
+             chunks := Buffer.contents buf :: !chunks;
+             let row =
+               List.rev_map
+                 (fun a ->
+                   let a = String.trim a in
+                   if String.length a >= 2 && a.[0] = '"' then
+                     String.sub a 1 (String.length a - 2)
+                   else a)
+                 !chunks
+             in
+             Database.insert db rel row
+           | _ -> fail "line %d: expected rel(arg, ...)" (i + 1))

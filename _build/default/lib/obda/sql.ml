@@ -1,0 +1,153 @@
+(** SQL generation: the last step of the OBDA chain — "query answering
+    for unions of conjunctive queries can be reduced to the evaluation
+    of a first-order query (directly translatable into SQL) over a
+    database" (Section 7).
+
+    A database-level UCQ (the output of rewriting + unfolding) is
+    compiled into a [statement] AST — SELECT-(DISTINCT)-FROM-WHERE
+    blocks joined by UNION — which can be pretty-printed as portable SQL
+    text or evaluated directly against the in-memory [Database] (the
+    evaluator keeps the generator honest: tests check it agrees with
+    [Cq.evaluate_ucq]).
+
+    Relations are positional, so columns are named [c0, c1, ...]. *)
+
+type column = {
+  alias : string;   (** table alias, [t0], [t1], ... *)
+  index : int;      (** 0-based column position *)
+}
+
+type condition =
+  | Eq_columns of column * column
+  | Eq_const of column * string
+
+type select = {
+  projections : column list;     (** one per answer variable, in order *)
+  froms : (string * string) list;  (** (relation, alias) *)
+  where : condition list;
+}
+
+(** A UCQ compiles to a union of selects; the empty union is the
+    canonical "no answers" statement. *)
+type statement = Union of select list
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [of_cq q] compiles one conjunctive query.
+    @raise Unsupported if an answer variable has no binding occurrence
+    (cannot happen for [Cq.make]-validated queries). *)
+let of_cq (q : Cq.t) =
+  let froms =
+    List.mapi (fun i atom -> (atom.Cq.pred, Printf.sprintf "t%d" i)) q.Cq.body
+  in
+  (* first binding occurrence of each variable *)
+  let binding = Hashtbl.create 16 in
+  let where = ref [] in
+  List.iteri
+    (fun i atom ->
+      let alias = Printf.sprintf "t%d" i in
+      List.iteri
+        (fun j term ->
+          let col = { alias; index = j } in
+          match term with
+          | Cq.Const c -> where := Eq_const (col, c) :: !where
+          | Cq.Var v -> (
+            match Hashtbl.find_opt binding v with
+            | None -> Hashtbl.replace binding v col
+            | Some first -> where := Eq_columns (first, col) :: !where))
+        atom.Cq.args)
+    q.Cq.body;
+  let projections =
+    List.map
+      (fun v ->
+        match Hashtbl.find_opt binding v with
+        | Some col -> col
+        | None -> raise (Unsupported ("unbound answer variable " ^ v)))
+      q.Cq.answer_vars
+  in
+  { projections; froms; where = List.rev !where }
+
+(** [of_ucq ucq] compiles a union query; all disjuncts must share the
+    answer arity (guaranteed by the rewriting pipeline). *)
+let of_ucq (ucq : Cq.ucq) = Union (List.map of_cq ucq)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let column_to_string c = Printf.sprintf "%s.c%d" c.alias c.index
+
+let escape_literal s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      if ch = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let condition_to_string = function
+  | Eq_columns (a, b) ->
+    Printf.sprintf "%s = %s" (column_to_string a) (column_to_string b)
+  | Eq_const (a, v) -> Printf.sprintf "%s = '%s'" (column_to_string a) (escape_literal v)
+
+let select_to_string s =
+  let projections =
+    match s.projections with
+    | [] -> "1"  (* boolean query: any constant row *)
+    | cols -> String.concat ", " (List.map column_to_string cols)
+  in
+  let froms =
+    String.concat ", " (List.map (fun (rel, alias) -> rel ^ " " ^ alias) s.froms)
+  in
+  let base = Printf.sprintf "SELECT DISTINCT %s FROM %s" projections froms in
+  match s.where with
+  | [] -> base
+  | conds -> base ^ " WHERE " ^ String.concat " AND " (List.map condition_to_string conds)
+
+(** [to_string stmt] renders the statement as SQL text. *)
+let to_string (Union selects) =
+  match selects with
+  | [] -> "SELECT 1 WHERE 1 = 0"  (* empty union: no rows *)
+  | _ -> String.concat "\nUNION\n" (List.map select_to_string selects)
+
+(* ------------------------------------------------------------------ *)
+(* Direct evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate one select block by nested loops over its FROM relations. *)
+let eval_select db s =
+  let relations = List.map (fun (rel, _) -> Database.rows db rel) s.froms in
+  let aliases = List.map snd s.froms in
+  let results = Hashtbl.create 16 in
+  (* env: alias -> row *)
+  let rec loop env rels als =
+    match rels, als with
+    | [], [] ->
+      let value col = List.nth (List.assoc col.alias env) col.index in
+      let ok =
+        List.for_all
+          (function
+            | Eq_columns (a, b) -> value a = value b
+            | Eq_const (a, v) -> value a = v)
+          s.where
+      in
+      if ok then Hashtbl.replace results (List.map value s.projections) ()
+    | rows :: rels', alias :: als' ->
+      List.iter (fun row -> loop ((alias, row) :: env) rels' als') rows
+    | _ -> assert false
+  in
+  loop [] relations aliases;
+  Hashtbl.fold (fun row () acc -> row :: acc) results []
+
+(** [eval db stmt] evaluates the statement against the store;
+    duplicates across union branches are removed (UNION semantics). *)
+let eval db (Union selects) =
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun s -> List.iter (fun row -> Hashtbl.replace results row ()) (eval_select db s))
+    selects;
+  Hashtbl.fold (fun row () acc -> row :: acc) results []

@@ -1,0 +1,67 @@
+(** The ontology-level fact view: atoms over concept, role and attribute
+    predicates.
+
+    Ontology predicates share one namespace with query atoms via a
+    sort-tagged naming convention ([c$A], [r$P], [a$U]) so that a
+    concept and a role with the same name cannot collide inside the
+    generic CQ machinery. *)
+
+open Dllite
+
+let concept_pred a = "c$" ^ a
+let role_pred p = "r$" ^ p
+let attr_pred u = "a$" ^ u
+
+(** [pred_of_expr e] is the evaluation-level predicate name of a named
+    DL-Lite predicate. *)
+let pred_of_expr = function
+  | Syntax.E_concept (Syntax.Atomic a) -> concept_pred a
+  | Syntax.E_role (Syntax.Direct p) | Syntax.E_role (Syntax.Inverse p) -> role_pred p
+  | Syntax.E_attr u -> attr_pred u
+  | Syntax.E_concept (Syntax.Exists _ | Syntax.Attr_domain _) ->
+    invalid_arg "Vabox.pred_of_expr: only named predicates have facts"
+
+(** [atom_of_basic b t] is the query atom asserting [t ∈ B], introducing
+    [fresh] for the existentially quantified position of [∃Q] and
+    [δ(U)]. *)
+let atom_of_basic b t ~fresh =
+  match b with
+  | Syntax.Atomic a -> Cq.atom (concept_pred a) [ t ]
+  | Syntax.Exists (Syntax.Direct p) -> Cq.atom (role_pred p) [ t; fresh ]
+  | Syntax.Exists (Syntax.Inverse p) -> Cq.atom (role_pred p) [ fresh; t ]
+  | Syntax.Attr_domain u -> Cq.atom (attr_pred u) [ t; fresh ]
+
+(** [facts_of_abox abox] turns a materialized ABox into a fact source
+    for [Cq.evaluate]. *)
+let facts_of_abox abox =
+  let table = Hashtbl.create 64 in
+  let add pred row =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt table pred) in
+    Hashtbl.replace table pred (row :: prev)
+  in
+  List.iter
+    (function
+      | Abox.Concept_assert (a, c) -> add (concept_pred a) [ c ]
+      | Abox.Role_assert (p, c1, c2) -> add (role_pred p) [ c1; c2 ]
+      | Abox.Attr_assert (u, c, v) -> add (attr_pred u) [ c; v ])
+    (Abox.assertions abox);
+  fun pred -> Option.value ~default:[] (Hashtbl.find_opt table pred)
+
+(** [abox_of_facts facts preds] — inverse direction, used by mapping
+    materialization: collect the extension of the given named predicates
+    into an ABox. *)
+let abox_of_facts facts exprs =
+  List.fold_left
+    (fun abox e ->
+      let pred = pred_of_expr e in
+      List.fold_left
+        (fun abox row ->
+          match e, row with
+          | Syntax.E_concept (Syntax.Atomic a), [ c ] ->
+            Abox.add (Abox.Concept_assert (a, c)) abox
+          | Syntax.E_role (Syntax.Direct p), [ c1; c2 ] ->
+            Abox.add (Abox.Role_assert (p, c1, c2)) abox
+          | Syntax.E_attr u, [ c; v ] -> Abox.add (Abox.Attr_assert (u, c, v)) abox
+          | _ -> abox)
+        abox (facts pred))
+    Abox.empty exprs

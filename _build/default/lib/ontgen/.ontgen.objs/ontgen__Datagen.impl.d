@@ -1,0 +1,1 @@
+lib/ontgen/datagen.ml: Dllite Obda Parser Printf Rng Tbox

@@ -1,0 +1,1 @@
+lib/ontgen/generator.ml: Dllite Hashtbl List Owlfrag Printf Rng Signature Syntax Tbox

@@ -1,0 +1,1 @@
+lib/ontgen/profiles.ml: Generator List String

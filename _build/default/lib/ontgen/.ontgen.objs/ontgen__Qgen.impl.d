@@ -1,0 +1,1 @@
+lib/ontgen/qgen.ml: Dllite List QCheck Signature Syntax Tbox

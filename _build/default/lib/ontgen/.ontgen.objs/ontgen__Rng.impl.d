@@ -1,0 +1,1 @@
+lib/ontgen/rng.ml: Int64 List

@@ -1,0 +1,267 @@
+(** Synthetic DL-Lite_R TBox generator.
+
+    The generator is driven by a structural [profile]; given the same
+    profile and seed it always produces the same TBox.  Profiles for the
+    eleven Figure-1 benchmark ontologies live in [Profiles]. *)
+
+open Dllite
+module Osyntax = Owlfrag.Osyntax
+
+type profile = {
+  label : string;
+  concepts : int;            (** number of atomic concepts *)
+  roles : int;               (** number of atomic roles *)
+  attributes : int;          (** number of attributes *)
+  avg_parents : float;       (** expected direct superclass axioms per concept *)
+  locality : float;
+      (** in (0, 1]: parents are drawn from the [locality * i] ids below
+          [i]; small values yield deep chains, 1.0 yields shallow bushy
+          hierarchies *)
+  role_incl_per_role : float;     (** expected super-role axioms per role *)
+  domain_range_per_role : float;  (** expected [∃P ⊑ A] / [∃P⁻ ⊑ A] axioms per role *)
+  exists_rhs_per_concept : float; (** expected [A ⊑ ∃Q] axioms per concept *)
+  qualified_per_concept : float;  (** expected [A ⊑ ∃Q.B] axioms per concept *)
+  disjoint_per_concept : float;   (** expected concept disjointness per concept *)
+  role_disjoint_per_role : float; (** expected role disjointness per role *)
+  attr_incl_per_attr : float;     (** expected super-attribute axioms per attribute *)
+  eq_cycle_fraction : float;      (** fraction of concepts tied into ⊑-cycles *)
+}
+
+(** A neutral mid-size profile, useful as a starting point. *)
+let default_profile =
+  {
+    label = "default";
+    concepts = 500;
+    roles = 50;
+    attributes = 10;
+    avg_parents = 1.3;
+    locality = 0.5;
+    role_incl_per_role = 0.5;
+    domain_range_per_role = 1.0;
+    exists_rhs_per_concept = 0.3;
+    qualified_per_concept = 0.1;
+    disjoint_per_concept = 0.1;
+    role_disjoint_per_role = 0.05;
+    attr_incl_per_attr = 0.5;
+    eq_cycle_fraction = 0.01;
+  }
+
+(** [scale f p] multiplies the signature sizes by [f] (axiom densities
+    are per-entity and stay put).  Used to shrink Figure-1 profiles to
+    laptop scale while preserving shape. *)
+let scale f p =
+  let s n = max 1 (int_of_float (float_of_int n *. f)) in
+  {
+    p with
+    concepts = s p.concepts;
+    roles = (if p.roles = 0 then 0 else s p.roles);
+    attributes = (if p.attributes = 0 then 0 else s p.attributes);
+  }
+
+let concept_name prefix i = Printf.sprintf "%sC%d" prefix i
+let role_name prefix i = Printf.sprintf "%sP%d" prefix i
+let attr_name prefix i = Printf.sprintf "%sU%d" prefix i
+
+(* Poisson-ish small count with the given mean: we only need the mean to
+   be right and the distribution to be lumpy, not an exact Poisson. *)
+let count rng mean =
+  let base = int_of_float mean in
+  let frac = mean -. float_of_int base in
+  base + (if Rng.bool rng frac then 1 else 0)
+
+let random_role ~prefix rng p =
+  let i = Rng.int rng p.roles in
+  if Rng.bool rng 0.5 then Syntax.Direct (role_name prefix i)
+  else Syntax.Inverse (role_name prefix i)
+
+(* A random basic concept, biased toward atomic names. *)
+let random_basic ~prefix rng p =
+  let dice = Rng.float rng in
+  if p.roles > 0 && dice < 0.2 then Syntax.Exists (random_role ~prefix rng p)
+  else if p.attributes > 0 && dice < 0.25 then
+    Syntax.Attr_domain (attr_name prefix (Rng.int rng p.attributes))
+  else Syntax.Atomic (concept_name prefix (Rng.int rng p.concepts))
+
+(** [generate ?seed ?prefix profile] produces the TBox; [prefix] is
+    prepended to every generated name, letting callers assemble several
+    generated modules with disjoint vocabularies. *)
+let generate ?(seed = 0xDEADBEEF) ?(prefix = "") p =
+  let rng = Rng.create (seed lxor Hashtbl.hash p.label) in
+  let axioms = ref [] in
+  let push ax = axioms := ax :: !axioms in
+  (* concept hierarchy: parents drawn from a locality window below i *)
+  for i = 1 to p.concepts - 1 do
+    let parents = count rng p.avg_parents in
+    for _ = 1 to parents do
+      let window = max 1 (int_of_float (float_of_int i *. p.locality)) in
+      let j = i - 1 - Rng.int rng window in
+      let j = max 0 j in
+      push
+        (Syntax.Concept_incl
+           (Syntax.Atomic (concept_name prefix i), Syntax.C_basic (Syntax.Atomic (concept_name prefix j))))
+    done
+  done;
+  (* equivalence cycles: close a back-edge from an ancestor region *)
+  let cycles = int_of_float (float_of_int p.concepts *. p.eq_cycle_fraction) in
+  for _ = 1 to cycles do
+    if p.concepts >= 2 then begin
+      let i = 1 + Rng.int rng (p.concepts - 1) in
+      let j = Rng.int rng i in
+      push
+        (Syntax.Concept_incl
+           (Syntax.Atomic (concept_name prefix j), Syntax.C_basic (Syntax.Atomic (concept_name prefix i))))
+    end
+  done;
+  (* role hierarchy *)
+  for i = 0 to p.roles - 1 do
+    let supers = count rng p.role_incl_per_role in
+    for _ = 1 to supers do
+      let j = Rng.int rng p.roles in
+      if j <> i then
+        push
+          (Syntax.Role_incl
+             ( Syntax.Direct (role_name prefix i),
+               Syntax.R_role
+                 (if Rng.bool rng 0.25 then Syntax.Inverse (role_name prefix j)
+                  else Syntax.Direct (role_name prefix j)) ))
+    done;
+    (* domain / range typings *)
+    let typings = count rng p.domain_range_per_role in
+    for _ = 1 to typings do
+      let a = Syntax.Atomic (concept_name prefix (Rng.int rng p.concepts)) in
+      let side =
+        if Rng.bool rng 0.5 then Syntax.Direct (role_name prefix i)
+        else Syntax.Inverse (role_name prefix i)
+      in
+      push (Syntax.Concept_incl (Syntax.Exists side, Syntax.C_basic a))
+    done;
+    (* role disjointness *)
+    if p.roles > 1 && Rng.bool rng p.role_disjoint_per_role then begin
+      let j = Rng.int rng p.roles in
+      if j <> i then
+        push
+          (Syntax.Role_incl
+             (Syntax.Direct (role_name prefix i), Syntax.R_neg (Syntax.Direct (role_name prefix j))))
+    end
+  done;
+  (* per-concept existentials, qualified existentials, disjointness *)
+  for i = 0 to p.concepts - 1 do
+    if p.roles > 0 then begin
+      let n_ex = count rng p.exists_rhs_per_concept in
+      for _ = 1 to n_ex do
+        push
+          (Syntax.Concept_incl
+             ( Syntax.Atomic (concept_name prefix i),
+               Syntax.C_basic (Syntax.Exists (random_role ~prefix rng p)) ))
+      done;
+      let n_qual = count rng p.qualified_per_concept in
+      for _ = 1 to n_qual do
+        push
+          (Syntax.Concept_incl
+             ( Syntax.Atomic (concept_name prefix i),
+               Syntax.C_exists_qual
+                 (random_role ~prefix rng p, concept_name prefix (Rng.int rng p.concepts)) ))
+      done
+    end;
+    if Rng.bool rng p.disjoint_per_concept then begin
+      (* disjointness across distant branches, to keep most names
+         satisfiable (as in the real benchmarks) *)
+      let j = Rng.int rng p.concepts in
+      if abs (j - i) > p.concepts / 10 then
+        push
+          (Syntax.Concept_incl
+             (Syntax.Atomic (concept_name prefix i), Syntax.C_neg (Syntax.Atomic (concept_name prefix j))))
+    end
+  done;
+  (* attribute hierarchy and typings *)
+  for i = 0 to p.attributes - 1 do
+    let supers = count rng p.attr_incl_per_attr in
+    for _ = 1 to supers do
+      let j = Rng.int rng p.attributes in
+      if j <> i then
+        push (Syntax.Attr_incl (attr_name prefix i, Syntax.A_attr (attr_name prefix j)))
+    done;
+    (* attribute domains live somewhere in the concept hierarchy *)
+    push
+      (Syntax.Concept_incl
+         ( Syntax.Attr_domain (attr_name prefix i),
+           Syntax.C_basic (Syntax.Atomic (concept_name prefix (Rng.int rng p.concepts))) ))
+  done;
+  let signature =
+    let s = ref Signature.empty in
+    for i = 0 to p.concepts - 1 do
+      s := Signature.add_concept (concept_name prefix i) !s
+    done;
+    for i = 0 to p.roles - 1 do
+      s := Signature.add_role (role_name prefix i) !s
+    done;
+    for i = 0 to p.attributes - 1 do
+      s := Signature.add_attribute (attr_name prefix i) !s
+    done;
+    !s
+  in
+  Tbox.of_axioms ~signature (List.rev !axioms)
+
+(* ------------------------------------------------------------------ *)
+(* Expressive (ALCHI) generator, input to the approximation pipeline.  *)
+(* ------------------------------------------------------------------ *)
+
+(** Knobs of the expressive generator: a DL-Lite-ish backbone plus a
+    share of axioms using constructs outside DL-Lite (⊓ and ⊔ on either
+    side, ∀ on the right). *)
+type owl_profile = {
+  owl_label : string;
+  owl_concepts : int;
+  owl_roles : int;
+  owl_axioms : int;
+  expressive_fraction : float;  (** share of axioms beyond DL-Lite *)
+}
+
+let default_owl_profile =
+  {
+    owl_label = "owl-default";
+    owl_concepts = 30;
+    owl_roles = 6;
+    owl_axioms = 60;
+    expressive_fraction = 0.4;
+  }
+
+let owl_concept_name i = Printf.sprintf "C%d" i
+let owl_role_name i = Printf.sprintf "P%d" i
+
+(** [generate_owl ?seed p] produces an ALCHI TBox. *)
+let generate_owl ?(seed = 0xFEEDF00D) p =
+  let rng = Rng.create (seed lxor Hashtbl.hash p.owl_label) in
+  let name () = Osyntax.Name (owl_concept_name (Rng.int rng p.owl_concepts)) in
+  let role () =
+    let r = Osyntax.Named (owl_role_name (Rng.int rng (max 1 p.owl_roles))) in
+    if Rng.bool rng 0.3 then Osyntax.role_inv r else r
+  in
+  let simple () =
+    match Rng.int rng 3 with
+    | 0 -> name ()
+    | 1 -> Osyntax.Some_ (role (), Osyntax.Top)
+    | _ -> name ()
+  in
+  let complex () =
+    match Rng.int rng 5 with
+    | 0 -> Osyntax.And (name (), name ())
+    | 1 -> Osyntax.Or (name (), name ())
+    | 2 -> Osyntax.All (role (), name ())
+    | 3 -> Osyntax.Some_ (role (), Osyntax.And (name (), name ()))
+    | _ -> Osyntax.Not (name ())
+  in
+  let axioms = ref [] in
+  for _ = 1 to p.owl_axioms do
+    let ax =
+      if Rng.bool rng 0.15 && p.owl_roles > 1 then
+        Osyntax.Role_sub (role (), role ())
+      else if Rng.bool rng p.expressive_fraction then
+        (* beyond DL-Lite: complex right-hand (or left-hand) sides *)
+        if Rng.bool rng 0.3 then Osyntax.Sub (complex (), simple ())
+        else Osyntax.Sub (simple (), complex ())
+      else Osyntax.Sub (simple (), simple ())
+    in
+    axioms := ax :: !axioms
+  done;
+  List.rev !axioms

@@ -1,0 +1,209 @@
+(** Structural profiles of the eleven Figure-1 benchmark ontologies.
+
+    The real OWL files are not shippable here, so each profile encodes
+    the published structural metrics of the OWL 2 QL approximation of
+    the benchmark: entity counts, hierarchy shape and axiom densities.
+    Classification cost for every algorithm under test is a function of
+    exactly these quantities, which is what makes the substitution
+    faithful (see DESIGN.md).
+
+    Sizes are the full-scale ones; the bench harness applies
+    [Generator.scale] (default 1/10) so that the tableau personas can
+    demonstrate their blow-up without taking hours. *)
+
+open Generator
+
+let mouse =
+  {
+    default_profile with
+    label = "Mouse";
+    (* the Mouse anatomy ontology: a flat-ish pure taxonomy *)
+    concepts = 2744;
+    roles = 2;
+    attributes = 0;
+    avg_parents = 1.1;
+    locality = 0.8;
+    exists_rhs_per_concept = 0.05;
+    qualified_per_concept = 0.0;
+    disjoint_per_concept = 0.0;
+    role_disjoint_per_role = 0.0;
+    eq_cycle_fraction = 0.0;
+  }
+
+let transportation =
+  {
+    default_profile with
+    label = "Transportation";
+    (* small DAML-style domain ontology with disjointness *)
+    concepts = 445;
+    roles = 89;
+    attributes = 4;
+    avg_parents = 1.2;
+    locality = 0.6;
+    domain_range_per_role = 1.2;
+    exists_rhs_per_concept = 0.2;
+    disjoint_per_concept = 0.4;
+    role_disjoint_per_role = 0.05;
+  }
+
+let dolce =
+  {
+    default_profile with
+    label = "DOLCE";
+    (* small signature, very dense axiomatization: deep role hierarchy,
+       heavy disjointness, many typings *)
+    concepts = 209;
+    roles = 313;
+    attributes = 4;
+    avg_parents = 1.8;
+    locality = 0.3;
+    role_incl_per_role = 1.6;
+    domain_range_per_role = 1.8;
+    exists_rhs_per_concept = 0.8;
+    qualified_per_concept = 0.3;
+    disjoint_per_concept = 1.2;
+    role_disjoint_per_role = 0.2;
+    eq_cycle_fraction = 0.03;
+  }
+
+let aeo =
+  {
+    default_profile with
+    label = "AEO";
+    concepts = 760;
+    roles = 63;
+    attributes = 16;
+    avg_parents = 1.3;
+    locality = 0.5;
+    disjoint_per_concept = 1.0;  (* AEO is disjointness-heavy *)
+    exists_rhs_per_concept = 0.2;
+    qualified_per_concept = 0.05;
+  }
+
+let gene =
+  {
+    default_profile with
+    label = "Gene";
+    (* the Gene Ontology: large, EL-ish, one part-of role *)
+    concepts = 20465;
+    roles = 1;
+    attributes = 0;
+    avg_parents = 1.4;
+    locality = 0.7;
+    exists_rhs_per_concept = 0.0;
+    qualified_per_concept = 0.1;  (* part_of some X *)
+    disjoint_per_concept = 0.0;
+    role_disjoint_per_role = 0.0;
+    eq_cycle_fraction = 0.0;
+  }
+
+let el_galen =
+  {
+    default_profile with
+    label = "EL-Galen";
+    concepts = 23136;
+    roles = 950;
+    attributes = 0;
+    avg_parents = 1.5;
+    locality = 0.4;
+    role_incl_per_role = 1.0;
+    domain_range_per_role = 0.5;
+    exists_rhs_per_concept = 0.5;
+    qualified_per_concept = 0.5;
+    disjoint_per_concept = 0.0;
+    role_disjoint_per_role = 0.0;
+    eq_cycle_fraction = 0.02;
+  }
+
+let galen =
+  {
+    el_galen with
+    label = "Galen";
+    (* full Galen: same signature, denser axioms & role hierarchy *)
+    role_incl_per_role = 1.5;
+    domain_range_per_role = 0.8;
+    exists_rhs_per_concept = 0.7;
+    qualified_per_concept = 0.8;
+    eq_cycle_fraction = 0.04;
+  }
+
+let fma_1_4 =
+  {
+    default_profile with
+    label = "FMA 1.4";
+    (* early FMA export: very large taxonomy, sparse other axioms *)
+    concepts = 72000;
+    roles = 15;
+    attributes = 0;
+    avg_parents = 1.05;
+    locality = 0.6;
+    exists_rhs_per_concept = 0.02;
+    qualified_per_concept = 0.0;
+    disjoint_per_concept = 0.0;
+    eq_cycle_fraction = 0.0;
+  }
+
+let fma_2_0 =
+  {
+    default_profile with
+    label = "FMA 2.0";
+    concepts = 41600;
+    roles = 148;
+    attributes = 20;
+    avg_parents = 1.3;
+    locality = 0.4;
+    exists_rhs_per_concept = 0.4;
+    qualified_per_concept = 0.5;
+    disjoint_per_concept = 0.0;
+    eq_cycle_fraction = 0.03;
+  }
+
+let fma_3_2_1 =
+  {
+    default_profile with
+    label = "FMA 3.2.1";
+    concepts = 85000;
+    roles = 140;
+    attributes = 30;
+    avg_parents = 1.2;
+    locality = 0.5;
+    exists_rhs_per_concept = 0.2;
+    qualified_per_concept = 0.2;
+    disjoint_per_concept = 0.0;
+  }
+
+let fma_obo =
+  {
+    default_profile with
+    label = "FMA-OBO";
+    (* OBO rendering of FMA: taxonomy plus part-of existentials *)
+    concepts = 75000;
+    roles = 2;
+    attributes = 0;
+    avg_parents = 1.2;
+    locality = 0.6;
+    exists_rhs_per_concept = 0.1;
+    qualified_per_concept = 0.3;
+    disjoint_per_concept = 0.0;
+  }
+
+(** The Figure-1 row order. *)
+let figure1 =
+  [
+    mouse;
+    transportation;
+    dolce;
+    aeo;
+    gene;
+    el_galen;
+    galen;
+    fma_1_4;
+    fma_2_0;
+    fma_3_2_1;
+    fma_obo;
+  ]
+
+(** [by_label l] finds a Figure-1 profile by (case-insensitive) name. *)
+let by_label l =
+  let norm s = String.lowercase_ascii s in
+  List.find_opt (fun p -> norm p.label = norm l) figure1

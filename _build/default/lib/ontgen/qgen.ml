@@ -1,0 +1,96 @@
+(** QCheck generators for random small DL-Lite TBoxes and related
+    structures, shared by the property-based test suites.
+
+    The generators deliberately use *tiny* signatures (a handful of
+    names) so that random axioms interact: subsumption chains, cycles
+    and unsatisfiable predicates all show up with useful frequency. *)
+
+open Dllite
+
+let concept_pool = [ "A"; "B"; "C"; "D"; "E" ]
+let role_pool = [ "p"; "q"; "r" ]
+let attr_pool = [ "u"; "v" ]
+
+let gen_role =
+  QCheck.Gen.(
+    map2
+      (fun name inv -> if inv then Syntax.Inverse name else Syntax.Direct name)
+      (oneofl role_pool) bool)
+
+let gen_basic =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun a -> Syntax.Atomic a) (oneofl concept_pool));
+        (3, map (fun q -> Syntax.Exists q) gen_role);
+        (1, map (fun u -> Syntax.Attr_domain u) (oneofl attr_pool));
+      ])
+
+let gen_concept_rhs =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun b -> Syntax.C_basic b) gen_basic);
+        (2, map (fun b -> Syntax.C_neg b) gen_basic);
+        ( 2,
+          map2 (fun q a -> Syntax.C_exists_qual (q, a)) gen_role (oneofl concept_pool)
+        );
+      ])
+
+let gen_axiom =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun b rhs -> Syntax.Concept_incl (b, rhs)) gen_basic gen_concept_rhs);
+        ( 2,
+          map2
+            (fun q1 (q2, neg) ->
+              Syntax.Role_incl (q1, if neg then Syntax.R_neg q2 else Syntax.R_role q2))
+            gen_role (pair gen_role bool) );
+        ( 1,
+          map2
+            (fun u1 (u2, neg) ->
+              Syntax.Attr_incl (u1, if neg then Syntax.A_neg u2 else Syntax.A_attr u2))
+            (oneofl attr_pool)
+            (pair (oneofl attr_pool) bool) );
+      ])
+
+(** Generator of axiom lists of length 0..12. *)
+let gen_axioms = QCheck.Gen.(list_size (int_bound 12) gen_axiom)
+
+let tbox_of_axioms axioms =
+  let signature =
+    List.fold_left
+      (fun s a -> Signature.add_concept a s)
+      (List.fold_left
+         (fun s p -> Signature.add_role p s)
+         (List.fold_left
+            (fun s u -> Signature.add_attribute u s)
+            Signature.empty attr_pool)
+         role_pool)
+      concept_pool
+  in
+  Tbox.of_axioms ~signature axioms
+
+(** Arbitrary small TBox; shrinks by dropping axioms. *)
+let arbitrary_tbox =
+  QCheck.make
+    ~print:(fun axs -> Tbox.to_string (tbox_of_axioms axs))
+    ~shrink:QCheck.Shrink.list gen_axioms
+
+(** Arbitrary single axiom over the same pools, e.g. as an implication
+    query. *)
+let arbitrary_axiom =
+  QCheck.make ~print:Syntax.axiom_to_string gen_axiom
+
+(** Arbitrary basic expression (for subsumption queries). *)
+let gen_expr =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun b -> Syntax.E_concept b) gen_basic);
+        (3, map (fun q -> Syntax.E_role q) gen_role);
+        (1, map (fun u -> Syntax.E_attr u) (oneofl attr_pool));
+      ])
+
+let arbitrary_expr = QCheck.make ~print:Syntax.expr_to_string gen_expr

@@ -1,0 +1,46 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every generated benchmark ontology is a pure function of its seed,
+    so bench runs and bug reports are reproducible without shipping
+    ontology files. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(** [next t] is the next raw 64-bit value (splitmix64 step). *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits: OCaml's native int is 63-bit signed, so a 63-bit
+     payload would wrap negative *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+(** [bool t p] is [true] with probability [p]. *)
+let bool t p = float t < p
+
+(** [pick t l] is a uniformly random element of the non-empty list [l]. *)
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+(** [split t] derives an independent generator (for parallel structure
+    generation that must not depend on traversal order). *)
+let split t =
+  let s = next t in
+  { state = Int64.logxor s 0xD1B54A32D192ED03L }

@@ -1,0 +1,1 @@
+lib/owl/embed.pp.ml: Dllite List Osyntax Syntax Tbox

@@ -1,0 +1,1 @@
+lib/owl/hierarchy.pp.ml: Hashtbl List Option Osyntax Set

@@ -1,0 +1,1 @@
+lib/owl/models.pp.ml: List Osyntax

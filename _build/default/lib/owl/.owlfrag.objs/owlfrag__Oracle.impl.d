@@ -1,0 +1,1 @@
+lib/owl/oracle.pp.ml: Dllite Embed Hierarchy Osyntax Syntax Tableau

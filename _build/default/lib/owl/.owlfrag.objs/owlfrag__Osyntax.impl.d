@@ -1,0 +1,1 @@
+lib/owl/osyntax.pp.ml: Format List Ppx_deriving_runtime Set String

@@ -1,0 +1,1 @@
+lib/owl/tableau.pp.ml: Hashtbl Hierarchy Int List Map Option Osyntax Set

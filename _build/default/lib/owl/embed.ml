@@ -1,0 +1,52 @@
+(** Embedding of DL-Lite_R into the ALCHI fragment.
+
+    DL-Lite_R is a sublanguage of ALCHI once attributes are encoded as
+    roles in a reserved namespace ([attr$U]): the embedding lets the
+    tableau serve as an independent oracle for DL-Lite entailment (used
+    by the property tests) and lets the simulated tableau reasoners of
+    Figure 1 classify (the OWL 2 QL approximations of) the benchmark
+    ontologies, exactly as the paper runs Pellet & co. on them. *)
+
+open Dllite
+
+(** Attributes become roles with this prefix; the prefix contains ['$']
+    which the DL-Lite parser rejects in identifiers, so no capture. *)
+let attr_prefix = "attr$"
+
+let role = function
+  | Syntax.Direct p -> Osyntax.Named p
+  | Syntax.Inverse p -> Osyntax.Inv p
+
+let basic = function
+  | Syntax.Atomic a -> Osyntax.Name a
+  | Syntax.Exists q -> Osyntax.Some_ (role q, Osyntax.Top)
+  | Syntax.Attr_domain u -> Osyntax.Some_ (Osyntax.Named (attr_prefix ^ u), Osyntax.Top)
+
+let concept_rhs = function
+  | Syntax.C_basic b -> basic b
+  | Syntax.C_neg b -> Osyntax.Not (basic b)
+  | Syntax.C_exists_qual (q, a) -> Osyntax.Some_ (role q, Osyntax.Name a)
+
+(** [axiom ax] translates one DL-Lite axiom. *)
+let axiom = function
+  | Syntax.Concept_incl (b, rhs) -> Osyntax.Sub (basic b, concept_rhs rhs)
+  | Syntax.Role_incl (q, Syntax.R_role q') -> Osyntax.Role_sub (role q, role q')
+  | Syntax.Role_incl (q, Syntax.R_neg q') -> Osyntax.Role_disjoint (role q, role q')
+  | Syntax.Attr_incl (u, Syntax.A_attr v) ->
+    Osyntax.Role_sub (Osyntax.Named (attr_prefix ^ u), Osyntax.Named (attr_prefix ^ v))
+  | Syntax.Attr_incl (u, Syntax.A_neg v) ->
+    Osyntax.Role_disjoint
+      (Osyntax.Named (attr_prefix ^ u), Osyntax.Named (attr_prefix ^ v))
+
+(** [tbox t] translates a whole DL-Lite TBox. *)
+let tbox t = List.map axiom (Tbox.axioms t)
+
+(** [expr e] translates a basic expression to the concept whose
+    emptiness/subsumption mirrors the expression's.  Roles and
+    attributes are represented by their domain concept — sound for
+    satisfiability ([P] empty iff [∃P] empty) but *not* for subsumption
+    between roles; use [role]/[axiom]-level reasoning for that. *)
+let expr = function
+  | Syntax.E_concept b -> basic b
+  | Syntax.E_role q -> Osyntax.Some_ (role q, Osyntax.Top)
+  | Syntax.E_attr u -> Osyntax.Some_ (Osyntax.Named (attr_prefix ^ u), Osyntax.Top)

@@ -1,0 +1,86 @@
+(** Precomputed role hierarchy for the tableau: the reflexive-transitive
+    sub-role relation [⊑*] over all basic roles (named and inverse), and
+    the induced role-disjointness relation. *)
+
+module Rset = Set.Make (struct
+  type t = Osyntax.role
+
+  let compare = Osyntax.compare_role
+end)
+
+type t = {
+  supers : (Osyntax.role, Rset.t) Hashtbl.t;  (* reflexive-transitive *)
+  disjoint_pairs : (Osyntax.role * Osyntax.role) list;
+}
+
+let all_roles tbox =
+  let _, role_names_in_concepts = Osyntax.tbox_signature tbox in
+  List.concat_map
+    (fun p -> [ Osyntax.Named p; Osyntax.Inv p ])
+    role_names_in_concepts
+
+(** [build tbox] computes [⊑*] by a simple fixpoint over the (small) set
+    of role axioms; each [R ⊑ S] also contributes [R⁻ ⊑ S⁻]. *)
+let build tbox =
+  let supers = Hashtbl.create 32 in
+  let get r = Option.value ~default:(Rset.singleton r) (Hashtbl.find_opt supers r) in
+  let set r s = Hashtbl.replace supers r s in
+  List.iter (fun r -> set r (Rset.singleton r)) (all_roles tbox);
+  let direct =
+    List.concat_map
+      (function
+        | Osyntax.Role_sub (r, s) ->
+          [ (r, s); (Osyntax.role_inv r, Osyntax.role_inv s) ]
+        | Osyntax.Sub _ | Osyntax.Equiv _ | Osyntax.Role_disjoint _ -> [])
+      tbox
+  in
+  (* make sure roles mentioned only in role axioms get entries *)
+  List.iter
+    (fun (r, s) ->
+      if not (Hashtbl.mem supers r) then set r (Rset.singleton r);
+      if not (Hashtbl.mem supers s) then set s (Rset.singleton s))
+    direct;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r, s) ->
+        let sr = get r and ss = get s in
+        let merged = Rset.union sr ss in
+        if not (Rset.equal merged sr) then begin
+          set r merged;
+          changed := true
+        end)
+      direct
+  done;
+  let disjoint_pairs =
+    List.concat_map
+      (function
+        | Osyntax.Role_disjoint (r, s) ->
+          [ (r, s); (Osyntax.role_inv r, Osyntax.role_inv s) ]
+        | Osyntax.Sub _ | Osyntax.Equiv _ | Osyntax.Role_sub _ -> [])
+      tbox
+  in
+  { supers; disjoint_pairs }
+
+(** [subsumes t r s] is [r ⊑* s]. *)
+let subsumes t r s =
+  Osyntax.equal_role r s
+  ||
+  match Hashtbl.find_opt t.supers r with
+  | Some set -> Rset.mem s set
+  | None -> false
+
+(** [supers t r] lists all (reflexive) super-roles of [r]. *)
+let supers t r =
+  match Hashtbl.find_opt t.supers r with
+  | Some set -> Rset.elements set
+  | None -> [ r ]
+
+(** [clashing t r s] — do roles [r] and [s] violate a disjointness, i.e.
+    are there declared-disjoint [r'], [s'] with [r ⊑* r'] and [s ⊑* s']? *)
+let clashing t r s =
+  List.exists
+    (fun (r', s') ->
+      (subsumes t r r' && subsumes t s s') || (subsumes t r s' && subsumes t s r'))
+    t.disjoint_pairs

@@ -1,0 +1,133 @@
+(** Brute-force finite-model checking for the ALCHI fragment: enumerate
+    every interpretation over a small domain and test satisfiability.
+
+    This is the oracle-of-the-oracle: the tableau validates the digraph
+    classifier, and this module validates the tableau on tiny inputs.
+    Exhaustive enumeration is exponential in [domain * signature], so
+    callers keep the domain at 2-3 elements and the signature at a
+    handful of names — enough to catch rule bugs (the two directions
+    checked by the property tests are: a model found here forces the
+    tableau to answer SAT, and a tableau UNSAT forbids any model
+    here). *)
+
+(* An interpretation: concept name -> bitmask over the domain; role
+   name -> bitmask over domain^2 (pair (i, j) = bit i*k + j). *)
+type interpretation = {
+  domain_size : int;
+  concepts : (string * int) list;
+  roles : (string * int) list;
+}
+
+let pair_bit k i j = (i * k) + j
+
+(* Extension of a concept as a bitmask. *)
+let rec eval_concept interp c =
+  let k = interp.domain_size in
+  let full = (1 lsl k) - 1 in
+  match c with
+  | Osyntax.Top -> full
+  | Osyntax.Bot -> 0
+  | Osyntax.Name a -> (
+    match List.assoc_opt a interp.concepts with Some m -> m | None -> 0)
+  | Osyntax.Not c -> full land lnot (eval_concept interp c)
+  | Osyntax.And (c, d) -> eval_concept interp c land eval_concept interp d
+  | Osyntax.Or (c, d) -> eval_concept interp c lor eval_concept interp d
+  | Osyntax.Some_ (r, c) ->
+    let cm = eval_concept interp c in
+    let rm = eval_role interp r in
+    let result = ref 0 in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        if rm land (1 lsl pair_bit k i j) <> 0 && cm land (1 lsl j) <> 0 then
+          result := !result lor (1 lsl i)
+      done
+    done;
+    !result
+  | Osyntax.All (r, c) ->
+    let cm = eval_concept interp c in
+    let rm = eval_role interp r in
+    let result = ref ((1 lsl k) - 1) in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        if rm land (1 lsl pair_bit k i j) <> 0 && cm land (1 lsl j) = 0 then
+          result := !result land lnot (1 lsl i)
+      done
+    done;
+    !result
+
+and eval_role interp r =
+  let k = interp.domain_size in
+  match r with
+  | Osyntax.Named p -> (
+    match List.assoc_opt p interp.roles with Some m -> m | None -> 0)
+  | Osyntax.Inv p ->
+    let m = match List.assoc_opt p interp.roles with Some m -> m | None -> 0 in
+    let inv = ref 0 in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        if m land (1 lsl pair_bit k i j) <> 0 then
+          inv := !inv lor (1 lsl pair_bit k j i)
+      done
+    done;
+    !inv
+
+(* Role extension as a set of pair-bits, for subset tests. *)
+let satisfies_axiom interp = function
+  | Osyntax.Sub (c, d) ->
+    let cm = eval_concept interp c and dm = eval_concept interp d in
+    cm land lnot dm = 0
+  | Osyntax.Equiv (c, d) -> eval_concept interp c = eval_concept interp d
+  | Osyntax.Role_sub (r, s) ->
+    let rm = eval_role interp r and sm = eval_role interp s in
+    rm land lnot sm = 0
+  | Osyntax.Role_disjoint (r, s) -> eval_role interp r land eval_role interp s = 0
+
+let is_model interp tbox = List.for_all (satisfies_axiom interp) tbox
+
+(** [find_model ~domain_size tbox c] — search for an interpretation over
+    the fixed-size domain that satisfies every axiom of [tbox] and gives
+    [c] a non-empty extension.  Exhaustive, so keep the input tiny. *)
+let find_model ~domain_size tbox c =
+  let concept_names =
+    List.sort_uniq compare
+      (Osyntax.concept_names c @ List.concat_map (fun ax -> fst (Osyntax.axiom_signature ax)) tbox)
+  in
+  let role_names =
+    List.sort_uniq compare
+      (Osyntax.role_names c @ List.concat_map (fun ax -> snd (Osyntax.axiom_signature ax)) tbox)
+  in
+  let k = domain_size in
+  let concept_space = 1 lsl k in
+  let role_space = 1 lsl (k * k) in
+  (* depth-first over assignments, checking lazily at the leaves *)
+  let rec assign_concepts acc = function
+    | [] -> assign_roles acc [] role_names
+    | a :: rest ->
+      let found = ref None in
+      let m = ref 0 in
+      while !found = None && !m < concept_space do
+        found := assign_concepts ((a, !m) :: acc) rest;
+        incr m
+      done;
+      !found
+  and assign_roles concepts acc = function
+    | [] ->
+      let interp = { domain_size = k; concepts; roles = acc } in
+      if is_model interp tbox && eval_concept interp c <> 0 then Some interp
+      else None
+    | p :: rest ->
+      let found = ref None in
+      let m = ref 0 in
+      while !found = None && !m < role_space do
+        found := assign_roles concepts ((p, !m) :: acc) rest;
+        incr m
+      done;
+      !found
+  in
+  assign_concepts [] concept_names
+
+(** [satisfiable_on ~domain_size tbox c] — bounded-domain
+    satisfiability.  [true] implies real satisfiability; [false] only
+    means "no model of this size". *)
+let satisfiable_on ~domain_size tbox c =
+  find_model ~domain_size tbox c <> None

@@ -1,0 +1,104 @@
+(** DL-Lite entailment oracle built on the ALCHI tableau.
+
+    This is the *independent* decision procedure the property tests
+    compare the graph-based classifier against: it shares no code with
+    the digraph encoding, the transitive closure or [computeUnsat].
+
+    Role- and attribute-level questions that ALCHI cannot express as
+    concept (un)satisfiability are answered analytically on top of the
+    role hierarchy; see the per-function comments. *)
+
+open Dllite
+
+type t = {
+  config : Tableau.config;
+  hierarchy : Hierarchy.t;
+}
+
+(** [of_tbox t] compiles the embedded TBox once; individual queries then
+    share the preprocessing. *)
+let of_tbox t =
+  let otbox = Embed.tbox t in
+  { config = Tableau.compile otbox; hierarchy = Hierarchy.build otbox }
+
+let embed_role = Embed.role
+
+let domain_concept q = Osyntax.Some_ (embed_role q, Osyntax.Top)
+
+(** [concept_satisfiable o c] — satisfiability of an embedded concept. *)
+let concept_satisfiable ?budget o c = Tableau.satisfiable ?budget o.config c
+
+(** [is_unsat o e] — unsatisfiability of a basic DL-Lite expression.  A
+    role or attribute is empty iff its domain concept is empty. *)
+let is_unsat ?budget o e =
+  not (concept_satisfiable ?budget o (Embed.expr e))
+
+(** [subsumes o e1 e2] decides [T ⊨ e1 ⊑ e2].
+
+    Concepts reduce to tableau subsumption.  For roles, ALCHI entails
+    [Q1 ⊑ Q2] only through the declared hierarchy or emptiness of [Q1]
+    (no concept axiom can force new pairs into a role); likewise for
+    attributes. *)
+let subsumes ?budget o e1 e2 =
+  match e1, e2 with
+  | Syntax.E_concept b1, Syntax.E_concept b2 ->
+    Tableau.subsumes ?budget o.config (Embed.basic b1) (Embed.basic b2)
+  | Syntax.E_role q1, Syntax.E_role q2 ->
+    Hierarchy.subsumes o.hierarchy (embed_role q1) (embed_role q2)
+    || is_unsat ?budget o e1
+  | Syntax.E_attr u1, Syntax.E_attr u2 ->
+    Hierarchy.subsumes o.hierarchy
+      (Osyntax.Named (Embed.attr_prefix ^ u1))
+      (Osyntax.Named (Embed.attr_prefix ^ u2))
+    || is_unsat ?budget o e1
+  | (Syntax.E_concept _ | Syntax.E_role _ | Syntax.E_attr _), _ -> false
+
+(** [disjoint o e1 e2] decides [T ⊨ e1 ⊑ ¬e2].
+
+    Concepts reduce to unsatisfiability of the conjunction.  A pair in
+    [Q1 ∩ Q2] puts its components in [∃Q1 ⊓ ∃Q2] and [∃Q1⁻ ⊓ ∃Q2⁻] and
+    its membership in every super-role; with no role conjunction in the
+    language these are the only sources of contradiction, so role
+    disjointness holds iff a declared disjointness covers the pair up to
+    the hierarchy, a component conjunction is unsatisfiable, or a side
+    is empty. *)
+let disjoint ?budget o e1 e2 =
+  let concept_disjoint c1 c2 =
+    not (concept_satisfiable ?budget o (Osyntax.And (c1, c2)))
+  in
+  match e1, e2 with
+  | Syntax.E_concept b1, Syntax.E_concept b2 ->
+    concept_disjoint (Embed.basic b1) (Embed.basic b2)
+  | Syntax.E_role q1, Syntax.E_role q2 ->
+    let r1 = embed_role q1 and r2 = embed_role q2 in
+    Hierarchy.clashing o.hierarchy r1 r2
+    || concept_disjoint (domain_concept q1) (domain_concept q2)
+    || concept_disjoint
+         (domain_concept (Syntax.role_inverse q1))
+         (domain_concept (Syntax.role_inverse q2))
+  | Syntax.E_attr u1, Syntax.E_attr u2 ->
+    let r1 = Osyntax.Named (Embed.attr_prefix ^ u1) in
+    let r2 = Osyntax.Named (Embed.attr_prefix ^ u2) in
+    Hierarchy.clashing o.hierarchy r1 r2
+    || concept_disjoint
+         (Osyntax.Some_ (r1, Osyntax.Top))
+         (Osyntax.Some_ (r2, Osyntax.Top))
+  | (Syntax.E_concept _ | Syntax.E_role _ | Syntax.E_attr _), _ -> false
+
+(** [entails o ax] decides [T ⊨ ax] for any DL-Lite axiom. *)
+let entails ?budget o = function
+  | Syntax.Concept_incl (b, Syntax.C_basic b') ->
+    subsumes ?budget o (Syntax.E_concept b) (Syntax.E_concept b')
+  | Syntax.Concept_incl (b, Syntax.C_neg b') ->
+    disjoint ?budget o (Syntax.E_concept b) (Syntax.E_concept b')
+  | Syntax.Concept_incl (b, Syntax.C_exists_qual (q, a)) ->
+    Tableau.subsumes ?budget o.config (Embed.basic b)
+      (Osyntax.Some_ (embed_role q, Osyntax.Name a))
+  | Syntax.Role_incl (q, Syntax.R_role q') ->
+    subsumes ?budget o (Syntax.E_role q) (Syntax.E_role q')
+  | Syntax.Role_incl (q, Syntax.R_neg q') ->
+    disjoint ?budget o (Syntax.E_role q) (Syntax.E_role q')
+  | Syntax.Attr_incl (u, Syntax.A_attr u') ->
+    subsumes ?budget o (Syntax.E_attr u) (Syntax.E_attr u')
+  | Syntax.Attr_incl (u, Syntax.A_neg u') ->
+    disjoint ?budget o (Syntax.E_attr u) (Syntax.E_attr u')

@@ -1,0 +1,135 @@
+(** Abstract syntax of the expressive ontology fragment (ALCHI): the
+    "OWL" language of Section 7 that ontologies are approximated *from*,
+    and the language the tableau oracle reasons in.
+
+    Strictly more expressive than DL-Lite_R: adds ⊤, ⊥, full negation,
+    conjunction, disjunction, qualified existentials over arbitrary
+    concepts, and universal (value) restrictions. *)
+
+(** Roles: named or inverse-of-named. *)
+type role =
+  | Named of string
+  | Inv of string
+[@@deriving eq, ord, show { with_path = false }]
+
+let role_inv = function Named p -> Inv p | Inv p -> Named p
+let role_base = function Named p | Inv p -> p
+
+type concept =
+  | Top
+  | Bot
+  | Name of string
+  | Not of concept
+  | And of concept * concept
+  | Or of concept * concept
+  | Some_ of role * concept  (** existential restriction [∃R.C] *)
+  | All of role * concept    (** universal restriction [∀R.C] *)
+[@@deriving eq, ord, show { with_path = false }]
+
+type axiom =
+  | Sub of concept * concept        (** [C ⊑ D] *)
+  | Equiv of concept * concept      (** [C ≡ D] *)
+  | Role_sub of role * role         (** [R ⊑ S] *)
+  | Role_disjoint of role * role    (** [Disj(R, S)] *)
+[@@deriving eq, ord, show { with_path = false }]
+
+type tbox = axiom list
+
+(** [conj cs] right-folds a conjunction, [Top] for the empty list. *)
+let conj = function
+  | [] -> Top
+  | c :: cs -> List.fold_left (fun acc c' -> And (acc, c')) c cs
+
+(** [disj cs] right-folds a disjunction, [Bot] for the empty list. *)
+let disj = function
+  | [] -> Bot
+  | c :: cs -> List.fold_left (fun acc c' -> Or (acc, c')) c cs
+
+(** [nnf c] is the negation normal form of [c]: negation only in front
+    of concept names. *)
+let rec nnf = function
+  | Top -> Top
+  | Bot -> Bot
+  | Name _ as c -> c
+  | And (c, d) -> And (nnf c, nnf d)
+  | Or (c, d) -> Or (nnf c, nnf d)
+  | Some_ (r, c) -> Some_ (r, nnf c)
+  | All (r, c) -> All (r, nnf c)
+  | Not c -> nnf_neg c
+
+and nnf_neg = function
+  | Top -> Bot
+  | Bot -> Top
+  | Name _ as c -> Not c
+  | Not c -> nnf c
+  | And (c, d) -> Or (nnf_neg c, nnf_neg d)
+  | Or (c, d) -> And (nnf_neg c, nnf_neg d)
+  | Some_ (r, c) -> All (r, nnf_neg c)
+  | All (r, c) -> Some_ (r, nnf_neg c)
+
+(** [concept_names c] is the set of concept names occurring in [c]. *)
+let concept_names c =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Top | Bot -> acc
+    | Name a -> S.add a acc
+    | Not c -> go acc c
+    | And (c, d) | Or (c, d) -> go (go acc c) d
+    | Some_ (_, c) | All (_, c) -> go acc c
+  in
+  S.elements (go S.empty c)
+
+(** [role_names c] is the set of role names occurring in [c]. *)
+let role_names c =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Top | Bot | Name _ -> acc
+    | Not c -> go acc c
+    | And (c, d) | Or (c, d) -> go (go acc c) d
+    | Some_ (r, c) | All (r, c) -> go (S.add (role_base r) acc) c
+  in
+  S.elements (go S.empty c)
+
+(** [axiom_signature ax] is [(concept names, role names)] of [ax]. *)
+let axiom_signature ax =
+  let module S = Set.Make (String) in
+  let cs, rs =
+    match ax with
+    | Sub (c, d) | Equiv (c, d) ->
+      ( S.union (S.of_list (concept_names c)) (S.of_list (concept_names d)),
+        S.union (S.of_list (role_names c)) (S.of_list (role_names d)) )
+    | Role_sub (r, s) | Role_disjoint (r, s) ->
+      (S.empty, S.of_list [ role_base r; role_base s ])
+  in
+  (S.elements cs, S.elements rs)
+
+(** [tbox_signature t] is the pair of sorted concept/role name lists. *)
+let tbox_signature t =
+  let module S = Set.Make (String) in
+  let cs, rs =
+    List.fold_left
+      (fun (cs, rs) ax ->
+        let cs', rs' = axiom_signature ax in
+        (S.union cs (S.of_list cs'), S.union rs (S.of_list rs')))
+      (S.empty, S.empty) t
+  in
+  (S.elements cs, S.elements rs)
+
+let rec pp_concept fmt = function
+  | Top -> Format.pp_print_string fmt "Top"
+  | Bot -> Format.pp_print_string fmt "Bot"
+  | Name a -> Format.pp_print_string fmt a
+  | Not c -> Format.fprintf fmt "(not %a)" pp_concept c
+  | And (c, d) -> Format.fprintf fmt "(%a and %a)" pp_concept c pp_concept d
+  | Or (c, d) -> Format.fprintf fmt "(%a or %a)" pp_concept c pp_concept d
+  | Some_ (r, c) -> Format.fprintf fmt "(some %s %a)" (pp_role_str r) pp_concept c
+  | All (r, c) -> Format.fprintf fmt "(all %s %a)" (pp_role_str r) pp_concept c
+
+and pp_role_str = function Named p -> p | Inv p -> p ^ "^-"
+
+let pp_axiom fmt = function
+  | Sub (c, d) -> Format.fprintf fmt "%a [= %a" pp_concept c pp_concept d
+  | Equiv (c, d) -> Format.fprintf fmt "%a == %a" pp_concept c pp_concept d
+  | Role_sub (r, s) -> Format.fprintf fmt "%s [= %s" (pp_role_str r) (pp_role_str s)
+  | Role_disjoint (r, s) ->
+    Format.fprintf fmt "disjoint(%s, %s)" (pp_role_str r) (pp_role_str s)

@@ -1,0 +1,181 @@
+(** Ontology design patterns (Section 8: "aspects of domain modeling
+    that commonly occur in different scenarios ... such as temporally
+    changing information or part-whole relations, and ... patterns for
+    effectively modeling them").
+
+    Each pattern is a parameterized axiom bundle: instantiating it
+    returns a TBox fragment ready to be [Tbox.union]ed into a design,
+    plus the list of *intended consequences* — entailments the pattern
+    promises, used both as executable documentation and as test
+    fixtures (the test suite checks every instantiation entails its own
+    promises). *)
+
+open Dllite
+
+type instance = {
+  pattern : string;           (** pattern name *)
+  tbox : Tbox.t;              (** the axioms to merge into the design *)
+  intended : Syntax.axiom list;  (** consequences the pattern guarantees *)
+}
+
+let concept a = Syntax.Atomic a
+let incl b c = Syntax.Concept_incl (b, Syntax.C_basic c)
+let qual b q a = Syntax.Concept_incl (b, Syntax.C_exists_qual (q, a))
+let disjoint b c = Syntax.Concept_incl (b, Syntax.C_neg c)
+
+(* ------------------------------------------------------------------ *)
+(* Part-whole                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [part_whole ~part ~whole ?role ()] — the pattern behind Figure 2:
+    every part is part of some whole, every whole has some part, and the
+    part-of role is typed on both sides.
+
+    Intended: the two qualified existentials of Figure 2, plus the
+    domain/range typings. *)
+let part_whole ~part ~whole ?(role = "isPartOf") () =
+  let q = Syntax.Direct role in
+  let axioms =
+    [
+      qual (concept part) q whole;
+      qual (concept whole) (Syntax.role_inverse q) part;
+      incl (Syntax.Exists q) (concept part);
+      incl (Syntax.Exists (Syntax.role_inverse q)) (concept whole);
+    ]
+  in
+  {
+    pattern = "part-whole";
+    tbox = Tbox.of_axioms axioms;
+    intended =
+      [
+        qual (concept part) q whole;
+        incl (concept part) (Syntax.Exists q);
+        incl (concept whole) (Syntax.Exists (Syntax.role_inverse q));
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Temporal snapshots                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [temporal_snapshot ~entity ?time ()] — "temporally changing
+    information": the entity's mutable state is reified as a snapshot
+    concept linked to the entity and carrying a validity-time
+    attribute.  DL-Lite cannot quantify over time, so this is the
+    standard reification encoding used in practice.
+
+    Produces, for entity [E]: concepts [E] and [ESnapshot], role
+    [hasSnapshot] typed [E] to [ESnapshot], mandatory participation of
+    snapshots in their entity, and attributes [validFrom]/[validTo] on
+    snapshots. *)
+let temporal_snapshot ~entity ?(time_attr_prefix = "valid") () =
+  let snapshot = entity ^ "Snapshot" in
+  let role = "has" ^ snapshot in
+  let q = Syntax.Direct role in
+  let valid_from = time_attr_prefix ^ "From" in
+  let valid_to = time_attr_prefix ^ "To" in
+  let axioms =
+    [
+      incl (Syntax.Exists q) (concept entity);
+      incl (Syntax.Exists (Syntax.role_inverse q)) (concept snapshot);
+      (* every snapshot belongs to exactly-one... DL-Lite_R: at least one *)
+      incl (concept snapshot) (Syntax.Exists (Syntax.role_inverse q));
+      incl (concept snapshot) (Syntax.Attr_domain valid_from);
+      incl (Syntax.Attr_domain valid_from) (concept snapshot);
+      incl (Syntax.Attr_domain valid_to) (concept snapshot);
+      disjoint (concept entity) (concept snapshot);
+    ]
+  in
+  {
+    pattern = "temporal-snapshot";
+    tbox = Tbox.of_axioms axioms;
+    intended =
+      [
+        incl (concept snapshot) (Syntax.Exists (Syntax.role_inverse q));
+        qual (concept snapshot) (Syntax.role_inverse q) entity;
+        disjoint (concept snapshot) (concept entity);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Role qualification (n-ary reification)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [qualified_relationship ~name ~source ~target ()] — reify a
+    relationship that needs attributes of its own (the classic n-ary
+    relation pattern): concept [Name], roles [nameSource]/[nameTarget]
+    with mandatory participation from the reified concept, typed ends,
+    and disjointness from the participants. *)
+let qualified_relationship ~name ~source ~target () =
+  let lower = String.uncapitalize_ascii name in
+  let src_role = Syntax.Direct (lower ^ "Source") in
+  let tgt_role = Syntax.Direct (lower ^ "Target") in
+  let axioms =
+    [
+      incl (concept name) (Syntax.Exists src_role);
+      incl (concept name) (Syntax.Exists tgt_role);
+      incl (Syntax.Exists src_role) (concept name);
+      incl (Syntax.Exists tgt_role) (concept name);
+      incl (Syntax.Exists (Syntax.role_inverse src_role)) (concept source);
+      incl (Syntax.Exists (Syntax.role_inverse tgt_role)) (concept target);
+      disjoint (concept name) (concept source);
+      disjoint (concept name) (concept target);
+    ]
+  in
+  {
+    pattern = "qualified-relationship";
+    tbox = Tbox.of_axioms axioms;
+    intended =
+      [
+        qual (concept name) src_role source;
+        qual (concept name) tgt_role target;
+        disjoint (concept name) (concept source);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned hierarchy                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [partition ~parent ~cases ()] — a complete-looking disjoint
+    specialization: every case is a subclass of [parent] and the cases
+    are pairwise disjoint.  (DL-Lite cannot express covering, which is
+    the documented loss; the pattern records it in the instance name.)
+
+    Intended: all subclass axioms and all pairwise disjointness. *)
+let partition ~parent ~cases () =
+  let subclass = List.map (fun c -> incl (concept c) (concept parent)) cases in
+  let rec pairs = function
+    | [] -> []
+    | c :: rest -> List.map (fun c' -> disjoint (concept c) (concept c')) rest @ pairs rest
+  in
+  let disjointness = pairs cases in
+  {
+    pattern = "partition (no covering: beyond DL-Lite)";
+    tbox = Tbox.of_axioms (subclass @ disjointness);
+    intended =
+      subclass
+      @ disjointness
+      @ (* symmetry of disjointness comes for free *)
+      (match cases with
+       | c1 :: c2 :: _ -> [ disjoint (concept c2) (concept c1) ]
+       | _ -> []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [verify instance] — do the pattern's axioms entail every intended
+    consequence?  Returns the violated promises ([] = pattern holds). *)
+let verify instance =
+  let d = Quonto.Deductive.compute instance.tbox in
+  List.filter (fun ax -> not (Quonto.Deductive.entails d ax)) instance.intended
+
+(** [apply design instance] merges an instantiated pattern into a
+    design-in-progress. *)
+let apply design instance = Tbox.union design instance.tbox
+
+(** [diagram instance] — the pattern rendered in the graphical
+    language, ready for the documentation of Section 3's workflow. *)
+let diagram instance = Graphical.Translate.of_tbox instance.tbox

@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Approx Dllite Format List Owlfrag QCheck QCheck_alcotest Quonto String Syntax Tbox

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dllite List Ontgen Parser Printf QCheck QCheck_alcotest Quonto Syntax Tbox

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Dllite Graphlib List Ontgen Owlfrag Parser QCheck QCheck_alcotest Quonto Syntax

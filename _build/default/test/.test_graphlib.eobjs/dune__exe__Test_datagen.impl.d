@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest List Obda Ontgen

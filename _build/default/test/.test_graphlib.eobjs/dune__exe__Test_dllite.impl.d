@@ -1,0 +1,1 @@
+test/test_dllite.ml: Abox Alcotest Dllite Format List Ontgen Parser Printf QCheck QCheck_alcotest Signature String Syntax Tbox

@@ -1,0 +1,1 @@
+test/test_docgen.ml: Alcotest Dllite Docgen Parser String Tbox

@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Dllite Evolution List Ontgen Parser QCheck QCheck_alcotest Syntax

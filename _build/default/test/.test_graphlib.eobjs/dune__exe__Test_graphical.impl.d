@@ -1,0 +1,1 @@
+test/test_graphical.ml: Alcotest Dllite Graphical List Ontgen Option Parser QCheck QCheck_alcotest Signature String Syntax Tbox

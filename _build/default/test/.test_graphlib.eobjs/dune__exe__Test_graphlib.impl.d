@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Graphlib Int List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integrity.ml: Abox Alcotest Constraints Dllite List Obda Parser Syntax Tbox

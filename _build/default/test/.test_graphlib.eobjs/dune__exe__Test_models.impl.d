@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Format List Owlfrag Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_obda.ml: Abox Alcotest Dllite List Obda Ontgen Parser Printf QCheck QCheck_alcotest Tbox

@@ -1,0 +1,1 @@
+test/test_ontgen.ml: Alcotest Approx Array Dllite List Ontgen Quonto Signature Tbox

@@ -1,0 +1,1 @@
+test/test_owl.ml: Alcotest Dllite List Owlfrag

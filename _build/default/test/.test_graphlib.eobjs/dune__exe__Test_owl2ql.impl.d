@@ -1,0 +1,1 @@
+test/test_owl2ql.ml: Alcotest Dllite List Ontgen Owl2ql Parser QCheck QCheck_alcotest String Syntax Tbox

@@ -1,0 +1,1 @@
+test/test_owlize.ml: Alcotest Format Graphical List Owlfrag String

@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Dllite Graphical List Patterns Quonto Signature String Syntax Tbox

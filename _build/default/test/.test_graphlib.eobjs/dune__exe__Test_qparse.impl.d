@@ -1,0 +1,1 @@
+test/test_qparse.ml: Alcotest Dllite List Obda Signature

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Dllite List Obda QCheck QCheck_alcotest String

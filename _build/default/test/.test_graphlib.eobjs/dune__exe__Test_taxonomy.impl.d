@@ -1,0 +1,1 @@
+test/test_taxonomy.ml: Alcotest Array Dllite Graphlib List Ontgen Parser Printf QCheck QCheck_alcotest Quonto Signature String Syntax Tbox

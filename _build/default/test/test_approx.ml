@@ -1,0 +1,229 @@
+(* Tests for ontology approximation (Section 7): syntactic
+   decomposition, semantic per-axiom approximation, soundness against
+   the tableau, and the completeness relation between the two. *)
+
+open Dllite
+module O = Owlfrag.Osyntax
+module Syntactic = Approx.Syntactic
+module Semantic = Approx.Semantic
+
+let axiom = Alcotest.testable Syntax.pp_axiom Syntax.equal_axiom
+
+let has_axiom t ax = Tbox.mem ax t
+
+(* ----------------------------- syntactic ----------------------------- *)
+
+let test_syntactic_keeps_dllite () =
+  let otbox =
+    [
+      O.Sub (O.Name "A", O.Name "B");
+      O.Sub (O.Name "A", O.Some_ (O.Named "p", O.Top));
+      O.Sub (O.Name "A", O.Some_ (O.Named "p", O.Name "B"));
+      O.Role_sub (O.Named "p", O.Named "q");
+    ]
+  in
+  let r = Syntactic.approximate otbox in
+  Alcotest.(check int) "nothing dropped" 0 (List.length r.Syntactic.dropped);
+  Alcotest.(check bool) "atomic" true
+    (has_axiom r.Syntactic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_basic (Syntax.Atomic "B"))));
+  Alcotest.(check bool) "qualified" true
+    (has_axiom r.Syntactic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_exists_qual (Syntax.Direct "p", "B"))));
+  Alcotest.(check bool) "role" true
+    (has_axiom r.Syntactic.tbox
+       (Syntax.Role_incl (Syntax.Direct "p", Syntax.R_role (Syntax.Direct "q"))))
+
+let test_syntactic_splits_conjunction () =
+  let otbox = [ O.Sub (O.Name "A", O.And (O.Name "B", O.Name "C")) ] in
+  let r = Syntactic.approximate otbox in
+  Alcotest.(check int) "two axioms" 2 (Tbox.axiom_count r.Syntactic.tbox);
+  Alcotest.(check int) "nothing dropped" 0 (List.length r.Syntactic.dropped)
+
+let test_syntactic_splits_lhs_disjunction () =
+  let otbox = [ O.Sub (O.Or (O.Name "A", O.Name "B"), O.Name "C") ] in
+  let r = Syntactic.approximate otbox in
+  Alcotest.(check bool) "A [= C" true
+    (has_axiom r.Syntactic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_basic (Syntax.Atomic "C"))));
+  Alcotest.(check bool) "B [= C" true
+    (has_axiom r.Syntactic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "B", Syntax.C_basic (Syntax.Atomic "C"))))
+
+let test_syntactic_drops_beyond () =
+  let otbox =
+    [
+      O.Sub (O.Name "A", O.Or (O.Name "B", O.Name "C"));   (* rhs disjunction *)
+      O.Sub (O.Name "A", O.All (O.Named "p", O.Name "B")); (* universal rhs *)
+    ]
+  in
+  let r = Syntactic.approximate otbox in
+  Alcotest.(check int) "both dropped" 2 (List.length r.Syntactic.dropped);
+  Alcotest.(check int) "nothing kept" 0 (Tbox.axiom_count r.Syntactic.tbox)
+
+let test_syntactic_bottom () =
+  let otbox = [ O.Sub (O.Name "A", O.Bot) ] in
+  let r = Syntactic.approximate otbox in
+  Alcotest.(check bool) "A [= not A" true
+    (has_axiom r.Syntactic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_neg (Syntax.Atomic "A"))))
+
+(* ----------------------------- semantic ------------------------------ *)
+
+let test_semantic_recovers_hidden_subsumption () =
+  (* A ⊑ B ⊓ C is not DL-Lite syntax, but entails A ⊑ B and A ⊑ C *)
+  let otbox = [ O.Sub (O.Name "A", O.And (O.Name "B", O.Name "C")) ] in
+  let r = Semantic.approximate otbox in
+  Alcotest.(check bool) "A [= B" true
+    (has_axiom r.Semantic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_basic (Syntax.Atomic "B"))));
+  Alcotest.(check bool) "A [= C" true
+    (has_axiom r.Semantic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_basic (Syntax.Atomic "C"))))
+
+let test_semantic_recovers_domain_from_forall () =
+  (* ∃p.⊤ ⊑ ∀p.B is beyond DL-Lite, but together with nothing else it
+     entails ∃p⁻ ⊑ B?  No — ∀p.B on the domain constrains successors:
+     every p-pair's target is in B, i.e. ∃p⁻ ⊑ B.  The per-axiom
+     semantic approximation must find that. *)
+  let otbox = [ O.Sub (O.Some_ (O.Named "p", O.Top), O.All (O.Named "p", O.Name "B")) ] in
+  let r = Semantic.approximate otbox in
+  Alcotest.(check bool) "range axiom recovered" true
+    (has_axiom r.Semantic.tbox
+       (Syntax.Concept_incl
+          (Syntax.Exists (Syntax.Inverse "p"), Syntax.C_basic (Syntax.Atomic "B"))))
+
+let test_semantic_disjointness () =
+  (* A ⊑ ¬(B ⊔ C) entails A ⊑ ¬B and A ⊑ ¬C *)
+  let otbox = [ O.Sub (O.Name "A", O.Not (O.Or (O.Name "B", O.Name "C"))) ] in
+  let r = Semantic.approximate otbox in
+  Alcotest.(check bool) "A disjoint B" true
+    (has_axiom r.Semantic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_neg (Syntax.Atomic "B"))));
+  Alcotest.(check bool) "A disjoint C" true
+    (has_axiom r.Semantic.tbox
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_neg (Syntax.Atomic "C"))))
+
+let test_semantic_per_axiom_vs_global () =
+  (* interaction across axioms: A ⊑ D ⊔ B, D ⊑ B together entail A ⊑ B,
+     which per-axiom approximation cannot see but Global does *)
+  let otbox =
+    [ O.Sub (O.Name "A", O.Or (O.Name "D", O.Name "B")); O.Sub (O.Name "D", O.Name "B") ]
+  in
+  let per_axiom = Semantic.approximate ~mode:Semantic.Per_axiom otbox in
+  let global = Semantic.approximate ~mode:Semantic.Global otbox in
+  let target =
+    Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_basic (Syntax.Atomic "B"))
+  in
+  Alcotest.(check bool) "per-axiom misses it" false
+    (has_axiom per_axiom.Semantic.tbox target);
+  Alcotest.(check bool) "global finds it" true (has_axiom global.Semantic.tbox target)
+
+let test_recovery_metric () =
+  let otbox = [ O.Sub (O.Name "A", O.And (O.Name "B", O.Name "C")) ] in
+  let sem = Semantic.approximate otbox in
+  let score = Semantic.entailment_recovery ~source:otbox ~approx:sem.Semantic.tbox in
+  Alcotest.(check (float 0.0001)) "semantic recovers all" 1.0 score;
+  let syn = Syntactic.approximate [ O.Sub (O.Name "A", O.Or (O.Name "B", O.Name "B")) ] in
+  (* A ⊑ B ⊔ B ≡ A ⊑ B is dropped syntactically: recovery < 1 *)
+  let score_syn =
+    Semantic.entailment_recovery
+      ~source:[ O.Sub (O.Name "A", O.Or (O.Name "B", O.Name "B")) ]
+      ~approx:syn.Syntactic.tbox
+  in
+  Alcotest.(check bool) "syntactic loses entailments" true (score_syn < 1.0)
+
+(* -------------------------- soundness (prop) ------------------------- *)
+
+let gen_owl_tbox =
+  QCheck.Gen.(
+    let name = map (fun a -> O.Name a) (oneofl [ "A"; "B"; "C"; "D" ]) in
+    let role = map (fun p -> O.Named p) (oneofl [ "p"; "q" ]) in
+    let concept =
+      sized_size (int_bound 2) @@ fix (fun self n ->
+          if n = 0 then
+            frequency [ (4, name); (1, return O.Top); (1, return O.Bot) ]
+          else
+            frequency
+              [
+                (3, name);
+                (2, map2 (fun c d -> O.And (c, d)) (self (n - 1)) (self (n - 1)));
+                (2, map2 (fun c d -> O.Or (c, d)) (self (n - 1)) (self (n - 1)));
+                (1, map (fun c -> O.Not c) (self (n - 1)));
+                (2, map2 (fun r c -> O.Some_ (r, c)) role (self (n - 1)));
+                (1, map2 (fun r c -> O.All (r, c)) role (self (n - 1)));
+              ])
+    in
+    list_size (int_range 1 5)
+      (frequency
+         [
+           (5, map2 (fun c d -> O.Sub (c, d)) concept concept);
+           (1, map2 (fun r s -> O.Role_sub (r, s)) role role);
+         ]))
+
+let arbitrary_owl_tbox =
+  QCheck.make
+    ~print:(fun t ->
+      String.concat "\n" (List.map (Format.asprintf "%a" O.pp_axiom) t))
+    gen_owl_tbox
+
+let prop_semantic_sound =
+  QCheck.Test.make ~count:60 ~name:"semantic approximation sound per axiom"
+    arbitrary_owl_tbox (fun otbox ->
+      (* a small budget keeps pathological random cases cheap: exhausted
+         candidates are dropped, which never hurts soundness *)
+      let r = Semantic.approximate ~budget:10_000 otbox in
+      (* every emitted DL-Lite axiom must be entailed by the full source *)
+      let oracle =
+        {
+          Owlfrag.Oracle.config = Owlfrag.Tableau.compile otbox;
+          Owlfrag.Oracle.hierarchy = Owlfrag.Hierarchy.build otbox;
+        }
+      in
+      List.for_all
+        (fun ax ->
+          match Owlfrag.Oracle.entails ~budget:50_000 oracle ax with
+          | b -> b
+          | exception Owlfrag.Tableau.Budget_exhausted -> true)
+        (Tbox.axioms r.Semantic.tbox))
+
+let prop_global_covers_per_axiom =
+  QCheck.Test.make ~count:40 ~name:"global approximation covers per-axiom"
+    arbitrary_owl_tbox (fun otbox ->
+      let pa = Semantic.approximate ~budget:10_000 ~mode:Semantic.Per_axiom otbox in
+      let g = Semantic.approximate ~budget:10_000 ~mode:Semantic.Global otbox in
+      (* the coverage claim only holds when no candidate was dropped for
+         running out of budget — those cases are skipped, not judged *)
+      g.Semantic.budget_exhaustions > 0
+      || pa.Semantic.budget_exhaustions > 0
+      ||
+      let d = Quonto.Deductive.compute g.Semantic.tbox in
+      List.for_all (Quonto.Deductive.entails d) (Tbox.axioms pa.Semantic.tbox))
+
+let () =
+  ignore axiom;
+  Alcotest.run "approx"
+    [
+      ( "syntactic",
+        [
+          Alcotest.test_case "keeps DL-Lite" `Quick test_syntactic_keeps_dllite;
+          Alcotest.test_case "splits conjunction" `Quick test_syntactic_splits_conjunction;
+          Alcotest.test_case "splits lhs disjunction" `Quick
+            test_syntactic_splits_lhs_disjunction;
+          Alcotest.test_case "drops beyond DL-Lite" `Quick test_syntactic_drops_beyond;
+          Alcotest.test_case "bottom rhs" `Quick test_syntactic_bottom;
+        ] );
+      ( "semantic",
+        [
+          Alcotest.test_case "hidden subsumption" `Quick
+            test_semantic_recovers_hidden_subsumption;
+          Alcotest.test_case "range from forall" `Quick
+            test_semantic_recovers_domain_from_forall;
+          Alcotest.test_case "disjointness" `Quick test_semantic_disjointness;
+          Alcotest.test_case "per-axiom vs global" `Quick test_semantic_per_axiom_vs_global;
+          Alcotest.test_case "recovery metric" `Quick test_recovery_metric;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_semantic_sound; prop_global_covers_per_axiom ] );
+    ]

@@ -1,0 +1,72 @@
+(* Tests for the OBDA data generator: determinism, shape, and semantic
+   sanity of the generated instance. *)
+
+module Datagen = Ontgen.Datagen
+module Cq = Obda.Cq
+
+let sorted = List.sort compare
+
+let test_deterministic () =
+  let a = Datagen.generate ~persons:200 ~courses:20 () in
+  let b = Datagen.generate ~persons:200 ~courses:20 () in
+  Alcotest.(check int) "same volume"
+    (Obda.Database.size a.Datagen.database)
+    (Obda.Database.size b.Datagen.database);
+  Alcotest.(check (list (list string))) "same staff"
+    (sorted (Obda.Database.rows a.Datagen.database "t_staff"))
+    (sorted (Obda.Database.rows b.Datagen.database "t_staff"))
+
+let test_shape () =
+  let i = Datagen.generate ~persons:500 ~courses:50 () in
+  let rows r = List.length (Obda.Database.rows i.Datagen.database r) in
+  Alcotest.(check int) "staff cut" 50 (rows "t_staff");
+  Alcotest.(check bool) "teaching assignments" true (rows "t_teach" > 0);
+  (* enrollments: 450 students x 3 picks, some duplicate picks collapse *)
+  Alcotest.(check bool) "enrollment volume" true
+    (rows "t_enroll" > 1000 && rows "t_enroll" <= 1350);
+  Alcotest.(check bool) "assists are rare" true (rows "t_assist" < 60)
+
+let test_semantics () =
+  let i = Datagen.generate ~persons:300 ~courses:30 () in
+  let system = Datagen.engine i in
+  Alcotest.(check bool) "consistent" true (Obda.Engine.consistent system);
+  (* every professor is inferred a Person through the chain *)
+  let answers name =
+    let q = List.assoc name Datagen.queries in
+    sorted (Obda.Engine.certain_answers system q)
+  in
+  let persons = answers "persons" in
+  let faculty = answers "faculty" in
+  Alcotest.(check bool) "faculty nonempty" true (faculty <> []);
+  Alcotest.(check bool) "faculty are persons" true
+    (List.for_all (fun t -> List.mem t persons) faculty);
+  (* TA [= Student and assists [= attends: any assisting person is a
+     student and therefore a person *)
+  let tas =
+    sorted
+      (Obda.Engine.certain_answers system
+         (Cq.make [ "x" ] [ Cq.atom (Obda.Vabox.concept_pred "TA") [ Cq.Var "x" ] ]))
+  in
+  Alcotest.(check bool) "TAs are persons" true
+    (List.for_all (fun t -> List.mem t persons) tas)
+
+let test_queries_run () =
+  let i = Datagen.generate ~persons:120 ~courses:12 () in
+  let system = Datagen.engine i in
+  List.iter
+    (fun (name, q) ->
+      let answers = Obda.Engine.certain_answers system q in
+      Alcotest.(check bool) (name ^ " evaluates") true (List.length answers >= 0))
+    Datagen.queries
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "semantics" `Quick test_semantics;
+          Alcotest.test_case "benchmark queries" `Quick test_queries_run;
+        ] );
+    ]

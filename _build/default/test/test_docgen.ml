@@ -1,0 +1,115 @@
+(* Tests for the automated documentation generator (Section 8). *)
+
+open Dllite
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let parse s =
+  match Parser.tbox_of_string s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let company =
+  {|
+    role worksFor
+    attr salary
+    Manager [= Employee
+    Employee [= Person
+    Employee [= exists worksFor
+    exists worksFor [= Employee
+    exists worksFor^- [= Organization
+    delta(salary) [= Employee
+    Person [= not Organization
+  |}
+
+let doc () = Docgen.generate ~title:"Company ontology" (parse company)
+
+let test_overview () =
+  let md = Docgen.to_markdown (doc ()) in
+  Alcotest.(check bool) "title" true (contains md "# Company ontology");
+  Alcotest.(check bool) "statistics" true (contains md "over 4 concepts, 1 roles");
+  Alcotest.(check bool) "coherence" true (contains md "the ontology is coherent")
+
+let test_taxonomy_section () =
+  let md = Docgen.to_markdown (doc ()) in
+  Alcotest.(check bool) "taxonomy fencing" true (contains md "```");
+  (* indented tree: Employee under Person *)
+  Alcotest.(check bool) "tree shape" true (contains md "Person\n  Employee")
+
+let test_concept_sections () =
+  let md = Docgen.to_markdown (doc ()) in
+  Alcotest.(check bool) "manager section" true (contains md "### Manager");
+  Alcotest.(check bool) "direct supers listed" true
+    (contains md "direct superconcepts: [Employee](#employee)");
+  Alcotest.(check bool) "disjointness listed" true
+    (contains md "disjoint with: [Organization](#organization)");
+  Alcotest.(check bool) "participation" true
+    (contains md "mandatory participation in worksFor");
+  Alcotest.(check bool) "attribute carrier" true
+    (contains md "carrier of attribute salary")
+
+let test_role_glossary () =
+  let md = Docgen.to_markdown (doc ()) in
+  Alcotest.(check bool) "role entry" true (contains md "`worksFor`");
+  Alcotest.(check bool) "domain" true (contains md "domain Employee");
+  Alcotest.(check bool) "range" true (contains md "range Organization")
+
+let test_annotations () =
+  let d =
+    Docgen.generate
+      ~annotations:
+        [ ("Manager", "Someone who heads a team."); ("worksFor", "Employment link.") ]
+      (parse company)
+  in
+  let md = Docgen.to_markdown d in
+  Alcotest.(check bool) "concept annotation" true
+    (contains md "Someone who heads a team.");
+  Alcotest.(check bool) "role annotation" true (contains md "Employment link.")
+
+let test_unsat_warning () =
+  let d = Docgen.generate (parse {|
+    Bad [= Good
+    Bad [= not Good
+  |}) in
+  let md = Docgen.to_markdown d in
+  Alcotest.(check bool) "overview warning" true
+    (contains md "WARNING: the ontology has unsatisfiable predicates");
+  Alcotest.(check bool) "per-concept warning" true
+    (contains md "this concept is unsatisfiable")
+
+let test_html_rendering () =
+  let html = Docgen.to_html (doc ()) in
+  Alcotest.(check bool) "doctype" true (contains html "<!DOCTYPE html>");
+  Alcotest.(check bool) "heading anchor" true (contains html "<h3 id=\"manager\">");
+  Alcotest.(check bool) "links" true (contains html "<a href=\"#employee\">");
+  Alcotest.(check bool) "escaping" true (not (contains html "<Person>"))
+
+let test_html_escapes_content () =
+  let t = Tbox.of_axioms [] |> Tbox.declare_concept "Ampersand" in
+  let d =
+    Docgen.generate ~annotations:[ ("Ampersand", "a < b & c") ] ~title:"t" t
+  in
+  let html = Docgen.to_html d in
+  Alcotest.(check bool) "escaped" true (contains html "a &lt; b &amp; c")
+
+let () =
+  Alcotest.run "docgen"
+    [
+      ( "markdown",
+        [
+          Alcotest.test_case "overview" `Quick test_overview;
+          Alcotest.test_case "taxonomy" `Quick test_taxonomy_section;
+          Alcotest.test_case "concept sections" `Quick test_concept_sections;
+          Alcotest.test_case "role glossary" `Quick test_role_glossary;
+          Alcotest.test_case "annotations" `Quick test_annotations;
+          Alcotest.test_case "unsat warnings" `Quick test_unsat_warning;
+        ] );
+      ( "html",
+        [
+          Alcotest.test_case "rendering" `Quick test_html_rendering;
+          Alcotest.test_case "escaping" `Quick test_html_escapes_content;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the ontology-evolution diff (syntactic + semantic). *)
+
+open Dllite
+
+
+let parse s =
+  match Parser.tbox_of_string s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let axiom = Alcotest.testable Syntax.pp_axiom Syntax.equal_axiom
+
+let test_syntactic_diff () =
+  let prev = parse {|
+    A [= B
+    B [= C
+  |} in
+  let next = parse {|
+    A [= B
+    B [= D
+  |} in
+  let r = Evolution.diff ~prev ~next in
+  Alcotest.(check (list axiom)) "added"
+    [ Syntax.Concept_incl (Syntax.Atomic "B", Syntax.C_basic (Syntax.Atomic "D")) ]
+    r.Evolution.syntactic.Evolution.added_axioms;
+  Alcotest.(check (list axiom)) "removed"
+    [ Syntax.Concept_incl (Syntax.Atomic "B", Syntax.C_basic (Syntax.Atomic "C")) ]
+    r.Evolution.syntactic.Evolution.removed_axioms;
+  Alcotest.(check (list string)) "names added" [ "concept D" ]
+    r.Evolution.syntactic.Evolution.added_names;
+  Alcotest.(check (list string)) "names removed" [ "concept C" ]
+    r.Evolution.syntactic.Evolution.removed_names
+
+let test_semantic_gain_loss () =
+  let prev = parse {|
+    A [= B
+    B [= C
+  |} in
+  let next = parse {|
+    A [= B
+    B [= C
+    C [= D
+  |} in
+  let r = Evolution.diff ~prev ~next in
+  (* gained: C [= D, B [= D, A [= D *)
+  Alcotest.(check int) "three gained" 3
+    (List.length r.Evolution.semantic.Evolution.gained);
+  Alcotest.(check (list axiom)) "nothing lost" []
+    r.Evolution.semantic.Evolution.lost;
+  Alcotest.(check bool) "not conservative" false (Evolution.is_conservative r)
+
+let test_refactoring_is_conservative () =
+  (* swapping a direct axiom for a chain with a new *name* changes the
+     vocabulary; a pure reformulation over the same names is detected as
+     conservative *)
+  let prev = parse {|
+    A [= B
+    A [= C
+  |} in
+  let next = parse {|
+    A [= C
+    A [= B
+  |} in
+  let r = Evolution.diff ~prev ~next in
+  Alcotest.(check bool) "conservative" true (Evolution.is_conservative r);
+  Alcotest.(check (list axiom)) "no syntactic change either" []
+    r.Evolution.syntactic.Evolution.added_axioms
+
+let test_strengthening_detected () =
+  (* replacing A [= B by the chain A [= M [= B preserves A [= B but
+     gains the M entailments *)
+  let prev = parse {|
+    concept M
+    A [= B
+  |} in
+  let next = parse {|
+    A [= M
+    M [= B
+  |} in
+  let r = Evolution.diff ~prev ~next in
+  Alcotest.(check bool) "A [= B kept" true
+    (not
+       (List.mem
+          (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_basic (Syntax.Atomic "B")))
+          r.Evolution.semantic.Evolution.lost));
+  Alcotest.(check bool) "gained A [= M" true
+    (List.mem
+       (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_basic (Syntax.Atomic "M")))
+       r.Evolution.semantic.Evolution.gained)
+
+let test_newly_unsat () =
+  let prev = parse {|
+    A [= B
+  |} in
+  let next = parse {|
+    A [= B
+    A [= not B
+  |} in
+  let r = Evolution.diff ~prev ~next in
+  Alcotest.(check (list string)) "A newly unsat" [ "A" ]
+    r.Evolution.semantic.Evolution.newly_unsat;
+  let back = Evolution.diff ~prev:next ~next:prev in
+  Alcotest.(check (list string)) "A newly sat on revert" [ "A" ]
+    back.Evolution.semantic.Evolution.newly_sat
+
+let test_role_diff () =
+  let prev = parse {|
+    role p
+    role q
+    p [= q
+  |} in
+  let next = parse {|
+    role p
+    role q
+    q [= p
+  |} in
+  let r = Evolution.diff ~prev ~next in
+  Alcotest.(check bool) "lost p [= q" true
+    (List.mem
+       (Syntax.Role_incl (Syntax.Direct "p", Syntax.R_role (Syntax.Direct "q")))
+       r.Evolution.semantic.Evolution.lost);
+  Alcotest.(check bool) "gained q [= p" true
+    (List.mem
+       (Syntax.Role_incl (Syntax.Direct "q", Syntax.R_role (Syntax.Direct "p")))
+       r.Evolution.semantic.Evolution.gained)
+
+let prop_self_diff_empty =
+  QCheck.Test.make ~count:80 ~name:"diff of a TBox with itself is empty"
+    Ontgen.Qgen.arbitrary_tbox (fun axioms ->
+      let t = Ontgen.Qgen.tbox_of_axioms axioms in
+      let r = Evolution.diff ~prev:t ~next:t in
+      Evolution.is_conservative r
+      && r.Evolution.syntactic.Evolution.added_axioms = []
+      && r.Evolution.syntactic.Evolution.removed_axioms = [])
+
+let prop_diff_antisymmetric =
+  QCheck.Test.make ~count:50 ~name:"gained/lost swap under direction swap"
+    (QCheck.pair Ontgen.Qgen.arbitrary_tbox Ontgen.Qgen.arbitrary_tbox)
+    (fun (a1, a2) ->
+      let t1 = Ontgen.Qgen.tbox_of_axioms a1 in
+      let t2 = Ontgen.Qgen.tbox_of_axioms a2 in
+      let fwd = Evolution.diff ~prev:t1 ~next:t2 in
+      let bwd = Evolution.diff ~prev:t2 ~next:t1 in
+      List.sort compare fwd.Evolution.semantic.Evolution.gained
+      = List.sort compare bwd.Evolution.semantic.Evolution.lost
+      && List.sort compare fwd.Evolution.semantic.Evolution.lost
+         = List.sort compare bwd.Evolution.semantic.Evolution.gained)
+
+let () =
+  Alcotest.run "evolution"
+    [
+      ( "diff",
+        [
+          Alcotest.test_case "syntactic" `Quick test_syntactic_diff;
+          Alcotest.test_case "semantic gain/loss" `Quick test_semantic_gain_loss;
+          Alcotest.test_case "conservative refactoring" `Quick
+            test_refactoring_is_conservative;
+          Alcotest.test_case "strengthening" `Quick test_strengthening_detected;
+          Alcotest.test_case "newly unsat" `Quick test_newly_unsat;
+          Alcotest.test_case "role diff" `Quick test_role_diff;
+          QCheck_alcotest.to_alcotest prop_self_diff_empty;
+          QCheck_alcotest.to_alcotest prop_diff_antisymmetric;
+        ] );
+    ]

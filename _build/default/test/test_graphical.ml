@@ -1,0 +1,305 @@
+(* Tests for the graphical language: diagram well-formedness, the
+   Figure-2 reproduction, diagram<->TBox round-trips, DOT/SVG rendering,
+   modularization and context extraction. *)
+
+open Dllite
+module Diagram = Graphical.Diagram
+module Translate = Graphical.Translate
+module Dot = Graphical.Dot
+module Layout = Graphical.Layout
+module Modular = Graphical.Modular
+module Context = Graphical.Context
+
+let parse s =
+  match Parser.tbox_of_string s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let axiom = Alcotest.testable Syntax.pp_axiom Syntax.equal_axiom
+
+(* substring containment without the Str dependency *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------ figure 2 ----------------------------- *)
+
+let figure2_axioms =
+  [
+    Syntax.Concept_incl
+      (Syntax.Atomic "County", Syntax.C_exists_qual (Syntax.Direct "isPartOf", "State"));
+    Syntax.Concept_incl
+      (Syntax.Atomic "State", Syntax.C_exists_qual (Syntax.Inverse "isPartOf", "County"));
+  ]
+
+let test_figure2_translation () =
+  (* the paper's reference example must translate to exactly its two
+     DL-Lite assertions *)
+  let d = Translate.figure2 () in
+  Diagram.validate d;
+  let t = Translate.to_tbox d in
+  Alcotest.(check (list axiom)) "figure 2 axioms"
+    (List.sort Syntax.compare_axiom figure2_axioms)
+    (Tbox.axioms t)
+
+let test_figure2_roundtrip () =
+  let t = Tbox.of_axioms figure2_axioms in
+  let d = Translate.of_tbox t in
+  Diagram.validate d;
+  let t' = Translate.to_tbox d in
+  Alcotest.(check (list axiom)) "roundtrip" (Tbox.axioms t) (Tbox.axioms t')
+
+(* --------------------------- well-formedness ------------------------- *)
+
+let test_validate_rejects_bad_square () =
+  let b = Diagram.builder () in
+  let c = Diagram.concept b "A" in
+  (* a domain square attached to a concept box is ill-formed *)
+  let _sq = Diagram.add_element b (Diagram.Domain_square c) in
+  let d = Diagram.finish b in
+  match Diagram.validate d with
+  | () -> Alcotest.fail "expected Ill_formed"
+  | exception Diagram.Ill_formed _ -> ()
+
+let test_validate_rejects_cross_sort_edge () =
+  let b = Diagram.builder () in
+  let c = Diagram.concept b "A" in
+  let r = Diagram.role b "p" in
+  Diagram.include_ b ~source:c ~target:r;
+  (match Diagram.validate (Diagram.finish b) with
+   | () -> Alcotest.fail "expected Ill_formed"
+   | exception Diagram.Ill_formed _ -> ())
+
+let test_validate_rejects_inverted_concept_edge () =
+  let b = Diagram.builder () in
+  let c1 = Diagram.concept b "A" in
+  let c2 = Diagram.concept b "B" in
+  Diagram.include_ ~inverted:true b ~source:c1 ~target:c2;
+  match Diagram.validate (Diagram.finish b) with
+  | () -> Alcotest.fail "expected Ill_formed"
+  | exception Diagram.Ill_formed _ -> ()
+
+(* ------------------------------ roundtrip ---------------------------- *)
+
+(* of_tbox normalizes inverse-on-the-left role inclusions; compare
+   modulo that normalization *)
+let normalize_axiom = function
+  | Syntax.Role_incl (Syntax.Inverse p, Syntax.R_role q) ->
+    Syntax.Role_incl (Syntax.Direct p, Syntax.R_role (Syntax.role_inverse q))
+  | Syntax.Role_incl (Syntax.Inverse p, Syntax.R_neg q) ->
+    Syntax.Role_incl (Syntax.Direct p, Syntax.R_neg (Syntax.role_inverse q))
+  | ax -> ax
+
+let roundtrip_preserves t =
+  let d = Translate.of_tbox t in
+  Diagram.validate d;
+  let t' = Translate.to_tbox d in
+  let norm tb =
+    List.sort_uniq Syntax.compare_axiom (List.map normalize_axiom (Tbox.axioms tb))
+  in
+  norm t = norm t'
+
+let test_roundtrip_rich () =
+  let t =
+    parse
+      {|
+        role p
+        role q
+        attr u
+        attr v
+        A [= B
+        A [= not C
+        B [= exists p
+        exists p^- [= C
+        A [= exists q . C
+        p [= q
+        p [= q^-
+        q^- [= p
+        p [= not q
+        u [= v
+        u [= not v
+        delta(u) [= A
+        A [= delta(v)
+      |}
+  in
+  Alcotest.(check bool) "rich roundtrip" true (roundtrip_preserves t)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"diagram roundtrip preserves axioms"
+    Ontgen.Qgen.arbitrary_tbox (fun axioms ->
+      roundtrip_preserves (Ontgen.Qgen.tbox_of_axioms axioms))
+
+(* ------------------------------ rendering ---------------------------- *)
+
+let test_dot_render () =
+  let dot = Dot.render (Translate.figure2 ()) in
+  Alcotest.(check bool) "digraph" true (String.length dot > 0);
+  let has needle = contains dot needle in
+  Alcotest.(check bool) "county box" true (has "label=\"County\", shape=box");
+  Alcotest.(check bool) "role diamond" true (has "label=\"isPartOf\", shape=diamond");
+  Alcotest.(check bool) "white square" true (has "fillcolor=white");
+  Alcotest.(check bool) "black square" true (has "fillcolor=black")
+
+let test_svg_render () =
+  let svg = Layout.to_svg (Translate.figure2 ()) in
+  let has needle = contains svg needle in
+  Alcotest.(check bool) "svg root" true (has "<svg");
+  Alcotest.(check bool) "county text" true (has ">County</text>");
+  Alcotest.(check bool) "dotted scope edges" true (has "stroke-dasharray");
+  Alcotest.(check bool) "arrowheads" true (has "marker-end")
+
+let test_layout_ranks () =
+  (* subsumee below subsumer: County points at a square, State too *)
+  let t = parse {|
+    A [= B
+    B [= C
+  |} in
+  let d = Translate.of_tbox t in
+  let l = Layout.compute d in
+  let pos name =
+    let id =
+      List.find_map
+        (fun (id, e) ->
+          match e with
+          | Diagram.Concept_box a when a = name -> Some id
+          | _ -> None)
+        d.Diagram.elements
+      |> Option.get
+    in
+    List.assoc id l.Layout.positions
+  in
+  (* SVG y grows downward: subsumer C must be above (smaller y) *)
+  Alcotest.(check bool) "C above B" true ((pos "C").Layout.y < (pos "B").Layout.y);
+  Alcotest.(check bool) "B above A" true ((pos "B").Layout.y < (pos "A").Layout.y)
+
+(* --------------------------- modularization -------------------------- *)
+
+let test_horizontal_components () =
+  let t = parse {|
+    A [= B
+    C [= D
+    role p
+    exists p [= A
+  |} in
+  let modules = Modular.horizontal t in
+  Alcotest.(check int) "two components" 2 (List.length modules);
+  let sizes = List.map (fun m -> Tbox.axiom_count m.Modular.tbox) modules in
+  Alcotest.(check (list int)) "sizes" [ 1; 2 ] (List.sort compare sizes)
+
+let test_horizontal_by_domains () =
+  let t = parse {|
+    Customer [= Party
+    Invoice [= Document
+  |} in
+  let modules =
+    Modular.by_domains [ ("Customer", "crm"); ("Invoice", "billing") ] t
+  in
+  let names = List.map (fun m -> m.Modular.name) modules in
+  Alcotest.(check (list string)) "domains" [ "billing"; "crm" ] names
+
+let test_vertical_levels () =
+  let t =
+    parse
+      {|
+        role p
+        A [= B
+        A [= exists p
+        A [= not C
+        A [= exists p . B
+        p [= q
+      |}
+  in
+  let taxonomy = Modular.vertical Modular.Taxonomy t in
+  Alcotest.(check int) "taxonomy keeps name pairs" 1 (Tbox.axiom_count taxonomy);
+  let roles = Modular.vertical Modular.With_roles t in
+  Alcotest.(check int) "roles level" 3 (Tbox.axiom_count roles);
+  let full = Modular.vertical Modular.Full t in
+  Alcotest.(check int) "full keeps all" (Tbox.axiom_count t) (Tbox.axiom_count full);
+  (* signature survives filtering: the vocabulary is part of the view *)
+  Alcotest.(check bool) "signature kept" true
+    (Signature.mem_role "p" (Tbox.signature taxonomy))
+
+(* ------------------------------ context ------------------------------ *)
+
+let test_context_radius () =
+  let t =
+    parse
+      {|
+        A [= B
+        B [= C
+        C [= D
+        D [= E
+        X [= Y
+      |}
+  in
+  let view =
+    Context.compute ~radius:2 t [ Syntax.E_concept (Syntax.Atomic "A") ]
+  in
+  let fg_names =
+    List.filter_map
+      (fun e ->
+        match e.Context.symbol with
+        | Syntax.E_concept (Syntax.Atomic a) -> Some a
+        | _ -> None)
+      view.Context.foreground
+  in
+  Alcotest.(check bool) "A in foreground" true (List.mem "A" fg_names);
+  Alcotest.(check bool) "C at distance 2 in" true (List.mem "C" fg_names);
+  Alcotest.(check bool) "D beyond radius out" false (List.mem "D" fg_names);
+  Alcotest.(check bool) "X disconnected out" false (List.mem "X" fg_names);
+  (* focus tbox keeps only foreground-internal axioms *)
+  Alcotest.(check int) "focus axioms" 2 (Tbox.axiom_count view.Context.focus_tbox)
+
+let test_context_relevance_ordering () =
+  let t = parse {|
+    Hub [= A
+    Hub [= B
+    Hub [= C
+    A [= Leaf
+  |} in
+  let view = Context.compute ~radius:2 t [ Syntax.E_concept (Syntax.Atomic "Hub") ] in
+  match view.Context.foreground with
+  | first :: _ ->
+    Alcotest.(check bool) "hub ranked first" true
+      (Syntax.equal_expr first.Context.symbol (Syntax.E_concept (Syntax.Atomic "Hub")))
+  | [] -> Alcotest.fail "empty foreground"
+
+let () =
+  Alcotest.run "graphical"
+    [
+      ( "figure2",
+        [
+          Alcotest.test_case "translation" `Quick test_figure2_translation;
+          Alcotest.test_case "roundtrip" `Quick test_figure2_roundtrip;
+        ] );
+      ( "wellformedness",
+        [
+          Alcotest.test_case "square attachment" `Quick test_validate_rejects_bad_square;
+          Alcotest.test_case "cross-sort edge" `Quick test_validate_rejects_cross_sort_edge;
+          Alcotest.test_case "inverted concept edge" `Quick
+            test_validate_rejects_inverted_concept_edge;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "rich tbox" `Quick test_roundtrip_rich;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "dot" `Quick test_dot_render;
+          Alcotest.test_case "svg" `Quick test_svg_render;
+          Alcotest.test_case "layout ranks" `Quick test_layout_ranks;
+        ] );
+      ( "modularization",
+        [
+          Alcotest.test_case "horizontal components" `Quick test_horizontal_components;
+          Alcotest.test_case "horizontal domains" `Quick test_horizontal_by_domains;
+          Alcotest.test_case "vertical levels" `Quick test_vertical_levels;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "radius" `Quick test_context_radius;
+          Alcotest.test_case "relevance" `Quick test_context_relevance_ordering;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* The oracle-of-the-oracle: cross-check the tableau against exhaustive
+   finite-model enumeration on tiny ALCHI inputs.
+
+   Directions checked:
+   - a model found by enumeration forces the tableau to answer SAT
+     (tableau completeness on these inputs);
+   - tableau UNSAT forbids any model of the probed sizes (tableau
+     soundness — an UNSAT verdict with an existing 2-element model would
+     be a rule bug). *)
+
+module O = Owlfrag.Osyntax
+module Tableau = Owlfrag.Tableau
+module Models = Owlfrag.Models
+
+let test_eval_concepts () =
+  let interp =
+    {
+      Models.domain_size = 2;
+      concepts = [ ("A", 0b01); ("B", 0b10) ];
+      roles = [ ("p", 0b0010 (* pair (0,1) *)) ];
+    }
+  in
+  Alcotest.(check int) "name" 0b01 (Models.eval_concept interp (O.Name "A"));
+  Alcotest.(check int) "negation" 0b10 (Models.eval_concept interp (O.Not (O.Name "A")));
+  Alcotest.(check int) "and" 0b00
+    (Models.eval_concept interp (O.And (O.Name "A", O.Name "B")));
+  Alcotest.(check int) "or" 0b11
+    (Models.eval_concept interp (O.Or (O.Name "A", O.Name "B")));
+  (* pair bit 0b0010 is bit 1 = pair (i=0, j=1): 0 has a p-successor 1 *)
+  Alcotest.(check int) "some" 0b01
+    (Models.eval_concept interp (O.Some_ (O.Named "p", O.Name "B")));
+  Alcotest.(check int) "inverse some" 0b10
+    (Models.eval_concept interp (O.Some_ (O.Inv "p", O.Name "A")));
+  (* all p.B holds at 0 (its only successor is 1 ∈ B) and vacuously at 1 *)
+  Alcotest.(check int) "all" 0b11
+    (Models.eval_concept interp (O.All (O.Named "p", O.Name "B")))
+
+let test_find_model () =
+  (* A ⊓ ¬B has a 1-element model *)
+  (match Models.find_model ~domain_size:1 [] (O.And (O.Name "A", O.Not (O.Name "B"))) with
+   | Some _ -> ()
+   | None -> Alcotest.fail "expected a model");
+  (* A ⊓ ¬A has none *)
+  Alcotest.(check bool) "contradiction" false
+    (Models.satisfiable_on ~domain_size:2 [] (O.And (O.Name "A", O.Not (O.Name "A"))));
+  (* A ⊑ ∃p.A needs a cycle: domain 1 suffices (reflexive pair) *)
+  Alcotest.(check bool) "loop model" true
+    (Models.satisfiable_on ~domain_size:1
+       [ O.Sub (O.Name "A", O.Some_ (O.Named "p", O.Name "A")) ]
+       (O.Name "A"))
+
+(* random tiny inputs *)
+let gen_input =
+  QCheck.Gen.(
+    let name = map (fun a -> O.Name a) (oneofl [ "A"; "B" ]) in
+    let role = return (O.Named "p") in
+    let concept =
+      sized_size (int_bound 2) @@ fix (fun self n ->
+          if n = 0 then frequency [ (3, name); (1, return O.Top) ]
+          else
+            frequency
+              [
+                (3, name);
+                (2, map2 (fun c d -> O.And (c, d)) (self (n - 1)) (self (n - 1)));
+                (2, map2 (fun c d -> O.Or (c, d)) (self (n - 1)) (self (n - 1)));
+                (2, map (fun c -> O.Not c) (self (n - 1)));
+                (2, map2 (fun r c -> O.Some_ (r, c)) role (self (n - 1)));
+                (1, map2 (fun r c -> O.All (r, c)) role (self (n - 1)));
+              ])
+    in
+    let* tbox =
+      list_size (int_bound 3) (map2 (fun c d -> O.Sub (c, d)) concept concept)
+    in
+    let* c = concept in
+    return (tbox, c))
+
+let arbitrary_input =
+  QCheck.make
+    ~print:(fun (tbox, c) ->
+      Printf.sprintf "TBox: %s | C: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" O.pp_axiom) tbox))
+        (Format.asprintf "%a" O.pp_concept c))
+    gen_input
+
+let prop_model_implies_tableau_sat =
+  QCheck.Test.make ~count:300 ~name:"finite model => tableau SAT" arbitrary_input
+    (fun (tbox, c) ->
+      let has_model =
+        Models.satisfiable_on ~domain_size:1 tbox c
+        || Models.satisfiable_on ~domain_size:2 tbox c
+      in
+      (not has_model)
+      ||
+      match Tableau.satisfiable (Tableau.compile tbox) c with
+      | sat -> sat
+      | exception Tableau.Budget_exhausted -> true)
+
+let prop_tableau_unsat_implies_no_model =
+  QCheck.Test.make ~count:300 ~name:"tableau UNSAT => no small model" arbitrary_input
+    (fun (tbox, c) ->
+      match Tableau.satisfiable (Tableau.compile tbox) c with
+      | true -> true
+      | false ->
+        (not (Models.satisfiable_on ~domain_size:1 tbox c))
+        && not (Models.satisfiable_on ~domain_size:2 tbox c)
+      | exception Tableau.Budget_exhausted -> true)
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "evaluation",
+        [
+          Alcotest.test_case "concept evaluation" `Quick test_eval_concepts;
+          Alcotest.test_case "model search" `Quick test_find_model;
+        ] );
+      ( "cross-check",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_model_implies_tableau_sat; prop_tableau_unsat_implies_no_model ] );
+    ]

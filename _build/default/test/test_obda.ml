@@ -1,0 +1,519 @@
+(* Tests for the OBDA substrate: conjunctive queries, the database,
+   mappings/unfolding, PerfectRef rewriting (against the chase oracle),
+   consistency checking, and the end-to-end engine. *)
+
+open Dllite
+module Cq = Obda.Cq
+module Database = Obda.Database
+module Mapping = Obda.Mapping
+module Rewrite = Obda.Rewrite
+module Chase = Obda.Chase
+module Engine = Obda.Engine
+module Vabox = Obda.Vabox
+
+let parse s =
+  match Parser.tbox_of_string s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let v x = Cq.Var x
+let c x = Cq.Const x
+
+let sorted_answers l = List.sort compare l
+
+let answers_t = Alcotest.(list (list string))
+let check_answers msg expected actual =
+  Alcotest.check answers_t msg (sorted_answers expected) (sorted_answers actual)
+
+(* -------------------------------- cq --------------------------------- *)
+
+let test_cq_bound_vars () =
+  let q =
+    Cq.make [ "x" ]
+      [ Cq.atom "r$p" [ v "x"; v "y" ]; Cq.atom "c$A" [ v "y" ]; Cq.atom "r$q" [ v "x"; v "z" ] ]
+  in
+  Alcotest.(check bool) "answer var bound" true (Cq.is_bound q "x");
+  Alcotest.(check bool) "join var bound" true (Cq.is_bound q "y");
+  Alcotest.(check bool) "lone var unbound" false (Cq.is_bound q "z")
+
+let test_cq_make_checks () =
+  Alcotest.check_raises "head var must occur"
+    (Invalid_argument "Cq.make: answer variable x not in body") (fun () ->
+      ignore (Cq.make [ "x" ] [ Cq.atom "p" [ v "y" ] ]))
+
+let test_cq_evaluate () =
+  let facts = function
+    | "p" -> [ [ "a"; "b" ]; [ "b"; "c" ]; [ "a"; "d" ] ]
+    | "A" -> [ [ "b" ] ]
+    | _ -> []
+  in
+  let q = Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "y" ]; Cq.atom "A" [ v "y" ] ] in
+  check_answers "join" [ [ "a" ] ] (Cq.evaluate ~facts q);
+  let q2 = Cq.make [ "x"; "y" ] [ Cq.atom "p" [ v "x"; v "y" ] ] in
+  check_answers "all pairs"
+    [ [ "a"; "b" ]; [ "b"; "c" ]; [ "a"; "d" ] ]
+    (Cq.evaluate ~facts q2);
+  let q3 = Cq.make [ "y" ] [ Cq.atom "p" [ c "a"; v "y" ] ] in
+  check_answers "constant selection" [ [ "b" ]; [ "d" ] ] (Cq.evaluate ~facts q3)
+
+let test_cq_containment () =
+  (* q1(x) :- p(x,y)   contains   q2(x) :- p(x,y), A(y) *)
+  let q1 = Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "y" ] ] in
+  let q2 = Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "y" ]; Cq.atom "A" [ v "y" ] ] in
+  Alcotest.(check bool) "q2 subset q1" true (Cq.contains q1 q2);
+  Alcotest.(check bool) "q1 not subset q2" false (Cq.contains q2 q1);
+  (* different predicate: incomparable *)
+  let q3 = Cq.make [ "x" ] [ Cq.atom "q" [ v "x"; v "y" ] ] in
+  Alcotest.(check bool) "incomparable" false (Cq.contains q1 q3)
+
+let test_cq_minimize () =
+  let q1 = Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "y" ] ] in
+  let q2 = Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "y" ]; Cq.atom "A" [ v "y" ] ] in
+  let q1' = Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "z" ] ] in
+  Alcotest.(check int) "subsumed dropped" 1 (List.length (Cq.minimize_ucq [ q1; q2 ]));
+  Alcotest.(check int) "equivalent collapsed" 1
+    (List.length (Cq.minimize_ucq [ q1; q1' ]));
+  Alcotest.(check int) "order irrelevant" 1 (List.length (Cq.minimize_ucq [ q2; q1 ]))
+
+(* ------------------------------ database ----------------------------- *)
+
+let test_database () =
+  let db = Database.create () in
+  Database.insert db "emp" [ "alice"; "acme" ];
+  Database.insert db "emp" [ "bob"; "initech" ];
+  Database.insert db "emp" [ "alice"; "acme" ];
+  Alcotest.(check int) "dedup" 2 (List.length (Database.rows db "emp"));
+  Alcotest.(check (list string)) "names" [ "emp" ] (Database.relation_names db);
+  Alcotest.(check int) "size" 2 (Database.size db);
+  Alcotest.check_raises "arity clash"
+    (Invalid_argument "Database.insert: emp arity mismatch") (fun () ->
+      Database.insert db "emp" [ "x" ])
+
+(* ------------------------------ rewriting ---------------------------- *)
+
+let test_rewrite_atomic_hierarchy () =
+  let t = parse {|
+    Manager [= Employee
+    Employee [= Person
+  |} in
+  let q = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "Person") [ v "x" ] ] in
+  let ucq, stats = Rewrite.perfect_ref t [ q ] in
+  (* Person(x) ∨ Employee(x) ∨ Manager(x) *)
+  Alcotest.(check int) "three disjuncts" 3 (List.length ucq);
+  Alcotest.(check bool) "stats populated" true (stats.Rewrite.output_size = 3)
+
+let test_rewrite_exists () =
+  (* q(x) :- worksFor(x, y)  with  Employee [= exists worksFor:
+     rewriting adds Employee(x) *)
+  let t = parse {|
+    role worksFor
+    Employee [= exists worksFor
+  |} in
+  let q = Cq.make [ "x" ] [ Cq.atom (Vabox.role_pred "worksFor") [ v "x"; v "y" ] ] in
+  let ucq, _ = Rewrite.perfect_ref t [ q ] in
+  let has_employee_disjunct =
+    List.exists
+      (fun q' ->
+        List.exists
+          (fun a -> a.Cq.pred = Vabox.concept_pred "Employee")
+          q'.Cq.body)
+      ucq
+  in
+  Alcotest.(check bool) "Employee(x) disjunct" true has_employee_disjunct
+
+let test_rewrite_exists_blocked_when_bound () =
+  (* q(x,y) :- worksFor(x,y): y is an answer variable, so the
+     existential PI must NOT apply *)
+  let t = parse {|
+    role worksFor
+    Employee [= exists worksFor
+  |} in
+  let q =
+    Cq.make [ "x"; "y" ] [ Cq.atom (Vabox.role_pred "worksFor") [ v "x"; v "y" ] ]
+  in
+  let ucq, _ = Rewrite.perfect_ref t [ q ] in
+  Alcotest.(check int) "no rewriting applies" 1 (List.length ucq)
+
+let test_rewrite_reduce_enables () =
+  (* classic reduce example: q(x) :- worksFor(x,y), worksFor(z,y)
+     unifying the two atoms makes y unbound, enabling Employee [= exists
+     worksFor; certain answers must include employees with no recorded
+     co-worker *)
+  let t = parse {|
+    role worksFor
+    Employee [= exists worksFor
+  |} in
+  let q =
+    Cq.make [ "x" ]
+      [
+        Cq.atom (Vabox.role_pred "worksFor") [ v "x"; v "y" ];
+        Cq.atom (Vabox.role_pred "worksFor") [ v "z"; v "y" ];
+      ]
+  in
+  let ucq, _ = Rewrite.perfect_ref t [ q ] in
+  let has_employee_disjunct =
+    List.exists
+      (fun q' ->
+        List.exists (fun a -> a.Cq.pred = Vabox.concept_pred "Employee") q'.Cq.body)
+      ucq
+  in
+  Alcotest.(check bool) "reduce enabled existential" true has_employee_disjunct
+
+let test_rewrite_qualified () =
+  (* Figure-2 style: q(x) :- isPartOf(x,y), State(y) and
+     County [= exists isPartOf . State: County(x) must appear *)
+  let t = parse {|
+    role isPartOf
+    County [= exists isPartOf . State
+  |} in
+  let q =
+    Cq.make [ "x" ]
+      [
+        Cq.atom (Vabox.role_pred "isPartOf") [ v "x"; v "y" ];
+        Cq.atom (Vabox.concept_pred "State") [ v "y" ];
+      ]
+  in
+  let ucq, _ = Rewrite.perfect_ref t [ q ] in
+  let has_county =
+    List.exists
+      (fun q' ->
+        List.exists (fun a -> a.Cq.pred = Vabox.concept_pred "County") q'.Cq.body)
+      ucq
+  in
+  Alcotest.(check bool) "County(x) disjunct" true has_county
+
+let test_rewrite_inverse_role () =
+  let t = parse {|
+    role p
+    role q
+    p [= q^-
+  |} in
+  let q = Cq.make [ "x"; "y" ] [ Cq.atom (Vabox.role_pred "q") [ v "x"; v "y" ] ] in
+  let ucq, _ = Rewrite.perfect_ref t [ q ] in
+  (* q(x,y) ∨ p(y,x) *)
+  let has_swapped_p =
+    List.exists
+      (fun q' ->
+        List.exists
+          (fun a ->
+            a.Cq.pred = Vabox.role_pred "p"
+            && a.Cq.args = [ v "y"; v "x" ])
+          q'.Cq.body)
+      ucq
+  in
+  Alcotest.(check bool) "inverse swap" true has_swapped_p
+
+let test_presto_equivalent () =
+  let t =
+    parse
+      {|
+        role p
+        A [= B
+        B [= C
+        C [= exists p
+        exists p^- [= D
+      |}
+  in
+  let q = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "C") [ v "x" ] ] in
+  let u1, _ = Rewrite.perfect_ref t [ q ] in
+  let u2, _ = Rewrite.presto_ref t [ q ] in
+  (* logically equivalent: mutual UCQ containment *)
+  let covered a b =
+    List.for_all (fun qa -> List.exists (fun qb -> Cq.contains qb qa) b) a
+  in
+  Alcotest.(check bool) "presto covers perfectref" true (covered u1 u2);
+  Alcotest.(check bool) "perfectref covers presto" true (covered u2 u1)
+
+(* ------------------------------- chase ------------------------------- *)
+
+let test_chase_basic () =
+  let t = parse {|
+    role p
+    A [= B
+    B [= exists p . C
+  |} in
+  let abox = Abox.of_list [ Abox.Concept_assert ("A", "o") ] in
+  let q = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "B") [ v "x" ] ] in
+  check_answers "derived member" [ [ "o" ] ] (Chase.certain_answers t abox q);
+  (* the null witness must not leak into answers *)
+  let q2 = Cq.make [ "y" ] [ Cq.atom (Vabox.concept_pred "C") [ v "y" ] ] in
+  check_answers "null filtered" [] (Chase.certain_answers t abox q2);
+  (* but boolean-style queries can use it through an existential var *)
+  let q3 =
+    Cq.make [ "x" ]
+      [ Cq.atom (Vabox.role_pred "p") [ v "x"; v "y" ];
+        Cq.atom (Vabox.concept_pred "C") [ v "y" ] ]
+  in
+  check_answers "existential witness" [ [ "o" ] ] (Chase.certain_answers t abox q3)
+
+let test_chase_inconsistency () =
+  let t = parse {|
+    A [= B
+    B [= not C
+  |} in
+  let bad = Abox.of_list [ Abox.Concept_assert ("A", "o"); Abox.Concept_assert ("C", "o") ] in
+  let good = Abox.of_list [ Abox.Concept_assert ("A", "o") ] in
+  Alcotest.(check bool) "violation" true (Chase.violates_ni t bad);
+  Alcotest.(check bool) "no violation" false (Chase.violates_ni t good)
+
+(* ------------------------------ mappings ----------------------------- *)
+
+let university_db () =
+  let db = Database.create () in
+  Database.insert_all db "t_emp"
+    [ [ "1"; "alice"; "acme" ]; [ "2"; "bob"; "initech" ] ];
+  Database.insert_all db "t_mgr" [ [ "2" ] ];
+  db
+
+let university_mappings () =
+  [
+    Mapping.make
+      ~source:(Cq.make [ "id" ] [ Cq.atom "t_emp" [ v "id"; v "n"; v "co" ] ])
+      ~target:(Mapping.Concept_head ("Employee", v "id"));
+    Mapping.make
+      ~source:
+        (Cq.make [ "id" ] [ Cq.atom "t_emp" [ v "id"; v "n"; v "co" ]; Cq.atom "t_mgr" [ v "id" ] ])
+      ~target:(Mapping.Concept_head ("Manager", v "id"));
+    Mapping.make
+      ~source:(Cq.make [ "id"; "co" ] [ Cq.atom "t_emp" [ v "id"; v "n"; v "co" ] ])
+      ~target:(Mapping.Role_head ("worksFor", v "id", v "co"));
+  ]
+
+let test_mapping_materialize () =
+  let abox = Mapping.materialize (university_mappings ()) (university_db ()) in
+  Alcotest.(check bool) "employee 1" true
+    (Abox.mem (Abox.Concept_assert ("Employee", "1")) abox);
+  Alcotest.(check bool) "manager 2" true
+    (Abox.mem (Abox.Concept_assert ("Manager", "2")) abox);
+  Alcotest.(check bool) "worksFor" true
+    (Abox.mem (Abox.Role_assert ("worksFor", "1", "acme")) abox);
+  Alcotest.(check int) "total" 5 (Abox.size abox)
+
+let test_mapping_unfold_matches_materialize () =
+  let mappings = university_mappings () in
+  let db = university_db () in
+  let q =
+    Cq.make [ "x"; "y" ] [ Cq.atom (Vabox.role_pred "worksFor") [ v "x"; v "y" ] ]
+  in
+  let unfolded = Mapping.unfold mappings q in
+  let via_unfold = Cq.evaluate_ucq ~facts:(Database.facts db) unfolded in
+  let via_mat =
+    Cq.evaluate ~facts:(Vabox.facts_of_abox (Mapping.materialize mappings db)) q
+  in
+  check_answers "unfold = materialize" via_mat via_unfold
+
+let test_mapping_unfold_dead_atom () =
+  (* an atom with no mapping kills the disjunct *)
+  let mappings = university_mappings () in
+  let q = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "Unmapped") [ v "x" ] ] in
+  Alcotest.(check int) "no disjuncts" 0 (List.length (Mapping.unfold mappings q))
+
+(* ------------------------------- engine ------------------------------ *)
+
+let engine_tbox =
+  {|
+    role worksFor
+    Manager [= Employee
+    Employee [= exists worksFor
+    exists worksFor^- [= Organization
+    Manager [= not Intern
+  |}
+
+let test_engine_end_to_end () =
+  let t = parse engine_tbox in
+  let sys =
+    Engine.create ~tbox:t ~mappings:(university_mappings ())
+      ~database:(university_db ()) ()
+  in
+  (* who is an employee? manager bob (id 2) must be inferred *)
+  let q = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "Employee") [ v "x" ] ] in
+  check_answers "employees" [ [ "1" ]; [ "2" ] ] (Engine.certain_answers sys q);
+  (* organizations come from the range axiom *)
+  let q2 = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "Organization") [ v "x" ] ] in
+  check_answers "orgs" [ [ "acme" ]; [ "initech" ] ] (Engine.certain_answers sys q2);
+  Alcotest.(check bool) "consistent" true (Engine.consistent sys)
+
+let test_engine_inconsistency () =
+  let t = parse engine_tbox in
+  let db = university_db () in
+  Database.insert db "t_intern" [ "2" ];
+  let mappings =
+    Mapping.make
+      ~source:(Cq.make [ "id" ] [ Cq.atom "t_intern" [ v "id" ] ])
+      ~target:(Mapping.Concept_head ("Intern", v "id"))
+    :: university_mappings ()
+  in
+  let sys = Engine.create ~tbox:t ~mappings ~database:db () in
+  Alcotest.(check bool) "manager+intern inconsistent" false (Engine.consistent sys);
+  match Engine.violations sys with
+  | [ viol ] ->
+    Alcotest.(check (list string)) "witness is bob" [ "2" ] viol.Obda.Consistency.witnesses
+  | other -> Alcotest.failf "expected one violation, got %d" (List.length other)
+
+let test_engine_abox_mode () =
+  let t = parse engine_tbox in
+  let abox =
+    Abox.of_list
+      [
+        Abox.Concept_assert ("Manager", "carol");
+        Abox.Role_assert ("worksFor", "dave", "acme");
+      ]
+  in
+  let sys = Engine.of_abox t abox in
+  let q = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "Employee") [ v "x" ] ] in
+  check_answers "manager inferred" [ [ "carol" ] ] (Engine.certain_answers sys q);
+  let q2 = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "Organization") [ v "x" ] ] in
+  check_answers "range inferred" [ [ "acme" ] ] (Engine.certain_answers sys q2)
+
+(* -------------------- property: rewriting vs chase ------------------- *)
+
+(* Random ABoxes over the small pools. *)
+let gen_abox =
+  QCheck.Gen.(
+    let individual = oneofl [ "o1"; "o2"; "o3" ] in
+    let assertion =
+      frequency
+        [
+          ( 3,
+            map2
+              (fun a c -> Dllite.Abox.Concept_assert (a, c))
+              (oneofl Ontgen.Qgen.concept_pool) individual );
+          ( 2,
+            map3
+              (fun p c1 c2 -> Dllite.Abox.Role_assert (p, c1, c2))
+              (oneofl Ontgen.Qgen.role_pool) individual individual );
+        ]
+    in
+    list_size (int_bound 6) assertion)
+
+(* Random small connected-ish CQs over the pools. *)
+let gen_query =
+  QCheck.Gen.(
+    let var = oneofl [ "x"; "y"; "z" ] in
+    let atom =
+      frequency
+        [
+          (2, map2 (fun a t -> Cq.atom (Vabox.concept_pred a) [ Cq.Var t ])
+               (oneofl Ontgen.Qgen.concept_pool) var);
+          ( 3,
+            map3
+              (fun p t1 t2 -> Cq.atom (Vabox.role_pred p) [ Cq.Var t1; Cq.Var t2 ])
+              (oneofl Ontgen.Qgen.role_pool) var var );
+        ]
+    in
+    let* body = list_size (int_range 1 3) atom in
+    (* answer variable: pick one that occurs *)
+    let occurring =
+      List.concat_map
+        (fun a -> List.filter_map (function Cq.Var v -> Some v | _ -> None) a.Cq.args)
+        body
+    in
+    match occurring with
+    | [] -> return None
+    | v0 :: _ -> return (Some { Cq.answer_vars = [ v0 ]; Cq.body }))
+
+let arbitrary_kb_and_query =
+  QCheck.make
+    ~print:(fun (axioms, abox, q) ->
+      Printf.sprintf "TBox:\n%s\nABox: %d assertions\nQuery: %s"
+        (Tbox.to_string (Ontgen.Qgen.tbox_of_axioms axioms))
+        (List.length abox)
+        (match q with Some q -> Cq.to_string q | None -> "-"))
+    QCheck.Gen.(triple Ontgen.Qgen.gen_axioms gen_abox gen_query)
+
+(* Only positive-inclusion TBoxes: certain answers under inconsistency
+   are trivially "everything", which the rewriting-based engine does not
+   (and should not) model without a consistency pre-check. *)
+let positive_only axioms = List.filter Dllite.Syntax.is_positive axioms
+
+let prop_rewriting_matches_chase =
+  QCheck.Test.make ~count:120 ~name:"PerfectRef certain answers = chase oracle"
+    arbitrary_kb_and_query (fun (axioms, assertions, q) ->
+      match q with
+      | None -> true
+      | Some q ->
+        let t = Ontgen.Qgen.tbox_of_axioms (positive_only axioms) in
+        let abox = Dllite.Abox.of_list assertions in
+        let sys = Engine.of_abox t abox in
+        let depth = List.length q.Cq.body + List.length axioms + 2 in
+        let via_rewriting = sorted_answers (Engine.certain_answers sys q) in
+        (* chase blow-ups are "instance too wide to check", not verdicts *)
+        (match Chase.certain_answers ~max_depth:depth t abox q with
+         | via_chase -> via_rewriting = sorted_answers via_chase
+         | exception Chase.Overflow -> true))
+
+let prop_presto_matches_chase =
+  QCheck.Test.make ~count:80 ~name:"Presto-mode certain answers = chase oracle"
+    arbitrary_kb_and_query (fun (axioms, assertions, q) ->
+      match q with
+      | None -> true
+      | Some q ->
+        let t = Ontgen.Qgen.tbox_of_axioms (positive_only axioms) in
+        let abox = Dllite.Abox.of_list assertions in
+        let sys = Engine.of_abox ~mode:Engine.Presto t abox in
+        let depth = List.length q.Cq.body + List.length axioms + 2 in
+        (match Chase.certain_answers ~max_depth:depth t abox q with
+         | via_chase ->
+           sorted_answers (Engine.certain_answers sys q) = sorted_answers via_chase
+         | exception Chase.Overflow -> true))
+
+let prop_consistency_matches_chase =
+  QCheck.Test.make ~count:120 ~name:"rewritten consistency = chase violation"
+    (QCheck.pair arbitrary_kb_and_query QCheck.unit)
+    (fun ((axioms, assertions, _), ()) ->
+      let t = Ontgen.Qgen.tbox_of_axioms axioms in
+      let abox = Dllite.Abox.of_list assertions in
+      let sys = Engine.of_abox t abox in
+      match Chase.violates_ni t abox with
+      | violated -> Engine.consistent sys = not violated
+      | exception Chase.Overflow -> true)
+
+let () =
+  Alcotest.run "obda"
+    [
+      ( "cq",
+        [
+          Alcotest.test_case "bound variables" `Quick test_cq_bound_vars;
+          Alcotest.test_case "head check" `Quick test_cq_make_checks;
+          Alcotest.test_case "evaluation" `Quick test_cq_evaluate;
+          Alcotest.test_case "containment" `Quick test_cq_containment;
+          Alcotest.test_case "ucq minimization" `Quick test_cq_minimize;
+        ] );
+      ("database", [ Alcotest.test_case "store" `Quick test_database ]);
+      ( "rewrite",
+        [
+          Alcotest.test_case "atomic hierarchy" `Quick test_rewrite_atomic_hierarchy;
+          Alcotest.test_case "existential" `Quick test_rewrite_exists;
+          Alcotest.test_case "bound blocks existential" `Quick
+            test_rewrite_exists_blocked_when_bound;
+          Alcotest.test_case "reduce step" `Quick test_rewrite_reduce_enables;
+          Alcotest.test_case "qualified existential" `Quick test_rewrite_qualified;
+          Alcotest.test_case "inverse roles" `Quick test_rewrite_inverse_role;
+          Alcotest.test_case "presto equivalence" `Quick test_presto_equivalent;
+        ] );
+      ( "chase",
+        [
+          Alcotest.test_case "canonical model" `Quick test_chase_basic;
+          Alcotest.test_case "inconsistency" `Quick test_chase_inconsistency;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "materialize" `Quick test_mapping_materialize;
+          Alcotest.test_case "unfold = materialize" `Quick
+            test_mapping_unfold_matches_materialize;
+          Alcotest.test_case "dead atoms" `Quick test_mapping_unfold_dead_atom;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "end to end" `Quick test_engine_end_to_end;
+          Alcotest.test_case "inconsistency report" `Quick test_engine_inconsistency;
+          Alcotest.test_case "abox mode" `Quick test_engine_abox_mode;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_rewriting_matches_chase;
+            prop_presto_matches_chase;
+            prop_consistency_matches_chase;
+          ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the benchmark generators: determinism, profile shape, and
+   scale behaviour. *)
+
+open Dllite
+module Rng = Ontgen.Rng
+module Generator = Ontgen.Generator
+module Profiles = Ontgen.Profiles
+
+(* -------------------------------- rng -------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let sa = List.init 20 (fun _ -> Rng.int a 1000) in
+  let sb = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" sa sb
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of range: %d" v;
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 13 in
+  let s = Rng.split r in
+  let a = List.init 10 (fun _ -> Rng.int r 1000) in
+  let b = List.init 10 (fun _ -> Rng.int s 1000) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_rng_distribution () =
+  (* crude uniformity check: each decile of Rng.int _ 10 gets 5..15% *)
+  let r = Rng.create 99 in
+  let counts = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let v = Rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let share = float_of_int c /. float_of_int n in
+      if share < 0.05 || share > 0.15 then
+        Alcotest.failf "bucket %d share %.3f out of tolerance" i share)
+    counts
+
+(* ----------------------------- generator ----------------------------- *)
+
+let test_generator_deterministic () =
+  let p = Generator.default_profile in
+  let t1 = Generator.generate ~seed:1 p in
+  let t2 = Generator.generate ~seed:1 p in
+  let t3 = Generator.generate ~seed:2 p in
+  Alcotest.(check bool) "same seed same tbox" true (Tbox.equal t1 t2);
+  Alcotest.(check bool) "different seed different tbox" false (Tbox.equal t1 t3)
+
+let test_generator_signature_size () =
+  let p = { Generator.default_profile with Generator.concepts = 100; roles = 10; attributes = 3 } in
+  let t = Generator.generate p in
+  let s = Tbox.signature t in
+  Alcotest.(check int) "concepts" 100 (Signature.concept_count s);
+  Alcotest.(check int) "roles" 10 (Signature.role_count s);
+  Alcotest.(check int) "attributes" 3 (Signature.attribute_count s)
+
+let test_generator_axioms_well_sorted () =
+  (* everything the generator emits must survive printing + reparsing *)
+  let t = Generator.generate (Generator.scale 0.2 Profiles.dolce) in
+  Alcotest.(check bool) "nonempty" true (Tbox.axiom_count t > 50);
+  let cls = Quonto.Classify.classify t in
+  (* classification must run; coherence is profile-dependent *)
+  Alcotest.(check bool) "classification runs" true
+    (List.length (Quonto.Classify.name_level cls) >= 0)
+
+let test_scale () =
+  let p = Generator.scale 0.1 Profiles.gene in
+  Alcotest.(check int) "scaled concepts" 2046 p.Generator.concepts;
+  Alcotest.(check bool) "roles at least 1" true (p.Generator.roles >= 1);
+  let zero = Generator.scale 0.00001 Profiles.mouse in
+  Alcotest.(check int) "never below 1" 1 zero.Generator.concepts
+
+let test_profiles_inventory () =
+  Alcotest.(check int) "eleven Figure-1 rows" 11 (List.length Profiles.figure1);
+  Alcotest.(check (list string)) "row order"
+    [
+      "Mouse"; "Transportation"; "DOLCE"; "AEO"; "Gene"; "EL-Galen"; "Galen";
+      "FMA 1.4"; "FMA 2.0"; "FMA 3.2.1"; "FMA-OBO";
+    ]
+    (List.map (fun p -> p.Generator.label) Profiles.figure1)
+
+let test_profiles_lookup () =
+  (match Profiles.by_label "galen" with
+   | Some p -> Alcotest.(check string) "case-insensitive" "Galen" p.Generator.label
+   | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "unknown" true (Profiles.by_label "nope" = None)
+
+let test_profile_shapes () =
+  (* taxonomy-ish profiles have no disjointness; DOLCE is NI-dense *)
+  let gen p = Generator.generate (Generator.scale 0.05 p) in
+  let nis t = List.length (Tbox.negative_inclusions t) in
+  Alcotest.(check int) "Mouse has no NIs" 0 (nis (gen Profiles.mouse));
+  Alcotest.(check int) "Gene has no NIs" 0 (nis (gen Profiles.gene));
+  Alcotest.(check bool) "DOLCE has NIs" true (nis (gen Profiles.dolce) > 0);
+  (* Galen is denser than EL-Galen at the same signature size *)
+  let galen = Generator.generate (Generator.scale 0.02 Profiles.galen) in
+  let el_galen = Generator.generate (Generator.scale 0.02 Profiles.el_galen) in
+  Alcotest.(check bool) "Galen denser" true
+    (Tbox.axiom_count galen > Tbox.axiom_count el_galen)
+
+let test_owl_generator () =
+  let p = Generator.default_owl_profile in
+  let t1 = Generator.generate_owl ~seed:5 p in
+  let t2 = Generator.generate_owl ~seed:5 p in
+  Alcotest.(check bool) "deterministic" true (t1 = t2);
+  Alcotest.(check int) "axiom count" p.Generator.owl_axioms (List.length t1);
+  (* some axioms must be beyond DL-Lite for the approximation pipeline
+     to have work to do *)
+  let r = Approx.Syntactic.approximate t1 in
+  Alcotest.(check bool) "has expressive residue" true
+    (List.length r.Approx.Syntactic.dropped > 0)
+
+let () =
+  Alcotest.run "ontgen"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "distribution" `Quick test_rng_distribution;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "signature size" `Quick test_generator_signature_size;
+          Alcotest.test_case "classifiable output" `Quick test_generator_axioms_well_sorted;
+          Alcotest.test_case "scaling" `Quick test_scale;
+          Alcotest.test_case "owl generator" `Quick test_owl_generator;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "inventory" `Quick test_profiles_inventory;
+          Alcotest.test_case "lookup" `Quick test_profiles_lookup;
+          Alcotest.test_case "shapes" `Quick test_profile_shapes;
+        ] );
+    ]

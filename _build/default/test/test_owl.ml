@@ -1,0 +1,311 @@
+(* Tests for the ALCHI fragment: NNF, role hierarchy, and the tableau
+   decision procedure. *)
+
+module O = Owlfrag.Osyntax
+module Hierarchy = Owlfrag.Hierarchy
+module Tableau = Owlfrag.Tableau
+
+let concept = Alcotest.testable O.pp_concept O.equal_concept
+
+let sat ?(tbox = []) c = Tableau.satisfiable (Tableau.compile tbox) c
+let subsumes ?(tbox = []) c d = Tableau.subsumes (Tableau.compile tbox) c d
+
+(* -------------------------------- nnf -------------------------------- *)
+
+let test_nnf () =
+  Alcotest.check concept "double negation" (O.Name "A") (O.nnf (O.Not (O.Not (O.Name "A"))));
+  Alcotest.check concept "de morgan and"
+    (O.Or (O.Not (O.Name "A"), O.Not (O.Name "B")))
+    (O.nnf (O.Not (O.And (O.Name "A", O.Name "B"))));
+  Alcotest.check concept "neg exists"
+    (O.All (O.Named "p", O.Not (O.Name "A")))
+    (O.nnf (O.Not (O.Some_ (O.Named "p", O.Name "A"))));
+  Alcotest.check concept "neg forall"
+    (O.Some_ (O.Named "p", O.Not (O.Name "A")))
+    (O.nnf (O.Not (O.All (O.Named "p", O.Name "A"))));
+  Alcotest.check concept "neg top" O.Bot (O.nnf (O.Not O.Top))
+
+(* ----------------------------- hierarchy ----------------------------- *)
+
+let test_hierarchy () =
+  let tbox =
+    [
+      O.Role_sub (O.Named "p", O.Named "q");
+      O.Role_sub (O.Named "q", O.Named "r");
+      O.Sub (O.Some_ (O.Named "p", O.Top), O.Name "A");
+    ]
+  in
+  let h = Hierarchy.build tbox in
+  Alcotest.(check bool) "transitive" true (Hierarchy.subsumes h (O.Named "p") (O.Named "r"));
+  Alcotest.(check bool) "inverse lifted" true
+    (Hierarchy.subsumes h (O.Inv "p") (O.Inv "r"));
+  Alcotest.(check bool) "reflexive" true (Hierarchy.subsumes h (O.Named "p") (O.Named "p"));
+  Alcotest.(check bool) "no reverse" false
+    (Hierarchy.subsumes h (O.Named "r") (O.Named "p"))
+
+let test_hierarchy_disjoint () =
+  let tbox =
+    [
+      O.Role_sub (O.Named "p", O.Named "q");
+      O.Role_disjoint (O.Named "q", O.Named "r");
+    ]
+  in
+  let h = Hierarchy.build tbox in
+  Alcotest.(check bool) "inherited clash" true (Hierarchy.clashing h (O.Named "p") (O.Named "r"));
+  Alcotest.(check bool) "self not clashing" false
+    (Hierarchy.clashing h (O.Named "p") (O.Named "p"))
+
+(* ------------------------------ tableau ------------------------------ *)
+
+let test_sat_basic () =
+  Alcotest.(check bool) "name sat" true (sat (O.Name "A"));
+  Alcotest.(check bool) "bot unsat" false (sat O.Bot);
+  Alcotest.(check bool) "contradiction" false (sat (O.And (O.Name "A", O.Not (O.Name "A"))));
+  Alcotest.(check bool) "or escapes clash" true
+    (sat (O.And (O.Or (O.Name "A", O.Name "B"), O.Not (O.Name "A"))));
+  Alcotest.(check bool) "exists sat" true (sat (O.Some_ (O.Named "p", O.Name "A")));
+  Alcotest.(check bool) "exists bot unsat" false (sat (O.Some_ (O.Named "p", O.Bot)))
+
+let test_sat_forall_interaction () =
+  (* ∃p.A ⊓ ∀p.¬A is unsatisfiable *)
+  Alcotest.(check bool) "exists vs forall" false
+    (sat
+       (O.And
+          (O.Some_ (O.Named "p", O.Name "A"), O.All (O.Named "p", O.Not (O.Name "A")))));
+  (* ∃p.A ⊓ ∀q.¬A is satisfiable (different roles) *)
+  Alcotest.(check bool) "different roles" true
+    (sat
+       (O.And
+          (O.Some_ (O.Named "p", O.Name "A"), O.All (O.Named "q", O.Not (O.Name "A")))))
+
+let test_sat_role_hierarchy_interaction () =
+  (* p ⊑ q: ∃p.A ⊓ ∀q.¬A is unsatisfiable *)
+  let tbox = [ O.Role_sub (O.Named "p", O.Named "q") ] in
+  Alcotest.(check bool) "forall over super-role" false
+    (sat ~tbox
+       (O.And
+          (O.Some_ (O.Named "p", O.Name "A"), O.All (O.Named "q", O.Not (O.Name "A")))))
+
+let test_sat_inverse_interaction () =
+  (* A ⊓ ∃p.(∀p⁻.¬A) is unsatisfiable: the child's ∀p⁻ reaches back *)
+  Alcotest.(check bool) "inverse forall to parent" false
+    (sat
+       (O.And
+          (O.Name "A", O.Some_ (O.Named "p", O.All (O.Inv "p", O.Not (O.Name "A"))))))
+
+let test_sat_tbox_cycle_blocking () =
+  (* A ⊑ ∃p.A forces an infinite model; blocking must terminate and
+     answer satisfiable *)
+  let tbox = [ O.Sub (O.Name "A", O.Some_ (O.Named "p", O.Name "A")) ] in
+  Alcotest.(check bool) "cyclic tbox sat" true (sat ~tbox (O.Name "A"))
+
+let test_sat_tbox_unsat_name () =
+  let tbox =
+    [
+      O.Sub (O.Name "A", O.Name "B");
+      O.Sub (O.Name "A", O.Not (O.Name "B"));
+    ]
+  in
+  Alcotest.(check bool) "unsat name" false (sat ~tbox (O.Name "A"));
+  Alcotest.(check bool) "other name sat" true (sat ~tbox (O.Name "B"))
+
+let test_subsumption () =
+  let tbox =
+    [
+      O.Sub (O.Name "A", O.Name "B");
+      O.Sub (O.Name "B", O.Name "C");
+    ]
+  in
+  Alcotest.(check bool) "chain" true (subsumes ~tbox (O.Name "A") (O.Name "C"));
+  Alcotest.(check bool) "no reverse" false (subsumes ~tbox (O.Name "C") (O.Name "A"));
+  Alcotest.(check bool) "top" true (subsumes ~tbox (O.Name "A") O.Top)
+
+let test_subsumption_domain () =
+  (* ∃p ⊑ A (domain axiom, absorbed): ∃p.B ⊑ A *)
+  let tbox = [ O.Sub (O.Some_ (O.Named "p", O.Top), O.Name "A") ] in
+  Alcotest.(check bool) "domain absorption" true
+    (subsumes ~tbox (O.Some_ (O.Named "p", O.Name "B")) (O.Name "A"))
+
+let test_subsumption_qualified () =
+  (* A ⊑ ∃p.B, B ⊑ C: A ⊑ ∃p.C *)
+  let tbox =
+    [
+      O.Sub (O.Name "A", O.Some_ (O.Named "p", O.Name "B"));
+      O.Sub (O.Name "B", O.Name "C");
+    ]
+  in
+  Alcotest.(check bool) "qualified chain" true
+    (subsumes ~tbox (O.Name "A") (O.Some_ (O.Named "p", O.Name "C")))
+
+let test_equiv () =
+  let tbox = [ O.Equiv (O.Name "A", O.Name "B") ] in
+  Alcotest.(check bool) "equiv lr" true (subsumes ~tbox (O.Name "A") (O.Name "B"));
+  Alcotest.(check bool) "equiv rl" true (subsumes ~tbox (O.Name "B") (O.Name "A"))
+
+let test_role_disjoint_clash () =
+  (* p ⊑ q, p ⊑ r, Disj(q, r): ∃p.⊤ is unsatisfiable *)
+  let tbox =
+    [
+      O.Role_sub (O.Named "p", O.Named "q");
+      O.Role_sub (O.Named "p", O.Named "r");
+      O.Role_disjoint (O.Named "q", O.Named "r");
+    ]
+  in
+  Alcotest.(check bool) "empty role" false (sat ~tbox (O.Some_ (O.Named "p", O.Top)));
+  (* but a q-edge alone is fine *)
+  Alcotest.(check bool) "q alone fine" true (sat ~tbox (O.Some_ (O.Named "q", O.Top)))
+
+let test_budget () =
+  let tbox =
+    [ O.Sub (O.Top, O.Some_ (O.Named "p", O.Or (O.Name "A", O.Name "B"))) ]
+  in
+  let cfg = Tableau.compile tbox in
+  match Tableau.satisfiable ~budget:5 cfg (O.Name "A") with
+  | (_ : bool) -> Alcotest.fail "expected budget exhaustion"
+  | exception Tableau.Budget_exhausted -> ()
+
+(* ----------------------- pseudo-model caching ------------------------ *)
+
+let test_is_deterministic () =
+  (* DL-Lite embeddings are deterministic *)
+  let dllite =
+    Owlfrag.Embed.tbox
+      (match Dllite.Parser.tbox_of_string {|
+        role p
+        A [= B
+        A [= not C
+        B [= exists p . C
+      |} with
+       | Ok t -> t
+       | Error e -> Alcotest.failf "parse: %s" e)
+  in
+  Alcotest.(check bool) "dllite deterministic" true
+    (Tableau.is_deterministic (Tableau.compile dllite));
+  (* a disjunction on an absorbed right-hand side breaks determinism *)
+  let with_or = [ O.Sub (O.Name "A", O.Or (O.Name "B", O.Name "C")) ] in
+  Alcotest.(check bool) "or not deterministic" false
+    (Tableau.is_deterministic (Tableau.compile with_or));
+  (* and so does an internalized complex axiom *)
+  let internalized = [ O.Sub (O.And (O.Name "A", O.Name "B"), O.Name "C") ] in
+  Alcotest.(check bool) "internalized not deterministic" false
+    (Tableau.is_deterministic (Tableau.compile internalized))
+
+let test_root_completion () =
+  let tbox =
+    [
+      O.Sub (O.Name "A", O.Name "B");
+      O.Sub (O.Name "B", O.Name "C");
+      O.Sub (O.Name "A", O.Some_ (O.Named "p", O.Top));
+      O.Sub (O.Some_ (O.Named "p", O.Top), O.Name "D");
+    ]
+  in
+  let cfg = Tableau.compile tbox in
+  (match Tableau.root_completion cfg (O.Name "A") with
+   | Some label ->
+     List.iter
+       (fun b ->
+         Alcotest.(check bool) (b ^ " in completion") true
+           (List.mem (O.Name b) label))
+       [ "A"; "B"; "C"; "D" ];
+     Alcotest.(check bool) "E not in completion" false (List.mem (O.Name "E") label)
+   | None -> Alcotest.fail "A is satisfiable");
+  (* unsatisfiable input returns None *)
+  let bad = [ O.Sub (O.Name "X", O.Name "Y"); O.Sub (O.Name "X", O.Not (O.Name "Y")) ] in
+  Alcotest.(check bool) "unsat gives None" true
+    (Tableau.root_completion (Tableau.compile bad) (O.Name "X") = None)
+
+(* -------------------------- DL-Lite oracle --------------------------- *)
+
+module Syntax = Dllite.Syntax
+module Oracle = Owlfrag.Oracle
+
+let parse s =
+  match Dllite.Parser.tbox_of_string s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_oracle_figure2 () =
+  let t =
+    parse
+      {|
+        role isPartOf
+        County [= exists isPartOf . State
+        State [= exists isPartOf^- . County
+      |}
+  in
+  let o = Oracle.of_tbox t in
+  Alcotest.(check bool) "county in domain" true
+    (Oracle.subsumes o
+       (Syntax.E_concept (Syntax.Atomic "County"))
+       (Syntax.E_concept (Syntax.Exists (Syntax.Direct "isPartOf"))));
+  Alcotest.(check bool) "entails figure-2 axiom" true
+    (Oracle.entails o
+       (Syntax.Concept_incl
+          (Syntax.Atomic "County", Syntax.C_exists_qual (Syntax.Direct "isPartOf", "State"))));
+  Alcotest.(check bool) "does not entail converse" false
+    (Oracle.entails o
+       (Syntax.Concept_incl
+          (Syntax.Atomic "State", Syntax.C_basic (Syntax.Atomic "County"))))
+
+let test_oracle_unsat () =
+  let t = parse {|
+    A [= B
+    A [= not B
+  |} in
+  let o = Oracle.of_tbox t in
+  Alcotest.(check bool) "A unsat" true
+    (Oracle.is_unsat o (Syntax.E_concept (Syntax.Atomic "A")));
+  Alcotest.(check bool) "B sat" false
+    (Oracle.is_unsat o (Syntax.E_concept (Syntax.Atomic "B")));
+  (* unsat concepts are subsumed by everything *)
+  Alcotest.(check bool) "A [= B still" true
+    (Oracle.subsumes o
+       (Syntax.E_concept (Syntax.Atomic "A"))
+       (Syntax.E_concept (Syntax.Atomic "B")))
+
+let test_oracle_role_disjoint_components () =
+  (* domains disjoint => roles disjoint *)
+  let t = parse {|
+    role p
+    role q
+    exists p [= A
+    exists q [= not A
+  |} in
+  let o = Oracle.of_tbox t in
+  Alcotest.(check bool) "roles disjoint via domains" true
+    (Oracle.disjoint o (Syntax.E_role (Syntax.Direct "p")) (Syntax.E_role (Syntax.Direct "q")))
+
+let () =
+  Alcotest.run "owlfrag"
+    [
+      ("nnf", [ Alcotest.test_case "nnf" `Quick test_nnf ]);
+      ( "hierarchy",
+        [
+          Alcotest.test_case "closure" `Quick test_hierarchy;
+          Alcotest.test_case "disjointness" `Quick test_hierarchy_disjoint;
+        ] );
+      ( "tableau",
+        [
+          Alcotest.test_case "basic sat" `Quick test_sat_basic;
+          Alcotest.test_case "forall interaction" `Quick test_sat_forall_interaction;
+          Alcotest.test_case "role hierarchy" `Quick test_sat_role_hierarchy_interaction;
+          Alcotest.test_case "inverse roles" `Quick test_sat_inverse_interaction;
+          Alcotest.test_case "blocking" `Quick test_sat_tbox_cycle_blocking;
+          Alcotest.test_case "unsat name" `Quick test_sat_tbox_unsat_name;
+          Alcotest.test_case "subsumption" `Quick test_subsumption;
+          Alcotest.test_case "domain absorption" `Quick test_subsumption_domain;
+          Alcotest.test_case "qualified subsumption" `Quick test_subsumption_qualified;
+          Alcotest.test_case "equivalence" `Quick test_equiv;
+          Alcotest.test_case "role disjointness" `Quick test_role_disjoint_clash;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "determinism detection" `Quick test_is_deterministic;
+          Alcotest.test_case "root completion" `Quick test_root_completion;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "figure 2" `Quick test_oracle_figure2;
+          Alcotest.test_case "unsatisfiable names" `Quick test_oracle_unsat;
+          Alcotest.test_case "role disjointness components" `Quick
+            test_oracle_role_disjoint_components;
+        ] );
+    ]

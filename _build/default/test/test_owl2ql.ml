@@ -1,0 +1,109 @@
+(* Tests for the OWL 2 QL functional-syntax bridge. *)
+
+open Dllite
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let parse s =
+  match Parser.tbox_of_string s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let rich_tbox =
+  parse
+    {|
+      role p
+      role q
+      attr u
+      attr v
+      A [= B
+      A [= not C
+      B [= exists p
+      exists p^- [= C
+      A [= exists q . C
+      p [= q
+      p [= q^-
+      p [= not q
+      u [= v
+      u [= not v
+      delta(u) [= A
+    |}
+
+let test_render_shapes () =
+  let text = Owl2ql.to_functional rich_tbox in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains text needle))
+    [
+      "Prefix(:=<";
+      "Ontology(<";
+      "Declaration(Class(:A))";
+      "Declaration(ObjectProperty(:p))";
+      "Declaration(DataProperty(:u))";
+      "SubClassOf(:A :B)";
+      "DisjointClasses(:A :C)";
+      "SubClassOf(:B ObjectSomeValuesFrom(:p owl:Thing))";
+      "SubClassOf(ObjectSomeValuesFrom(ObjectInverseOf(:p) owl:Thing) :C)";
+      "SubClassOf(:A ObjectSomeValuesFrom(:q :C))";
+      "SubObjectPropertyOf(:p :q)";
+      "SubObjectPropertyOf(:p ObjectInverseOf(:q))";
+      "DisjointObjectProperties(:p :q)";
+      "SubDataPropertyOf(:u :v)";
+      "DisjointDataProperties(:u :v)";
+      "SubClassOf(DataSomeValuesFrom(:u rdfs:Literal) :A)";
+    ]
+
+let test_roundtrip_rich () =
+  let text = Owl2ql.to_functional rich_tbox in
+  let back = Owl2ql.of_functional text in
+  Alcotest.(check bool) "roundtrip equal" true (Tbox.equal rich_tbox back)
+
+let test_parse_complement () =
+  (* ObjectComplementOf is accepted on the RHS even though we render
+     disjointness as DisjointClasses *)
+  let t =
+    Owl2ql.of_functional
+      "Ontology(SubClassOf(:A ObjectComplementOf(:B)))"
+  in
+  Alcotest.(check bool) "complement parsed" true
+    (Tbox.mem (Syntax.Concept_incl (Syntax.Atomic "A", Syntax.C_neg (Syntax.Atomic "B"))) t)
+
+let test_rejects_beyond_ql () =
+  List.iter
+    (fun source ->
+      match Owl2ql.of_functional source with
+      | _ -> Alcotest.failf "expected rejection of %s" source
+      | exception Owl2ql.Unsupported _ -> ())
+    [
+      "Ontology(SubClassOf(:A ObjectAllValuesFrom(:p :B)))";
+      "Ontology(SubClassOf(:A ObjectUnionOf(:B :C)))";
+      "Ontology(TransitiveObjectProperty(:p))";
+      "Ontology(SubClassOf(:A ObjectMinCardinality(2 :p)))";
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"OWL 2 QL roundtrip preserves the TBox"
+    Ontgen.Qgen.arbitrary_tbox (fun axioms ->
+      (* signature declarations carry the unused pool names through *)
+      let t = Ontgen.Qgen.tbox_of_axioms axioms in
+      let back = Owl2ql.of_functional (Owl2ql.to_functional t) in
+      Tbox.equal t back)
+
+let () =
+  Alcotest.run "owl2ql"
+    [
+      ( "export",
+        [
+          Alcotest.test_case "surface shapes" `Quick test_render_shapes;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_rich;
+        ] );
+      ( "import",
+        [
+          Alcotest.test_case "complement" `Quick test_parse_complement;
+          Alcotest.test_case "rejects beyond QL" `Quick test_rejects_beyond_ql;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for the OWL extension of the graphical language: labelled
+   (universality/cardinality) squares, translation to/from the ALCHI
+   fragment, and rendering. *)
+
+module O = Owlfrag.Osyntax
+module Diagram = Graphical.Diagram
+module Owlize = Graphical.Owlize
+module Translate = Graphical.Translate
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let axiom = Alcotest.testable O.pp_axiom O.equal_axiom
+
+(* hand-build: Employee ⊑ ∀heads.Team  (universal square with scope) *)
+let universal_diagram () =
+  let b = Diagram.builder () in
+  let employee = Diagram.concept b "Employee" in
+  let team = Diagram.concept b "Team" in
+  let heads = Diagram.role b "heads" in
+  let square = Diagram.add_element b (Diagram.Universal_square (heads, false)) in
+  Diagram.scope b ~square ~concept:team;
+  Diagram.include_ b ~source:employee ~target:square;
+  Diagram.finish b
+
+let test_universal_square () =
+  let d = universal_diagram () in
+  Diagram.validate d;
+  Alcotest.(check (list axiom)) "universal axiom"
+    [ O.Sub (O.Name "Employee", O.All (O.Named "heads", O.Name "Team")) ]
+    (Owlize.to_owl d)
+
+let test_range_side_universal () =
+  let b = Diagram.builder () in
+  let team = Diagram.concept b "Team" in
+  let person = Diagram.concept b "Person" in
+  let heads = Diagram.role b "heads" in
+  (* black ∀-square: ∀heads⁻ *)
+  let square = Diagram.add_element b (Diagram.Universal_square (heads, true)) in
+  Diagram.scope b ~square ~concept:person;
+  Diagram.include_ b ~source:team ~target:square;
+  Alcotest.(check (list axiom)) "inverse universal"
+    [ O.Sub (O.Name "Team", O.All (O.Inv "heads", O.Name "Person")) ]
+    (Owlize.to_owl (Diagram.finish b))
+
+let test_cardinality_square () =
+  let b = Diagram.builder () in
+  let committee = Diagram.concept b "Committee" in
+  let has_member = Diagram.role b "hasMember" in
+  let one = Diagram.add_element b (Diagram.Cardinality_square (has_member, false, 1)) in
+  Diagram.include_ b ~source:committee ~target:one;
+  (* >= 1 is the plain existential *)
+  Alcotest.(check (list axiom)) "card 1 = exists"
+    [ O.Sub (O.Name "Committee", O.Some_ (O.Named "hasMember", O.Top)) ]
+    (Owlize.to_owl (Diagram.finish b));
+  (* >= 2 is beyond the ALCHI target: rejected with a message *)
+  let b2 = Diagram.builder () in
+  let c = Diagram.concept b2 "Committee" in
+  let r = Diagram.role b2 "hasMember" in
+  let two = Diagram.add_element b2 (Diagram.Cardinality_square (r, false, 2)) in
+  Diagram.include_ b2 ~source:c ~target:two;
+  match Owlize.to_owl (Diagram.finish b2) with
+  | _ -> Alcotest.fail "expected Untranslatable"
+  | exception Owlize.Untranslatable _ -> ()
+
+let test_dllite_translate_rejects_extension () =
+  let d = universal_diagram () in
+  match Translate.to_tbox d with
+  | _ -> Alcotest.fail "DL-Lite translation must reject OWL squares"
+  | exception Translate.Untranslatable _ -> ()
+
+let test_negated_edge () =
+  let b = Diagram.builder () in
+  let a = Diagram.concept b "A" in
+  let heads = Diagram.role b "heads" in
+  let square = Diagram.add_element b (Diagram.Universal_square (heads, false)) in
+  Diagram.include_ ~negated:true b ~source:a ~target:square;
+  Alcotest.(check (list axiom)) "negated universal"
+    [ O.Sub (O.Name "A", O.Not (O.All (O.Named "heads", O.Top))) ]
+    (Owlize.to_owl (Diagram.finish b))
+
+let test_of_owl_roundtrip () =
+  let tbox =
+    [
+      O.Sub (O.Name "Manager", O.Some_ (O.Named "heads", O.Name "Team"));
+      O.Sub (O.Name "Employee", O.All (O.Named "worksFor", O.Name "Org"));
+      O.Sub (O.Some_ (O.Inv "heads", O.Top), O.Name "Team");
+      O.Role_sub (O.Named "heads", O.Named "worksFor");
+      O.Role_disjoint (O.Named "likes", O.Named "dislikes");
+      O.Sub (O.Name "Org", O.Not (O.Name "Person"));
+    ]
+  in
+  let d = Owlize.of_owl tbox in
+  Diagram.validate d;
+  let back = Owlize.to_owl d in
+  List.iter
+    (fun ax ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a preserved" O.pp_axiom ax)
+        true
+        (List.mem ax back))
+    tbox;
+  Alcotest.(check int) "same axiom count" (List.length tbox) (List.length back)
+
+let test_of_owl_rejects_undrawable () =
+  match Owlize.of_owl [ O.Sub (O.Name "A", O.Or (O.Name "B", O.Name "C")) ] with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Owlize.Untranslatable _ -> ()
+
+let test_rendering_extension () =
+  let d = universal_diagram () in
+  let dot = Graphical.Dot.render d in
+  Alcotest.(check bool) "dot universal label" true (contains dot "label=\"∀\"");
+  let svg = Graphical.Layout.to_svg d in
+  Alcotest.(check bool) "svg universal entity" true (contains svg "&#8704;")
+
+let () =
+  Alcotest.run "owlize"
+    [
+      ( "to_owl",
+        [
+          Alcotest.test_case "universal square" `Quick test_universal_square;
+          Alcotest.test_case "range-side universal" `Quick test_range_side_universal;
+          Alcotest.test_case "cardinality labels" `Quick test_cardinality_square;
+          Alcotest.test_case "DL-Lite view rejects" `Quick
+            test_dllite_translate_rejects_extension;
+          Alcotest.test_case "negated edges" `Quick test_negated_edge;
+        ] );
+      ( "of_owl",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_of_owl_roundtrip;
+          Alcotest.test_case "rejects undrawable" `Quick test_of_owl_rejects_undrawable;
+        ] );
+      ( "rendering",
+        [ Alcotest.test_case "labelled squares" `Quick test_rendering_extension ] );
+    ]

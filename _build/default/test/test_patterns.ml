@@ -1,0 +1,136 @@
+(* Tests for the ontology design patterns (Section 8): every pattern
+   must entail its own intended consequences, compose cleanly, and
+   render in the graphical language. *)
+
+open Dllite
+
+
+let check_holds name instance =
+  match Patterns.verify instance with
+  | [] -> ()
+  | violated ->
+    Alcotest.failf "%s: unfulfilled promises: %s" name
+      (String.concat "; " (List.map Syntax.axiom_to_string violated))
+
+let test_part_whole () =
+  let i = Patterns.part_whole ~part:"County" ~whole:"State" () in
+  check_holds "part-whole" i;
+  (* the instance contains the Figure-2 qualified existential *)
+  Alcotest.(check bool) "figure-2 axiom" true
+    (Tbox.mem
+       (Syntax.Concept_incl
+          (Syntax.Atomic "County", Syntax.C_exists_qual (Syntax.Direct "isPartOf", "State")))
+       i.Patterns.tbox)
+
+let test_part_whole_custom_role () =
+  let i = Patterns.part_whole ~part:"Wheel" ~whole:"Car" ~role:"componentOf" () in
+  check_holds "part-whole custom" i;
+  Alcotest.(check bool) "role renamed" true
+    (Signature.mem_role "componentOf" (Tbox.signature i.Patterns.tbox))
+
+let test_temporal_snapshot () =
+  let i = Patterns.temporal_snapshot ~entity:"Contract" () in
+  check_holds "temporal" i;
+  let s = Tbox.signature i.Patterns.tbox in
+  Alcotest.(check bool) "snapshot concept" true
+    (Signature.mem_concept "ContractSnapshot" s);
+  Alcotest.(check bool) "validity attrs" true
+    (Signature.mem_attribute "validFrom" s && Signature.mem_attribute "validTo" s);
+  (* snapshots are never entities *)
+  let d = Quonto.Deductive.compute i.Patterns.tbox in
+  Alcotest.(check bool) "disjoint" true
+    (Quonto.Deductive.entails_disjoint d
+       (Syntax.E_concept (Syntax.Atomic "ContractSnapshot"))
+       (Syntax.E_concept (Syntax.Atomic "Contract")))
+
+let test_qualified_relationship () =
+  let i =
+    Patterns.qualified_relationship ~name:"Employment" ~source:"Person"
+      ~target:"Organization" ()
+  in
+  check_holds "qualified relationship" i;
+  Alcotest.(check bool) "reified roles" true
+    (Signature.mem_role "employmentSource" (Tbox.signature i.Patterns.tbox))
+
+let test_partition () =
+  let i =
+    Patterns.partition ~parent:"Customer"
+      ~cases:[ "Business"; "Residential"; "Government" ] ()
+  in
+  check_holds "partition" i;
+  let d = Quonto.Deductive.compute i.Patterns.tbox in
+  (* pairwise disjointness including the symmetric direction *)
+  Alcotest.(check bool) "Government disjoint Business" true
+    (Quonto.Deductive.entails_disjoint d
+       (Syntax.E_concept (Syntax.Atomic "Government"))
+       (Syntax.E_concept (Syntax.Atomic "Business")));
+  (* coherence: no case is unsatisfiable *)
+  let cls = Quonto.Classify.classify i.Patterns.tbox in
+  Alcotest.(check bool) "coherent" true (Quonto.Unsat.coherent (Quonto.Classify.unsat cls))
+
+let test_composition () =
+  (* compose patterns into one design and keep all promises *)
+  let design =
+    List.fold_left Patterns.apply Tbox.empty
+      [
+        Patterns.part_whole ~part:"County" ~whole:"State" ();
+        Patterns.partition ~parent:"Region" ~cases:[ "County"; "State" ] ();
+      ]
+  in
+  let d = Quonto.Deductive.compute design in
+  (* promises of both patterns hold in the composition *)
+  Alcotest.(check bool) "part-whole survives" true
+    (Quonto.Deductive.entails d
+       (Syntax.Concept_incl
+          (Syntax.Atomic "County", Syntax.C_exists_qual (Syntax.Direct "isPartOf", "State"))));
+  Alcotest.(check bool) "partition survives" true
+    (Quonto.Deductive.entails d
+       (Syntax.Concept_incl (Syntax.Atomic "County", Syntax.C_neg (Syntax.Atomic "State"))));
+  (* and the composition stays coherent *)
+  let cls = Quonto.Classify.classify design in
+  Alcotest.(check bool) "coherent composition" true
+    (Quonto.Unsat.coherent (Quonto.Classify.unsat cls))
+
+let test_all_patterns_diagram () =
+  List.iter
+    (fun i ->
+      let d = Patterns.diagram i in
+      Graphical.Diagram.validate d;
+      let elements, _, _ = Graphical.Diagram.stats d in
+      Alcotest.(check bool) (i.Patterns.pattern ^ " diagram nonempty") true (elements > 0))
+    [
+      Patterns.part_whole ~part:"A" ~whole:"B" ();
+      Patterns.temporal_snapshot ~entity:"E" ();
+      Patterns.qualified_relationship ~name:"R" ~source:"S" ~target:"T" ();
+      Patterns.partition ~parent:"P" ~cases:[ "X"; "Y" ] ();
+    ]
+
+let test_all_patterns_verified () =
+  (* belt-and-braces: every stock instantiation passes verify *)
+  List.iter
+    (fun i -> check_holds i.Patterns.pattern i)
+    [
+      Patterns.part_whole ~part:"A" ~whole:"B" ();
+      Patterns.temporal_snapshot ~entity:"E" ();
+      Patterns.qualified_relationship ~name:"R" ~source:"S" ~target:"T" ();
+      Patterns.partition ~parent:"P" ~cases:[ "X"; "Y"; "Z" ] ();
+    ]
+
+let () =
+  Alcotest.run "patterns"
+    [
+      ( "instances",
+        [
+          Alcotest.test_case "part-whole" `Quick test_part_whole;
+          Alcotest.test_case "part-whole custom role" `Quick test_part_whole_custom_role;
+          Alcotest.test_case "temporal snapshot" `Quick test_temporal_snapshot;
+          Alcotest.test_case "qualified relationship" `Quick test_qualified_relationship;
+          Alcotest.test_case "partition" `Quick test_partition;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "composition" `Quick test_composition;
+          Alcotest.test_case "diagrams" `Quick test_all_patterns_diagram;
+          Alcotest.test_case "all verified" `Quick test_all_patterns_verified;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+(* Tests for the query/mapping/facts text formats. *)
+
+open Dllite
+module Cq = Obda.Cq
+module Qparse = Obda.Qparse
+
+let signature =
+  Signature.empty
+  |> Signature.add_concept "Employee"
+  |> Signature.add_role "worksFor"
+  |> Signature.add_attribute "salary"
+
+let test_parse_query () =
+  let q =
+    Qparse.parse_query ~signature "x, y <- worksFor(x, y), Employee(x)"
+  in
+  Alcotest.(check (list string)) "answer vars" [ "x"; "y" ] q.Cq.answer_vars;
+  Alcotest.(check int) "two atoms" 2 (List.length q.Cq.body);
+  (match q.Cq.body with
+   | [ a1; a2 ] ->
+     Alcotest.(check string) "role tagged" "r$worksFor" a1.Cq.pred;
+     Alcotest.(check string) "concept tagged" "c$Employee" a2.Cq.pred
+   | _ -> Alcotest.fail "bad body")
+
+let test_parse_query_constants () =
+  let q = Qparse.parse_query ~signature {|x <- dept(x, "R&D")|} in
+  match q.Cq.body with
+  | [ a ] ->
+    Alcotest.(check string) "db relation untagged" "dept" a.Cq.pred;
+    Alcotest.(check bool) "constant" true
+      (List.exists (function Cq.Const "R&D" -> true | _ -> false) a.Cq.args)
+  | _ -> Alcotest.fail "bad body"
+
+let test_parse_query_boolean () =
+  let q = Qparse.parse_query ~signature " <- Employee(x)" in
+  Alcotest.(check (list string)) "boolean" [] q.Cq.answer_vars
+
+let test_parse_query_errors () =
+  (match Qparse.parse_query ~signature "x, Employee(x)" with
+   | _ -> Alcotest.fail "expected error"
+   | exception Qparse.Parse_error _ -> ());
+  (match Qparse.parse_query ~signature "z <- Employee(x)" with
+   | _ -> Alcotest.fail "answer var must occur"
+   | exception Qparse.Parse_error _ -> ())
+
+let test_parse_mappings () =
+  let mappings =
+    Qparse.parse_mappings ~signature
+      {|
+        # employees come from the HR table
+        map Employee(id) <- t_emp(id, n, co)
+        map worksFor(id, co) <- t_emp(id, n, co)
+        map salary(id, s) <- t_pay(id, s)
+      |}
+  in
+  Alcotest.(check int) "three mappings" 3 (List.length mappings);
+  match mappings with
+  | [ m1; m2; m3 ] ->
+    (match m1.Obda.Mapping.target with
+     | Obda.Mapping.Concept_head ("Employee", Cq.Var "id") -> ()
+     | _ -> Alcotest.fail "bad concept head");
+    (match m2.Obda.Mapping.target with
+     | Obda.Mapping.Role_head ("worksFor", Cq.Var "id", Cq.Var "co") -> ()
+     | _ -> Alcotest.fail "bad role head");
+    (match m3.Obda.Mapping.target with
+     | Obda.Mapping.Attr_head ("salary", Cq.Var "id", Cq.Var "s") -> ()
+     | _ -> Alcotest.fail "bad attr head")
+  | _ -> Alcotest.fail "wrong count"
+
+let test_parse_mappings_errors () =
+  (* head must be an ontology predicate *)
+  (match Qparse.parse_mappings ~signature "map t_emp(id) <- t_emp(id, n, c)" with
+   | _ -> Alcotest.fail "expected error"
+   | exception Qparse.Parse_error _ -> ());
+  (* head variables must be answered by the source *)
+  match Qparse.parse_mappings ~signature "map Employee(id) <- t_emp(x, n, c)" with
+  | _ -> Alcotest.fail "expected unanswered-variable error"
+  | exception Qparse.Parse_error _ -> ()
+
+let test_load_facts () =
+  let db = Obda.Database.create () in
+  Qparse.load_facts db {|
+    # facts
+    t_emp(e1, ada, acme)
+    t_flag(e1)
+    t_note(e2, "hello, world")
+  |};
+  Alcotest.(check int) "rows loaded" 3 (Obda.Database.size db);
+  Alcotest.(check (list (list string))) "quoted comma kept"
+    [ [ "e2"; "hello, world" ] ]
+    (Obda.Database.rows db "t_note")
+
+let () =
+  Alcotest.run "qparse"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_query;
+          Alcotest.test_case "constants" `Quick test_parse_query_constants;
+          Alcotest.test_case "boolean" `Quick test_parse_query_boolean;
+          Alcotest.test_case "errors" `Quick test_parse_query_errors;
+        ] );
+      ( "mappings",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_mappings;
+          Alcotest.test_case "errors" `Quick test_parse_mappings_errors;
+        ] );
+      ("facts", [ Alcotest.test_case "loading" `Quick test_load_facts ]);
+    ]
