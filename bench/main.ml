@@ -345,6 +345,61 @@ let scaling_ablation () =
      chart past a few hundred entities)\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Differential conformance: agreement rates + shrink effectiveness    *)
+(* ------------------------------------------------------------------ *)
+
+let conformance_report () =
+  Printf.printf "== conformance: differential agreement across the stack ==\n";
+  (* healthy sweep: pool cases (with the tableau oracle) *)
+  let report = Conformance.Report.create () in
+  let cases = 200 in
+  let _, elapsed =
+    timeit (fun () ->
+        for seed = 1 to cases do
+          let rng = Ontgen.Rng.create seed in
+          let with_data = Ontgen.Rng.bool rng 0.5 in
+          let tbox = Ontgen.Casegen.tbox rng in
+          let data =
+            if with_data then Some (Ontgen.Casegen.abox rng, Ontgen.Casegen.query rng)
+            else None
+          in
+          let case = { Conformance.Runner.label = string_of_int seed; tbox; data } in
+          Conformance.Report.record report (Conformance.Runner.check case)
+        done)
+  in
+  Printf.printf "pool cases:    %s  (%.2fs)\n"
+    (Conformance.Report.summary report) elapsed;
+  (* injected-fault sweep: how well does the shrinker compress bugs? *)
+  let config =
+    { Conformance.Runner.default_config with
+      Conformance.Runner.fault = Conformance.Subjects.Drop_inverse_role_axioms }
+  in
+  let injected = Conformance.Report.create () in
+  let _, elapsed =
+    timeit (fun () ->
+        for seed = 1 to 50 do
+          let rng = Ontgen.Rng.create seed in
+          let case =
+            { Conformance.Runner.label = string_of_int seed;
+              tbox = Ontgen.Casegen.tbox rng;
+              data = None }
+          in
+          let outcome = Conformance.Runner.check ~config case in
+          Conformance.Report.record injected outcome;
+          if outcome.Conformance.Runner.disagreements <> [] then begin
+            let still_failing c =
+              (Conformance.Runner.check ~config c).Conformance.Runner.disagreements
+              <> []
+            in
+            let _, stats = Conformance.Shrink.minimize ~still_failing case in
+            Conformance.Report.record_shrink injected stats
+          end
+        done)
+  in
+  Printf.printf "drop-inverse:  %s  (%.2fs)\n\n"
+    (Conformance.Report.summary injected) elapsed
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenches                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -409,7 +464,7 @@ let () =
         List.mem a
           [
             "figure1"; "figure2"; "closure"; "unsat"; "implication"; "rewrite";
-            "approx"; "scaling"; "data"; "micro";
+            "approx"; "scaling"; "data"; "conformance"; "micro";
           ])
       args
   in
@@ -424,6 +479,7 @@ let () =
     | "approx" -> approx_ablation ()
     | "scaling" -> scaling_ablation ()
     | "data" -> data_ablation ()
+    | "conformance" -> conformance_report ()
     | "micro" -> micro ()
     | _ -> ()
   in

@@ -1,0 +1,145 @@
+(* Differential fuzzer for the reasoning stack.
+
+   Generates seeded random cases (TBoxes, and ABox+query cases on
+   roughly half the draws), runs every case through the conformance
+   runner and stops at the first disagreement: the failing seed is
+   printed with an exact replay command line, the case is shrunk to a
+   1-minimal counterexample and emitted in the corpus format (and
+   saved with --corpus DIR, ready to drop into test/corpus/).
+
+   --inject drop-inverse sabotages one subject on purpose — a self-test
+   that the harness detects and shrinks real bugs; such runs exit 0.
+
+   Examples:
+     fuzz --seed 1 --count 200
+     fuzz --seed 42 --count 500 --profile galen
+     fuzz --inject drop-inverse --corpus /tmp/corpus *)
+
+open Cmdliner
+module Runner = Conformance.Runner
+module Subjects = Conformance.Subjects
+
+let build_case ~profile ~case_seed =
+  let rng = Ontgen.Rng.create case_seed in
+  let label = Printf.sprintf "seed-%d" case_seed in
+  match profile with
+  | Some p ->
+    Runner.case ~label (Ontgen.Casegen.profile_tbox ~seed:case_seed p)
+  | None ->
+    (* draw the case shape from the seed itself so a failing seed
+       replays identically with --count 1 *)
+    let with_data = Ontgen.Rng.bool rng 0.5 in
+    let tbox = Ontgen.Casegen.tbox rng in
+    let data =
+      if with_data then Some (Ontgen.Casegen.abox rng, Ontgen.Casegen.query rng)
+      else None
+    in
+    { Runner.label; tbox; data }
+
+let run seed count profile inject no_oracle corpus_dir =
+  let fault =
+    match Subjects.fault_of_string inject with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "unknown fault %s (use none or drop-inverse)\n" inject;
+      exit 2
+  in
+  let profile =
+    match profile with
+    | None -> None
+    | Some label -> (
+      match Ontgen.Profiles.by_label label with
+      | Some p -> Some p
+      | None ->
+        Printf.eprintf "unknown profile %s; known: %s\n" label
+          (String.concat ", "
+             (List.map (fun p -> p.Ontgen.Generator.label) Ontgen.Profiles.figure1));
+        exit 2)
+  in
+  (* dense profile TBoxes are exactly the inputs Figure 1's tableau
+     reasoners time out on: every oracle query would burn its whole
+     budget for an [Unknown], so profile runs drop the oracle *)
+  let config =
+    { Runner.default_config with
+      with_oracle = (not no_oracle) && profile = None;
+      fault }
+  in
+  let report = Conformance.Report.create () in
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < count do
+    let case_seed = seed + !i in
+    let case = build_case ~profile ~case_seed in
+    let outcome = Runner.check ~config case in
+    Conformance.Report.record report outcome;
+    if outcome.Runner.disagreements <> [] then failure := Some (case_seed, case, outcome);
+    incr i
+  done;
+  match !failure with
+  | None ->
+    print_endline (Conformance.Report.summary report);
+    print_endline "OK: no disagreements"
+  | Some (case_seed, case, outcome) ->
+    let replay =
+      Printf.sprintf "fuzz --seed %d --count 1%s%s%s" case_seed
+        (match profile with
+         | Some p -> " --profile " ^ p.Ontgen.Generator.label
+         | None -> "")
+        (match fault with
+         | Subjects.No_fault -> ""
+         | f -> " --inject " ^ Subjects.string_of_fault f)
+        (if no_oracle then " --no-oracle" else "")
+    in
+    Printf.printf "FAILURE at seed %d  (replay: %s)\n" case_seed replay;
+    List.iter
+      (fun d -> print_endline (Conformance.Diff.to_string d))
+      outcome.Runner.disagreements;
+    let still_failing c = (Runner.check ~config c).Runner.disagreements <> [] in
+    let shrunk, stats = Conformance.Shrink.minimize ~still_failing case in
+    Conformance.Report.record_shrink report stats;
+    Printf.printf "shrunk: %d -> %d axioms, %d -> %d assertions (%d reruns)\n"
+      stats.Conformance.Shrink.initial_axioms stats.Conformance.Shrink.final_axioms
+      stats.Conformance.Shrink.initial_assertions
+      stats.Conformance.Shrink.final_assertions stats.Conformance.Shrink.reruns;
+    print_endline "minimal counterexample:";
+    print_string (Conformance.Corpus.to_string shrunk);
+    (match corpus_dir with
+     | Some dir ->
+       let path = Conformance.Corpus.save ~dir shrunk in
+       Printf.printf "saved: %s\n" path
+     | None -> ());
+    print_endline (Conformance.Report.summary report);
+    (* an injected fault is *supposed* to be found: that run succeeded *)
+    if fault = Subjects.No_fault then exit 1
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed; case $(i)i uses seed+$(i)i.")
+
+let count_arg = Arg.(value & opt int 100 & info [ "count" ] ~doc:"Number of cases.")
+
+let profile_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~doc:"Generate from a Figure-1 benchmark profile (e.g. galen).")
+
+let inject_arg =
+  Arg.(value & opt string "none"
+       & info [ "inject" ]
+           ~doc:"Inject a synthetic fault (drop-inverse) to self-test the harness.")
+
+let no_oracle_arg =
+  Arg.(value & flag & info [ "no-oracle" ] ~doc:"Skip the (slow) ALCHI tableau subject.")
+
+let corpus_arg =
+  Arg.(value & opt (some string) None
+       & info [ "corpus" ] ~doc:"Save the shrunk counterexample into DIR.")
+
+let () =
+  let info =
+    Cmd.info "fuzz"
+      ~doc:"Differential fuzzing of the four classifiers and both answer paths."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(const run $ seed_arg $ count_arg $ profile_arg $ inject_arg
+                $ no_oracle_arg $ corpus_arg)))

@@ -1,0 +1,77 @@
+(** Structured disagreement reports.
+
+    A disagreement records one question the subjects answered
+    differently, with every subject's verdict attached — enough for a
+    human to decide which implementation is wrong without re-running
+    anything. *)
+
+open Dllite
+
+type kind =
+  | Subsumption of Syntax.expr * Syntax.expr  (** [e1 ⊑? e2] *)
+  | Unsatisfiability of Syntax.expr           (** [e ⊑? ⊥] *)
+  | Consistency                               (** is the KB consistent? *)
+  | Certain_answers of Obda.Cq.t              (** certain answers to a CQ *)
+
+type disagreement = {
+  kind : kind;
+  verdicts : (string * string) list;
+      (** subject name, printed verdict — [Unknown]s included for
+          context even though they never trigger the disagreement *)
+}
+
+let string_of_kind = function
+  | Subsumption (e1, e2) ->
+    Printf.sprintf "subsumption %s [= %s" (Syntax.expr_to_string e1)
+      (Syntax.expr_to_string e2)
+  | Unsatisfiability e -> Printf.sprintf "unsatisfiability of %s" (Syntax.expr_to_string e)
+  | Consistency -> "KB consistency"
+  | Certain_answers q -> Printf.sprintf "certain answers to %s" (Obda.Cq.to_string q)
+
+(** [check kind verdicts] — [Some d] when two *definite* verdicts
+    differ, [None] when the subjects agree (or at most one of them
+    committed to an answer). *)
+let check kind verdicts =
+  let definite =
+    List.filter_map
+      (fun (_, v) -> match v with Subjects.Unknown _ -> None | v -> Some v)
+      verdicts
+  in
+  let disagreeing =
+    match definite with
+    | [] | [ _ ] -> false
+    | v :: rest -> List.exists (fun v' -> v' <> v) rest
+  in
+  if disagreeing then
+    Some
+      {
+        kind;
+        verdicts =
+          List.map (fun (n, v) -> (n, Subjects.string_of_verdict v)) verdicts;
+      }
+  else None
+
+(** Same decision rule for certain-answer results. *)
+let check_answers q results =
+  let definite =
+    List.filter_map
+      (fun (_, a) -> match a with Subjects.A_unknown _ -> None | Subjects.Tuples t -> Some t)
+      results
+  in
+  let disagreeing =
+    match definite with
+    | [] | [ _ ] -> false
+    | t :: rest -> List.exists (fun t' -> t' <> t) rest
+  in
+  if disagreeing then
+    Some
+      {
+        kind = Certain_answers q;
+        verdicts = List.map (fun (n, a) -> (n, Subjects.string_of_answers a)) results;
+      }
+  else None
+
+let to_string d =
+  string_of_kind d.kind ^ "\n"
+  ^ String.concat "\n"
+      (List.map (fun (n, v) -> Printf.sprintf "  %-20s %s" n v) d.verdicts)

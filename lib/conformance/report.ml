@@ -1,0 +1,63 @@
+(** Aggregate statistics over a conformance run: agreement rates for
+    the bench table, shrink effectiveness for the fuzzing summary. *)
+
+type t = {
+  mutable cases : int;
+  mutable failing_cases : int;
+  mutable checks : int;
+  mutable unknowns : int;
+  mutable disagreements : int;
+  mutable shrinks : int;
+  mutable shrink_reruns : int;
+  mutable axioms_before : int;
+  mutable axioms_after : int;
+}
+
+let create () =
+  {
+    cases = 0;
+    failing_cases = 0;
+    checks = 0;
+    unknowns = 0;
+    disagreements = 0;
+    shrinks = 0;
+    shrink_reruns = 0;
+    axioms_before = 0;
+    axioms_after = 0;
+  }
+
+let record t (outcome : Runner.outcome) =
+  t.cases <- t.cases + 1;
+  t.checks <- t.checks + outcome.Runner.checks;
+  t.unknowns <- t.unknowns + outcome.Runner.unknowns;
+  let d = List.length outcome.Runner.disagreements in
+  t.disagreements <- t.disagreements + d;
+  if d > 0 then t.failing_cases <- t.failing_cases + 1
+
+let record_shrink t (stats : Shrink.stats) =
+  t.shrinks <- t.shrinks + 1;
+  t.shrink_reruns <- t.shrink_reruns + stats.Shrink.reruns;
+  t.axioms_before <- t.axioms_before + stats.Shrink.initial_axioms;
+  t.axioms_after <- t.axioms_after + stats.Shrink.final_axioms
+
+(** Fraction of checks on which all definite verdicts coincided. *)
+let agreement_rate t =
+  if t.checks = 0 then 1.0
+  else 1.0 -. (float_of_int t.disagreements /. float_of_int t.checks)
+
+let summary t =
+  let base =
+    Printf.sprintf
+      "%d cases, %d checks, %d unknown verdicts: %d disagreements in %d cases \
+       (agreement %.4f)"
+      t.cases t.checks t.unknowns t.disagreements t.failing_cases (agreement_rate t)
+  in
+  if t.shrinks = 0 then base
+  else
+    base
+    ^ Printf.sprintf
+        "\n%d shrinks: %d -> %d axioms on average, %d oracle reruns total"
+        t.shrinks
+        (t.axioms_before / t.shrinks)
+        (t.axioms_after / t.shrinks)
+        t.shrink_reruns

@@ -1,0 +1,128 @@
+(** The differential runner: put one case to every subject and diff the
+    answers.
+
+    A case is a TBox plus, optionally, an ABox and a query.  The
+    intensional tier asks every classification subject all pairwise
+    same-sort subsumption questions over the signature universe (the
+    basic concepts, roles and attribute domains of [Naive.universe_of])
+    and all unsatisfiability questions.  The extensional tier compares
+    the two KB-consistency procedures and, when the KB is consistent,
+    the three certain-answer paths. *)
+
+open Dllite
+
+type case = {
+  label : string;
+  tbox : Tbox.t;
+  data : (Abox.t * Obda.Cq.t) option;
+}
+
+let case ?data ~label tbox = { label; tbox; data }
+
+type config = {
+  with_oracle : bool;
+      (** include the ALCHI tableau (slowest subject by far) *)
+  oracle_budget : int option;  (** per-query tableau rule budget *)
+  fault : Subjects.fault;      (** inject a synthetic bug (harness self-test) *)
+  max_universe : int;
+      (** skip the oracle when the signature universe is larger — the
+          pairwise tier would mean thousands of tableau runs *)
+}
+
+(* 20k tableau rule applications: far above what pool-sized cases need,
+   but cheap enough that a pathological case degrades into a stream of
+   fast [Unknown]s instead of minutes of stuck tableau *)
+let default_config =
+  {
+    with_oracle = true;
+    oracle_budget = Some 20_000;
+    fault = Subjects.No_fault;
+    max_universe = 40;
+  }
+
+type outcome = {
+  disagreements : Diff.disagreement list;
+  checks : int;    (** questions asked *)
+  unknowns : int;  (** individual [Unknown] verdicts across all questions *)
+}
+
+let universe case = Baselines.Naive.universe_of case.tbox
+
+let classifiers config tbox universe_size =
+  let base = [ Subjects.quonto tbox; Subjects.naive tbox; Subjects.cb tbox ] in
+  let base =
+    if config.with_oracle && universe_size <= config.max_universe then
+      base @ [ Subjects.oracle ?budget:config.oracle_budget tbox ]
+    else base
+  in
+  match config.fault with
+  | Subjects.No_fault -> base
+  | fault -> base @ [ Subjects.faulty fault tbox ]
+
+(** [check ?config case] runs the full differential protocol. *)
+let check ?(config = default_config) case =
+  let tbox = case.tbox in
+  let u = universe case in
+  let cls = classifiers config tbox (List.length u) in
+  let disagreements = ref [] in
+  let checks = ref 0 in
+  let unknowns = ref 0 in
+  let count_unknown v =
+    match v with Subjects.Unknown _ -> incr unknowns | Subjects.Yes | Subjects.No -> ()
+  in
+  let record kind verdicts =
+    incr checks;
+    List.iter (fun (_, v) -> count_unknown v) verdicts;
+    match Diff.check kind verdicts with
+    | Some d -> disagreements := d :: !disagreements
+    | None -> ()
+  in
+  (* intensional tier: unsatisfiability and pairwise subsumption *)
+  List.iter
+    (fun e1 ->
+      record (Diff.Unsatisfiability e1)
+        (List.map (fun c -> (c.Subjects.name, c.Subjects.is_unsat e1)) cls);
+      List.iter
+        (fun e2 ->
+          if Quonto.Encoding.same_sort e1 e2 && not (Syntax.equal_expr e1 e2) then
+            record
+              (Diff.Subsumption (e1, e2))
+              (List.map (fun c -> (c.Subjects.name, c.Subjects.subsumes e1 e2)) cls))
+        u)
+    u;
+  (* extensional tier *)
+  (match case.data with
+   | None -> ()
+   | Some (abox, q) ->
+     let cons =
+       List.map
+         (fun s -> (s.Subjects.c_name, s.Subjects.consistent tbox abox))
+         Subjects.consistency_subjects
+     in
+     record Diff.Consistency cons;
+     (* certain answers are only well-defined (and only comparable:
+        under inconsistency every tuple is certain for the chase while
+        the rewriting evaluates as if nothing happened) on consistent
+        KBs: require at least one definite "consistent" and no definite
+        "inconsistent" *)
+     let definite_yes = List.exists (fun (_, v) -> v = Subjects.Yes) cons in
+     let definite_no = List.exists (fun (_, v) -> v = Subjects.No) cons in
+     if definite_yes && not definite_no then begin
+       let results =
+         List.map
+           (fun s -> (s.Subjects.a_name, s.Subjects.answers tbox abox q))
+           Subjects.answer_subjects
+       in
+       incr checks;
+       List.iter
+         (fun (_, a) ->
+           match a with Subjects.A_unknown _ -> incr unknowns | Subjects.Tuples _ -> ())
+         results;
+       match Diff.check_answers q results with
+       | Some d -> disagreements := d :: !disagreements
+       | None -> ()
+     end);
+  { disagreements = List.rev !disagreements; checks = !checks; unknowns = !unknowns }
+
+(** [agrees ?config case] — no disagreement anywhere. *)
+let agrees ?config case = (check ?config case).disagreements = []

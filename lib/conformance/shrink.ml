@@ -1,0 +1,90 @@
+(** Greedy delta-debugging of a failing case.
+
+    Repeatedly try to delete one axiom (then one assertion, then the
+    whole data part) and keep the deletion whenever the shrunk case
+    still fails, until a fixpoint: the result is 1-minimal — removing
+    any single remaining axiom or assertion makes the disagreement
+    disappear.  Deletion never touches the signature ([Tbox.filter]
+    keeps it), so the universe the subjects are questioned over stays
+    put while the axioms melt away. *)
+
+open Dllite
+
+type stats = {
+  initial_axioms : int;
+  final_axioms : int;
+  initial_assertions : int;
+  final_assertions : int;
+  reruns : int;  (** oracle re-checks spent *)
+}
+
+let assertion_count case =
+  match case.Runner.data with None -> 0 | Some (abox, _) -> Abox.size abox
+
+let remove_axiom ax tbox =
+  Tbox.filter (fun a -> not (Syntax.equal_axiom a ax)) tbox
+
+let remove_assertion asrt abox =
+  Abox.of_list
+    (List.filter (fun a -> not (Abox.equal_assertion a asrt)) (Abox.assertions abox))
+
+(** [minimize ~still_failing case] — [still_failing] is the oracle the
+    deletions are re-checked against (typically
+    [fun c -> (Runner.check ~config c).disagreements <> []], but any
+    predicate works, e.g. "this specific disagreement still shows").
+    [case] must satisfy it. *)
+let minimize ~still_failing case =
+  let reruns = ref 0 in
+  let test c =
+    incr reruns;
+    still_failing c
+  in
+  let current = ref case in
+  (* cheapest big step first: a classification-only failure does not
+     need the data part at all *)
+  (match (!current).Runner.data with
+   | Some _ ->
+     let cand = { !current with Runner.data = None } in
+     if test cand then current := cand
+   | None -> ());
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun ax ->
+        if Tbox.mem ax (!current).Runner.tbox then begin
+          let cand =
+            { !current with Runner.tbox = remove_axiom ax (!current).Runner.tbox }
+          in
+          if test cand then begin
+            current := cand;
+            progress := true
+          end
+        end)
+      (Tbox.axioms (!current).Runner.tbox);
+    match (!current).Runner.data with
+    | None -> ()
+    | Some (abox, q) ->
+      List.iter
+        (fun asrt ->
+          match (!current).Runner.data with
+          | Some (ab, _) when Abox.mem asrt ab ->
+            let cand =
+              { !current with Runner.data = Some (remove_assertion asrt ab, q) }
+            in
+            if test cand then begin
+              current := cand;
+              progress := true
+            end
+          | _ -> ())
+        (Abox.assertions abox)
+  done;
+  let final = !current in
+  ( final,
+    {
+      initial_axioms = Tbox.axiom_count case.Runner.tbox;
+      final_axioms = Tbox.axiom_count final.Runner.tbox;
+      initial_assertions = assertion_count case;
+      final_assertions = assertion_count final;
+      reruns = !reruns;
+    } )

@@ -1,0 +1,219 @@
+(** The implementations under differential test, behind uniform
+    interfaces.
+
+    Four classification subjects (the digraph classifier, the naive
+    saturation baseline, the consequence-based simulation, the ALCHI
+    tableau oracle), two KB-consistency subjects (rewritten violation
+    queries vs. the chase) and three certain-answer subjects
+    (PerfectRef and Presto compiled to SQL, vs. the bounded chase).
+
+    Every subject answers with a three-valued {!verdict}: resource
+    exhaustion (tableau budget, chase overflow) and *documented*
+    incompletenesses (CB computes no property hierarchy and is only
+    guaranteed complete on positive TBoxes, see [Baselines.Cb]) map to
+    [Unknown], never to a fake yes/no — the runner only reports a
+    disagreement between definite verdicts. *)
+
+open Dllite
+
+type verdict =
+  | Yes
+  | No
+  | Unknown of string  (** the subject cannot answer; carries the reason *)
+
+let verdict_of_bool b = if b then Yes else No
+
+let string_of_verdict = function
+  | Yes -> "yes"
+  | No -> "no"
+  | Unknown reason -> "unknown (" ^ reason ^ ")"
+
+(* ------------------------- classification -------------------------- *)
+
+type classifier = {
+  name : string;
+  subsumes : Syntax.expr -> Syntax.expr -> verdict;
+  is_unsat : Syntax.expr -> verdict;
+}
+
+let quonto tbox =
+  let cls = Quonto.Classify.classify tbox in
+  {
+    name = "quonto";
+    subsumes = (fun e1 e2 -> verdict_of_bool (Quonto.Classify.subsumes cls e1 e2));
+    is_unsat = (fun e -> verdict_of_bool (Quonto.Classify.is_unsat cls e));
+  }
+
+let naive tbox =
+  let n = Baselines.Naive.classify tbox in
+  {
+    name = "naive";
+    subsumes = (fun e1 e2 -> verdict_of_bool (Baselines.Naive.subsumes n e1 e2));
+    is_unsat = (fun e -> verdict_of_bool (Baselines.Naive.is_unsat n e));
+  }
+
+(* CB participates only where its contract promises completeness: the
+   concept sort of all-positive TBoxes.  It computes no property
+   hierarchy, and its incoherence propagation is weaker than
+   computeUnsat (e.g. it never derives that an empty role has an empty
+   inverse), so negative inclusions put the whole TBox out of scope. *)
+let cb tbox =
+  let all_positive = Tbox.negative_inclusions tbox = [] in
+  let c = Baselines.Cb.classify tbox in
+  let concept_sort = function Syntax.E_concept _ -> true | _ -> false in
+  let guarded es k =
+    if not all_positive then Unknown "cb: negative inclusions out of scope"
+    else if not (List.for_all concept_sort es) then
+      Unknown "cb: no property hierarchy"
+    else k ()
+  in
+  {
+    name = "cb";
+    subsumes =
+      (fun e1 e2 ->
+        guarded [ e1; e2 ] (fun () -> verdict_of_bool (Baselines.Cb.subsumes c e1 e2)));
+    is_unsat =
+      (fun e -> guarded [ e ] (fun () -> verdict_of_bool (Baselines.Cb.is_unsat c e)));
+  }
+
+let oracle ?budget tbox =
+  let o = Owlfrag.Oracle.of_tbox tbox in
+  let wrap f =
+    try verdict_of_bool (f ())
+    with Owlfrag.Tableau.Budget_exhausted -> Unknown "oracle: tableau budget exhausted"
+  in
+  {
+    name = "oracle";
+    subsumes = (fun e1 e2 -> wrap (fun () -> Owlfrag.Oracle.subsumes ?budget o e1 e2));
+    is_unsat = (fun e -> wrap (fun () -> Owlfrag.Oracle.is_unsat ?budget o e));
+  }
+
+(* --------------------------- fault injection ------------------------ *)
+
+(** Synthetic bugs for exercising the harness itself: a subject built
+    with a fault must disagree with the healthy ones on some TBox, and
+    the shrinker must reduce any such TBox to a tiny witness. *)
+type fault =
+  | No_fault
+  | Drop_inverse_role_axioms
+      (** forget every positive role inclusion that mentions an inverse
+          role — the classic bug class the digraph encoding's
+          inverse-component arcs exist to prevent *)
+
+let fault_of_string = function
+  | "none" -> Some No_fault
+  | "drop-inverse" -> Some Drop_inverse_role_axioms
+  | _ -> None
+
+let string_of_fault = function
+  | No_fault -> "none"
+  | Drop_inverse_role_axioms -> "drop-inverse"
+
+let apply_fault fault tbox =
+  match fault with
+  | No_fault -> tbox
+  | Drop_inverse_role_axioms ->
+    Tbox.filter
+      (function
+        | Syntax.Role_incl (Syntax.Inverse _, Syntax.R_role _)
+        | Syntax.Role_incl (_, Syntax.R_role (Syntax.Inverse _)) -> false
+        | _ -> true)
+      tbox
+
+(** [faulty fault tbox] — the digraph classifier run on a sabotaged
+    copy of [tbox], posing as a fifth independent implementation. *)
+let faulty fault tbox =
+  let cls = Quonto.Classify.classify (apply_fault fault tbox) in
+  {
+    name = "quonto[" ^ string_of_fault fault ^ "]";
+    subsumes = (fun e1 e2 -> verdict_of_bool (Quonto.Classify.subsumes cls e1 e2));
+    is_unsat = (fun e -> verdict_of_bool (Quonto.Classify.is_unsat cls e));
+  }
+
+(* --------------------------- consistency ---------------------------- *)
+
+type consistency_subject = {
+  c_name : string;
+  consistent : Tbox.t -> Abox.t -> verdict;
+}
+
+let rewrite_consistency =
+  {
+    c_name = "rewrite-consistency";
+    consistent =
+      (fun tbox abox ->
+        verdict_of_bool
+          (Obda.Consistency.consistent tbox ~facts:(Obda.Vabox.facts_of_abox abox)));
+  }
+
+let chase_consistency =
+  {
+    c_name = "chase-consistency";
+    consistent =
+      (fun tbox abox ->
+        try verdict_of_bool (not (Obda.Chase.violates_ni tbox abox))
+        with Obda.Chase.Overflow -> Unknown "chase: overflow");
+  }
+
+let consistency_subjects = [ rewrite_consistency; chase_consistency ]
+
+(* -------------------------- certain answers ------------------------- *)
+
+(** A certain-answer result: a canonical (sorted, deduplicated) set of
+    tuples, or [Unknown]. *)
+type answers =
+  | Tuples of string list list
+  | A_unknown of string
+
+type answer_subject = {
+  a_name : string;
+  answers : Tbox.t -> Abox.t -> Obda.Cq.t -> answers;
+}
+
+let canon tuples = List.sort_uniq compare tuples
+
+let string_of_answers = function
+  | Tuples tuples ->
+    "{"
+    ^ String.concat "; " (List.map (fun t -> "(" ^ String.concat ", " t ^ ")") tuples)
+    ^ "}"
+  | A_unknown reason -> "unknown (" ^ reason ^ ")"
+
+(* load the ABox into a private database under the Vabox names, the
+   same layout [Engine.of_abox] uses *)
+let database_of_abox abox =
+  let db = Obda.Database.create () in
+  List.iter
+    (function
+      | Abox.Concept_assert (a, c) ->
+        Obda.Database.insert db (Obda.Vabox.concept_pred a) [ c ]
+      | Abox.Role_assert (p, c1, c2) ->
+        Obda.Database.insert db (Obda.Vabox.role_pred p) [ c1; c2 ]
+      | Abox.Attr_assert (u, c, v) ->
+        Obda.Database.insert db (Obda.Vabox.attr_pred u) [ c; v ])
+    (Abox.assertions abox);
+  db
+
+let sql_path name rewriter =
+  {
+    a_name = name;
+    answers =
+      (fun tbox abox q ->
+        let rewritten, _stats = rewriter tbox [ q ] in
+        let stmt = Obda.Sql.of_ucq rewritten in
+        Tuples (canon (Obda.Sql.eval (database_of_abox abox) stmt)));
+  }
+
+let perfectref_sql = sql_path "perfectref-sql" Obda.Rewrite.perfect_ref
+let presto_sql = sql_path "presto-sql" Obda.Rewrite.presto_ref
+
+let chase_answers =
+  {
+    a_name = "chase";
+    answers =
+      (fun tbox abox q ->
+        try Tuples (canon (Obda.Chase.certain_answers tbox abox q))
+        with Obda.Chase.Overflow -> A_unknown "chase: overflow");
+  }
+
+let answer_subjects = [ perfectref_sql; presto_sql; chase_answers ]

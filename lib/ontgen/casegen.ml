@@ -1,0 +1,115 @@
+(** Seeded generation of small conformance cases.
+
+    [Qgen] drives the QCheck property suites; this module is its
+    [Rng]-driven twin for the differential-conformance harness and the
+    fuzz CLI, where every case must be a pure function of an integer
+    seed (QCheck owns its own random state, which would make a printed
+    seed useless for replay).  The shapes and frequencies mirror
+    [Qgen]: tiny signatures so random axioms interact. *)
+
+open Dllite
+
+let concept_pool = Qgen.concept_pool
+let role_pool = Qgen.role_pool
+let attr_pool = Qgen.attr_pool
+
+(** Individuals and attribute values used by generated ABoxes. *)
+let individual_pool = [ "ann"; "bob"; "cyd"; "dan" ]
+
+let value_pool = [ "1"; "2" ]
+
+let gen_role rng =
+  let p = Rng.pick rng role_pool in
+  if Rng.bool rng 0.5 then Syntax.Inverse p else Syntax.Direct p
+
+let gen_basic rng =
+  match Rng.int rng 9 with
+  | 0 | 1 | 2 | 3 | 4 -> Syntax.Atomic (Rng.pick rng concept_pool)
+  | 5 | 6 | 7 -> Syntax.Exists (gen_role rng)
+  | _ -> Syntax.Attr_domain (Rng.pick rng attr_pool)
+
+let gen_concept_rhs rng =
+  match Rng.int rng 9 with
+  | 0 | 1 | 2 | 3 | 4 -> Syntax.C_basic (gen_basic rng)
+  | 5 | 6 -> Syntax.C_neg (gen_basic rng)
+  | _ -> Syntax.C_exists_qual (gen_role rng, Rng.pick rng concept_pool)
+
+let gen_axiom rng =
+  match Rng.int rng 9 with
+  | 0 | 1 | 2 | 3 | 4 | 5 ->
+    Syntax.Concept_incl (gen_basic rng, gen_concept_rhs rng)
+  | 6 | 7 ->
+    let q1 = gen_role rng and q2 = gen_role rng in
+    Syntax.Role_incl
+      (q1, if Rng.bool rng 0.25 then Syntax.R_neg q2 else Syntax.R_role q2)
+  | _ ->
+    let u1 = Rng.pick rng attr_pool and u2 = Rng.pick rng attr_pool in
+    Syntax.Attr_incl
+      (u1, if Rng.bool rng 0.25 then Syntax.A_neg u2 else Syntax.A_attr u2)
+
+(** [tbox rng] — a random TBox of 0..12 axioms over the full [Qgen]
+    signature (all pool names declared even when unused, exactly like
+    [Qgen.tbox_of_axioms]). *)
+let tbox rng =
+  let n = Rng.int rng 13 in
+  Qgen.tbox_of_axioms (List.init n (fun _ -> gen_axiom rng))
+
+let gen_assertion rng =
+  match Rng.int rng 8 with
+  | 0 | 1 | 2 | 3 ->
+    Abox.Concept_assert (Rng.pick rng concept_pool, Rng.pick rng individual_pool)
+  | 4 | 5 | 6 ->
+    Abox.Role_assert
+      (Rng.pick rng role_pool, Rng.pick rng individual_pool,
+       Rng.pick rng individual_pool)
+  | _ ->
+    Abox.Attr_assert
+      (Rng.pick rng attr_pool, Rng.pick rng individual_pool,
+       Rng.pick rng value_pool)
+
+(** [abox rng] — a random ABox of 1..8 assertions over the pools. *)
+let abox rng =
+  let n = 1 + Rng.int rng 8 in
+  Abox.of_list (List.init n (fun _ -> gen_assertion rng))
+
+let var_pool = [ "x"; "y"; "z" ]
+
+let gen_atom rng =
+  let term () =
+    if Rng.bool rng 0.15 then Obda.Cq.Const (Rng.pick rng individual_pool)
+    else Obda.Cq.Var (Rng.pick rng var_pool)
+  in
+  match Rng.int rng 8 with
+  | 0 | 1 | 2 | 3 ->
+    Obda.Cq.atom (Obda.Vabox.concept_pred (Rng.pick rng concept_pool)) [ term () ]
+  | 4 | 5 | 6 ->
+    Obda.Cq.atom (Obda.Vabox.role_pred (Rng.pick rng role_pool))
+      [ term (); term () ]
+  | _ ->
+    Obda.Cq.atom (Obda.Vabox.attr_pred (Rng.pick rng attr_pool))
+      [ term (); term () ]
+
+(** [query rng] — a random CQ of 1..3 atoms; the answer variables are a
+    (possibly empty — boolean query) subset of the body variables, so
+    the result always satisfies [Cq.make]'s validity check. *)
+let query rng =
+  let n = 1 + Rng.int rng 3 in
+  let body = List.init n (fun _ -> gen_atom rng) in
+  let vars =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun a ->
+           List.filter_map
+             (function Obda.Cq.Var v -> Some v | Obda.Cq.Const _ -> None)
+             a.Obda.Cq.args)
+         body)
+  in
+  let answer_vars = List.filter (fun _ -> Rng.bool rng 0.6) vars in
+  Obda.Cq.make answer_vars body
+
+(** [profile_tbox ~seed profile] shrinks a Figure-1 profile to a
+    conformance-checkable signature (about a dozen concepts) while
+    preserving its structural densities, then generates from [seed]. *)
+let profile_tbox ?(concepts = 12) ~seed profile =
+  let f = float_of_int concepts /. float_of_int profile.Generator.concepts in
+  Generator.generate ~seed (Generator.scale (min 1.0 f) profile)

@@ -21,9 +21,17 @@ let next t =
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* keep 62 bits: OCaml's native int is 63-bit signed, so a 63-bit
-     payload would wrap negative *)
-  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  v mod bound
+     payload would wrap negative.  [v mod bound] alone is biased
+     whenever [bound] does not divide 2^62, so reject draws from the
+     incomplete final block [2^62 - r, 2^62) where r = 2^62 mod bound.
+     max_int = 2^62 - 1, hence r = ((max_int mod bound) + 1) mod bound
+     without overflowing. *)
+  let r = ((max_int mod bound) + 1) mod bound in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    if r > 0 && v >= max_int - r + 1 then draw () else v mod bound
+  in
+  draw ()
 
 (** [float t] is uniform in [0, 1). *)
 let float t =

@@ -49,6 +49,43 @@ let test_find_model () =
        [ O.Sub (O.Name "A", O.Some_ (O.Named "p", O.Name "A")) ]
        (O.Name "A"))
 
+let test_inverse_roles () =
+  let interp =
+    {
+      Models.domain_size = 2;
+      concepts = [ ("A", 0b01) ];
+      roles = [ ("p", 0b0010 (* pair (0,1) *)) ];
+    }
+  in
+  (* p⁻ is the transpose: pair (0,1) becomes pair (1,0), which is bit
+     j*n+i = 0*2+1 = bit 1... transpose of bit (i=0,j=1) is (i=1,j=0) *)
+  let p = Models.eval_role interp (O.Named "p") in
+  let p_inv = Models.eval_role interp (O.Inv "p") in
+  Alcotest.(check bool) "transpose differs on asymmetric role" true (p <> p_inv);
+  (* double inverse is the identity on the bitmap *)
+  Alcotest.(check int) "role_inv involution" p
+    (Models.eval_role interp (O.role_inv (O.role_inv (O.Named "p"))));
+  (* ∃p.⊤ at 0 iff ∃p⁻.⊤ at 1 for the single pair (0,1) *)
+  Alcotest.(check int) "domain of p" 0b01
+    (Models.eval_concept interp (O.Some_ (O.Named "p", O.Top)));
+  Alcotest.(check int) "range of p = domain of p inverse" 0b10
+    (Models.eval_concept interp (O.Some_ (O.Inv "p", O.Top)))
+
+let test_inverse_role_subsumption () =
+  (* p ⊑ q⁻ entailment round-trip through both engines: the tableau must
+     find ∃p.⊤ ⊓ ∀q⁻.⊥ unsatisfiable, and model enumeration must agree *)
+  let tbox = [ O.Role_sub (O.Named "p", O.Inv "q") ] in
+  let probe =
+    O.And (O.Some_ (O.Named "p", O.Top), O.All (O.Inv "q", O.Not O.Top))
+  in
+  Alcotest.(check bool) "tableau: p [= q^- forces q^- successor" false
+    (Tableau.satisfiable (Tableau.compile tbox) probe);
+  Alcotest.(check bool) "no 2-element model either" false
+    (Models.satisfiable_on ~domain_size:2 tbox probe);
+  (* sanity: without the role axiom the probe is satisfiable *)
+  Alcotest.(check bool) "satisfiable without the axiom" true
+    (Tableau.satisfiable (Tableau.compile []) probe)
+
 (* random tiny inputs *)
 let gen_input =
   QCheck.Gen.(
@@ -112,6 +149,9 @@ let () =
         [
           Alcotest.test_case "concept evaluation" `Quick test_eval_concepts;
           Alcotest.test_case "model search" `Quick test_find_model;
+          Alcotest.test_case "inverse roles" `Quick test_inverse_roles;
+          Alcotest.test_case "inverse role subsumption" `Quick
+            test_inverse_role_subsumption;
         ] );
       ( "cross-check",
         List.map QCheck_alcotest.to_alcotest

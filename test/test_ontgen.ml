@@ -46,6 +46,36 @@ let test_rng_distribution () =
         Alcotest.failf "bucket %d share %.3f out of tolerance" i share)
     counts
 
+let test_rng_chi_square () =
+  (* [Rng.int] rejection-samples to kill modulo bias.  A chi-square
+     goodness-of-fit test against uniform catches both the old bias and
+     any regression in the rejection threshold.  Awkward bounds (not
+     powers of two) are exactly where modulo bias shows. *)
+  List.iter
+    (fun bound ->
+      let r = Rng.create 4242 in
+      let n = 20_000 in
+      let counts = Array.make bound 0 in
+      for _ = 1 to n do
+        let v = Rng.int r bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int n /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. (d *. d /. expected))
+          0.0 counts
+      in
+      (* generous critical value: chi-square with <= 12 dof at p=0.001
+         is ~32.9; a uniform stream stays far below, the old biased
+         stream would only fail for bounds near 2^62 anyway, so this
+         mostly guards the rejection loop against off-by-ones *)
+      if chi2 > 40.0 then
+        Alcotest.failf "bound %d: chi-square %.2f exceeds 40" bound chi2)
+    [ 7; 10; 13 ]
+
 (* ----------------------------- generator ----------------------------- *)
 
 let test_generator_deterministic () =
@@ -129,6 +159,7 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
           Alcotest.test_case "distribution" `Quick test_rng_distribution;
+          Alcotest.test_case "chi-square uniformity" `Quick test_rng_chi_square;
         ] );
       ( "generator",
         [

@@ -84,6 +84,71 @@ let test_rejects_beyond_ql () =
       "Ontology(SubClassOf(:A ObjectMinCardinality(2 :p)))";
     ]
 
+let test_qualified_existential_boundaries () =
+  (* DL-Lite_A allows ∃p.B only on the RHS of inclusions; the bridge
+     must hold that line exactly *)
+  (* LHS qualified existential is outside the fragment *)
+  (match
+     Owl2ql.of_functional
+       "Ontology(SubClassOf(ObjectSomeValuesFrom(:p :B) :C))"
+   with
+   | _ -> Alcotest.fail "LHS qualified existential must be rejected"
+   | exception Owl2ql.Unsupported _ -> ());
+  (* ∃p.owl:Thing is the *unqualified* basic concept, on either side *)
+  let t =
+    Owl2ql.of_functional
+      "Ontology(SubClassOf(:A ObjectSomeValuesFrom(:p owl:Thing)))"
+  in
+  Alcotest.(check bool) "owl:Thing filler is unqualified" true
+    (Tbox.mem
+       (Syntax.Concept_incl
+          (Syntax.Atomic "A", Syntax.C_basic (Syntax.Exists (Syntax.Direct "p"))))
+       t);
+  (* qualified existential over an inverse role survives a roundtrip *)
+  let t =
+    parse {|
+      role p
+      A [= exists p^- . B
+    |}
+  in
+  Alcotest.(check bool) "inverse-role qualified existential roundtrips" true
+    (Tbox.equal t (Owl2ql.of_functional (Owl2ql.to_functional t)));
+  (* nested fillers are beyond QL-as-we-speak-it *)
+  (match
+     Owl2ql.of_functional
+       "Ontology(SubClassOf(:A ObjectSomeValuesFrom(:p ObjectSomeValuesFrom(:q :B))))"
+   with
+   | _ -> Alcotest.fail "nested filler must be rejected"
+   | exception Owl2ql.Unsupported _ -> ());
+  (* data ranges other than rdfs:Literal are not representable *)
+  match
+    Owl2ql.of_functional
+      "Ontology(SubClassOf(DataSomeValuesFrom(:u xsd:integer) :A))"
+  with
+  | _ -> Alcotest.fail "typed data range must be rejected"
+  | exception Owl2ql.Unsupported _ -> ()
+
+let test_thing_as_subclass_rejected () =
+  (* owl:Thing is only meaningful as an existential filler here — a bare
+     ⊤ on the LHS has no DL-Lite_A counterpart *)
+  match Owl2ql.of_functional "Ontology(SubClassOf(owl:Thing :A))" with
+  | _ -> Alcotest.fail "bare owl:Thing LHS must be rejected"
+  | exception Owl2ql.Unsupported _ -> ()
+
+let test_disjointness_with_existential () =
+  let t =
+    parse {|
+      role p
+      concept A
+      A [= not exists p
+    |}
+  in
+  let text = Owl2ql.to_functional t in
+  Alcotest.(check bool) "renders DisjointClasses over the existential" true
+    (contains text "DisjointClasses(:A ObjectSomeValuesFrom(:p owl:Thing))");
+  Alcotest.(check bool) "and roundtrips" true
+    (Tbox.equal t (Owl2ql.of_functional text))
+
 let prop_roundtrip =
   QCheck.Test.make ~count:150 ~name:"OWL 2 QL roundtrip preserves the TBox"
     Ontgen.Qgen.arbitrary_tbox (fun axioms ->
@@ -104,6 +169,12 @@ let () =
         [
           Alcotest.test_case "complement" `Quick test_parse_complement;
           Alcotest.test_case "rejects beyond QL" `Quick test_rejects_beyond_ql;
+          Alcotest.test_case "qualified existential boundaries" `Quick
+            test_qualified_existential_boundaries;
+          Alcotest.test_case "bare Thing rejected" `Quick
+            test_thing_as_subclass_rejected;
+          Alcotest.test_case "disjointness with existential" `Quick
+            test_disjointness_with_existential;
           QCheck_alcotest.to_alcotest prop_roundtrip;
         ] );
     ]

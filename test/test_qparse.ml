@@ -43,6 +43,31 @@ let test_parse_query_errors () =
    | _ -> Alcotest.fail "answer var must occur"
    | exception Qparse.Parse_error _ -> ())
 
+let test_parse_query_malformed () =
+  (* each of these must raise Parse_error, not silently mis-parse *)
+  List.iter
+    (fun text ->
+      match Qparse.parse_query ~signature text with
+      | q ->
+        Alcotest.failf "expected Parse_error for %S, got %s" text
+          (Cq.to_string q)
+      | exception Qparse.Parse_error _ -> ())
+    [
+      "x <- worksFor(x";          (* unclosed paren *)
+      "x <- ";                    (* empty body *)
+      {|x <- dept(x, "R&D|};      (* unterminated constant *)
+      "x <- worksFor(a,,b)";      (* empty term *)
+    ]
+
+let test_parse_query_arrow_in_constant () =
+  (* "<-" inside a quoted constant is data, not the separator *)
+  let q = Qparse.parse_query ~signature {|x <- note(x, "a <- b")|} in
+  match q.Cq.body with
+  | [ a ] ->
+    Alcotest.(check bool) "constant kept verbatim" true
+      (List.exists (function Cq.Const "a <- b" -> true | _ -> false) a.Cq.args)
+  | _ -> Alcotest.fail "bad body"
+
 let test_parse_mappings () =
   let mappings =
     Qparse.parse_mappings ~signature
@@ -99,6 +124,9 @@ let () =
           Alcotest.test_case "constants" `Quick test_parse_query_constants;
           Alcotest.test_case "boolean" `Quick test_parse_query_boolean;
           Alcotest.test_case "errors" `Quick test_parse_query_errors;
+          Alcotest.test_case "malformed" `Quick test_parse_query_malformed;
+          Alcotest.test_case "arrow in constant" `Quick
+            test_parse_query_arrow_in_constant;
         ] );
       ( "mappings",
         [
