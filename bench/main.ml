@@ -6,6 +6,8 @@
      dune exec bench/main.exe figure1 [--scale 0.04] [--timeout 10]
      dune exec bench/main.exe figure2
      dune exec bench/main.exe closure | unsat | implication | rewrite | approx | scaling | data
+     dune exec bench/main.exe closure-par [--scale 0.04] [--jobs 4]
+                                               # seq-vs-parallel closure; writes BENCH_closure.json
      dune exec bench/main.exe micro            # bechamel microbenches
 
    Experiment ids match DESIGN.md: E1 (Figure 1), E2 (Figure 2),
@@ -127,6 +129,121 @@ let closure_ablation () =
       (Ontgen.Profiles.fma_2_0, 0.05);
     ];
   Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* A8: parallel transitive closure (domain pool) ablation              *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential-vs-parallel closure on the Definition-1 digraphs, sweeping
+   the domain-pool width.  Every parallel result is checked to be
+   [Closure.equal] to the sequential one, and the table is also written
+   as machine-readable BENCH_closure.json (consumed by CI and
+   EXPERIMENTS.md).  Pools are created directly (not via
+   [Parallel.Pool.global]) so the domains really spawn even when the
+   host reports a single core — the point here is measuring, not
+   adapting. *)
+let closure_par ~scale ~jobs () =
+  let max_jobs = max 1 jobs in
+  let job_counts =
+    List.sort_uniq compare
+      (max_jobs :: List.filter (fun j -> j < max_jobs) [ 1; 2; 4; 8 ])
+  in
+  let pools = List.map (fun j -> (j, Parallel.Pool.create ~jobs:j ())) job_counts in
+  let best_of k f =
+    let rec go k best =
+      if k = 0 then best
+      else
+        let _, t = timeit f in
+        go (k - 1) (min best t)
+    in
+    go k infinity
+  in
+  Printf.printf
+    "== A8: parallel transitive closure (domain pool; scale %.3f, host cores %d) ==\n"
+    scale
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-24s %8s %8s %-8s %10s" "profile" "nodes" "edges" "alg" "seq (s)";
+  List.iter (fun j -> Printf.printf " %7s %5s" (Printf.sprintf "j=%d (s)" j) "x") job_counts;
+  Printf.printf "\n";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"bench\": \"closure-par\",\n  \"scale\": %.4f,\n  \"host_cores\": %d,\n  \"profiles\": [\n"
+       scale
+       (Domain.recommended_domain_count ()));
+  let first_profile = ref true in
+  List.iter
+    (fun (profile, profile_scale) ->
+      let tbox =
+        Ontgen.Generator.generate (Ontgen.Generator.scale profile_scale profile)
+      in
+      let enc = Quonto.Encoding.build tbox in
+      let g = Quonto.Encoding.graph enc in
+      let n = Graphlib.Graph.node_count g in
+      let label = Printf.sprintf "%s x%.2f" profile.Ontgen.Generator.label profile_scale in
+      if not !first_profile then Buffer.add_string buf ",\n";
+      first_profile := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"profile\": %S, \"nodes\": %d, \"edges\": %d, \"algorithms\": [\n"
+           label n (Graphlib.Graph.edge_count g));
+      let first_alg = ref true in
+      List.iter
+        (fun (seq_alg, par_alg) ->
+          let reference = Graphlib.Closure.compute ~algorithm:seq_alg g in
+          let seq_s =
+            best_of 3 (fun () -> ignore (Graphlib.Closure.compute ~algorithm:seq_alg g))
+          in
+          Printf.printf "%-24s %8d %8d %-8s %10.3f" label n
+            (Graphlib.Graph.edge_count g)
+            (Graphlib.Closure.string_of_algorithm seq_alg)
+            seq_s;
+          if not !first_alg then Buffer.add_string buf ",\n";
+          first_alg := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      {\"algorithm\": %S, \"seq_s\": %.6f, \"parallel\": ["
+               (Graphlib.Closure.string_of_algorithm par_alg)
+               seq_s);
+          let first_j = ref true in
+          List.iter
+            (fun (j, pool) ->
+              let par = Graphlib.Closure.compute ~algorithm:par_alg ~pool g in
+              let equal = Graphlib.Closure.equal reference par in
+              let par_s =
+                best_of 3 (fun () ->
+                    ignore (Graphlib.Closure.compute ~algorithm:par_alg ~pool g))
+              in
+              let speedup = seq_s /. par_s in
+              Printf.printf " %7.3f %4.1fx" par_s speedup;
+              if not equal then Printf.printf " [MISMATCH]";
+              if not !first_j then Buffer.add_string buf ", ";
+              first_j := false;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "{\"jobs\": %d, \"time_s\": %.6f, \"speedup\": %.3f, \"equal\": %b}"
+                   j par_s speedup equal))
+            pools;
+          Buffer.add_string buf "]}";
+          Printf.printf "\n%!")
+        [
+          (Graphlib.Closure.Scc_condense, Graphlib.Closure.Par_scc);
+          (Graphlib.Closure.Dfs, Graphlib.Closure.Par_dfs);
+        ];
+      Buffer.add_string buf "\n    ]}")
+    [
+      (Ontgen.Profiles.dolce, 1.0);
+      (Ontgen.Profiles.transportation, 1.0);
+      (Ontgen.Profiles.galen, scale);
+      (Ontgen.Profiles.fma_2_0, scale);
+    ];
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_closure.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  List.iter (fun (_, pool) -> Parallel.Pool.shutdown pool) pools;
+  Printf.printf "(every parallel closure checked Closure.equal to the sequential \
+                 one; table written to BENCH_closure.json)\n\n"
 
 (* ------------------------------------------------------------------ *)
 (* A2: computeUnsat cost vs disjointness density                       *)
@@ -458,13 +575,14 @@ let () =
   in
   let scale = get_opt "--scale" 0.04 args in
   let timeout = get_opt "--timeout" 10.0 args in
+  let jobs = int_of_float (get_opt "--jobs" 4.0 args) in
   let modes =
     List.filter
       (fun a ->
         List.mem a
           [
-            "figure1"; "figure2"; "closure"; "unsat"; "implication"; "rewrite";
-            "approx"; "scaling"; "data"; "conformance"; "micro";
+            "figure1"; "figure2"; "closure"; "closure-par"; "unsat"; "implication";
+            "rewrite"; "approx"; "scaling"; "data"; "conformance"; "micro";
           ])
       args
   in
@@ -473,6 +591,7 @@ let () =
     | "figure1" -> figure1 ~scale ~timeout ()
     | "figure2" -> figure2 ()
     | "closure" -> closure_ablation ()
+    | "closure-par" -> closure_par ~scale ~jobs ()
     | "unsat" -> unsat_ablation ()
     | "implication" -> implication_ablation ()
     | "rewrite" -> rewrite_ablation ()
@@ -489,6 +608,7 @@ let () =
     figure2 ();
     figure1 ~scale ~timeout ();
     closure_ablation ();
+    closure_par ~scale ~jobs ();
     unsat_ablation ();
     implication_ablation ();
     rewrite_ablation ();

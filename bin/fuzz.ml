@@ -7,36 +7,25 @@
    1-minimal counterexample and emitted in the corpus format (and
    saved with --corpus DIR, ready to drop into test/corpus/).
 
+   --jobs N spreads the cases over a domain pool (one block of N*4
+   seed-consecutive cases in flight at a time).  Each case derives its
+   RNG stream from its own seed, so the failure found, the shrunk
+   corpus entry and the report are identical at every job count — see
+   Conformance.Drive for the determinism argument.
+
    --inject drop-inverse sabotages one subject on purpose — a self-test
    that the harness detects and shrinks real bugs; such runs exit 0.
 
    Examples:
      fuzz --seed 1 --count 200
-     fuzz --seed 42 --count 500 --profile galen
+     fuzz --seed 42 --count 500 --profile galen --jobs 4
      fuzz --inject drop-inverse --corpus /tmp/corpus *)
 
 open Cmdliner
-module Runner = Conformance.Runner
+module Drive = Conformance.Drive
 module Subjects = Conformance.Subjects
 
-let build_case ~profile ~case_seed =
-  let rng = Ontgen.Rng.create case_seed in
-  let label = Printf.sprintf "seed-%d" case_seed in
-  match profile with
-  | Some p ->
-    Runner.case ~label (Ontgen.Casegen.profile_tbox ~seed:case_seed p)
-  | None ->
-    (* draw the case shape from the seed itself so a failing seed
-       replays identically with --count 1 *)
-    let with_data = Ontgen.Rng.bool rng 0.5 in
-    let tbox = Ontgen.Casegen.tbox rng in
-    let data =
-      if with_data then Some (Ontgen.Casegen.abox rng, Ontgen.Casegen.query rng)
-      else None
-    in
-    { Runner.label; tbox; data }
-
-let run seed count profile inject no_oracle corpus_dir =
+let run seed count profile inject no_oracle corpus_dir jobs =
   let fault =
     match Subjects.fault_of_string inject with
     | Some f -> f
@@ -60,52 +49,41 @@ let run seed count profile inject no_oracle corpus_dir =
      reasoners time out on: every oracle query would burn its whole
      budget for an [Unknown], so profile runs drop the oracle *)
   let config =
-    { Runner.default_config with
+    { Conformance.Runner.default_config with
       with_oracle = (not no_oracle) && profile = None;
       fault }
   in
-  let report = Conformance.Report.create () in
-  let failure = ref None in
-  let i = ref 0 in
-  while !failure = None && !i < count do
-    let case_seed = seed + !i in
-    let case = build_case ~profile ~case_seed in
-    let outcome = Runner.check ~config case in
-    Conformance.Report.record report outcome;
-    if outcome.Runner.disagreements <> [] then failure := Some (case_seed, case, outcome);
-    incr i
-  done;
-  match !failure with
+  let { Drive.report; failure } = Drive.run ~jobs { Drive.seed; count; profile; config } in
+  match failure with
   | None ->
     print_endline (Conformance.Report.summary report);
     print_endline "OK: no disagreements"
-  | Some (case_seed, case, outcome) ->
+  | Some f ->
     let replay =
-      Printf.sprintf "fuzz --seed %d --count 1%s%s%s" case_seed
+      Printf.sprintf "fuzz --seed %d --count 1%s%s%s" f.Drive.case_seed
         (match profile with
          | Some p -> " --profile " ^ p.Ontgen.Generator.label
          | None -> "")
         (match fault with
          | Subjects.No_fault -> ""
-         | f -> " --inject " ^ Subjects.string_of_fault f)
+         | fault -> " --inject " ^ Subjects.string_of_fault fault)
         (if no_oracle then " --no-oracle" else "")
     in
-    Printf.printf "FAILURE at seed %d  (replay: %s)\n" case_seed replay;
+    Printf.printf "FAILURE at seed %d  (replay: %s)\n" f.Drive.case_seed replay;
     List.iter
       (fun d -> print_endline (Conformance.Diff.to_string d))
-      outcome.Runner.disagreements;
-    let still_failing c = (Runner.check ~config c).Runner.disagreements <> [] in
-    let shrunk, stats = Conformance.Shrink.minimize ~still_failing case in
-    Conformance.Report.record_shrink report stats;
+      f.Drive.outcome.Conformance.Runner.disagreements;
     Printf.printf "shrunk: %d -> %d axioms, %d -> %d assertions (%d reruns)\n"
-      stats.Conformance.Shrink.initial_axioms stats.Conformance.Shrink.final_axioms
-      stats.Conformance.Shrink.initial_assertions
-      stats.Conformance.Shrink.final_assertions stats.Conformance.Shrink.reruns;
+      f.Drive.stats.Conformance.Shrink.initial_axioms
+      f.Drive.stats.Conformance.Shrink.final_axioms
+      f.Drive.stats.Conformance.Shrink.initial_assertions
+      f.Drive.stats.Conformance.Shrink.final_assertions
+      f.Drive.stats.Conformance.Shrink.reruns;
     print_endline "minimal counterexample:";
-    print_string (Conformance.Corpus.to_string shrunk);
+    print_string (Conformance.Corpus.to_string f.Drive.shrunk);
     (match corpus_dir with
      | Some dir ->
-       let path = Conformance.Corpus.save ~dir shrunk in
+       let path = Conformance.Corpus.save ~dir f.Drive.shrunk in
        Printf.printf "saved: %s\n" path
      | None -> ());
     print_endline (Conformance.Report.summary report);
@@ -133,6 +111,12 @@ let corpus_arg =
   Arg.(value & opt (some string) None
        & info [ "corpus" ] ~doc:"Save the shrunk counterexample into DIR.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ]
+           ~doc:"Run cases across $(docv) domains; results (failure, corpus, \
+                 report) are identical at every job count.")
+
 let () =
   let info =
     Cmd.info "fuzz"
@@ -142,4 +126,4 @@ let () =
     (Cmd.eval
        (Cmd.v info
           Term.(const run $ seed_arg $ count_arg $ profile_arg $ inject_arg
-                $ no_oracle_arg $ corpus_arg)))
+                $ no_oracle_arg $ corpus_arg $ jobs_arg)))

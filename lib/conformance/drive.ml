@@ -1,0 +1,128 @@
+(** The fuzz campaign driver: generate seeded cases, run them through the
+    differential [Runner] — across a domain pool when [jobs > 1] — and
+    shrink the first failure.
+
+    Replayability is scheduling-independent by construction: case [i] of
+    a campaign derives its own splitmix64 stream from [seed + i] (a
+    per-case RNG stream, which is strictly finer than one stream per
+    domain), so no interleaving of the pool's domains can perturb a
+    case's draws.  The parallel driver evaluates cases in deterministic
+    seed-order blocks and reports the *lowest* failing seed of the first
+    failing block, discarding any later-seed outcomes — exactly the
+    failure the sequential driver stops at.  Hence [--jobs n] reproduces
+    the same failure, the same shrunk corpus entry and the same report
+    as [--jobs 1], for every [n]. *)
+
+type spec = {
+  seed : int;  (** base seed; case [i] uses [seed + i] *)
+  count : int;
+  profile : Ontgen.Generator.profile option;
+      (** generate Figure-1 profile TBoxes instead of pool cases *)
+  config : Runner.config;
+}
+
+type failure = {
+  case_seed : int;
+  case : Runner.case;
+  outcome : Runner.outcome;
+  shrunk : Runner.case;  (** 1-minimal counterexample, corpus-ready *)
+  stats : Shrink.stats;
+}
+
+type result = {
+  report : Report.t;
+      (** covers the cases a sequential run would have executed: every
+          case up to and including the failing one *)
+  failure : failure option;
+}
+
+(** [build_case ~profile ~case_seed] is the pure case constructor: the
+    case shape (with/without data) and contents are a function of
+    [case_seed] alone, so a failing seed replays with [count = 1]. *)
+let build_case ~profile ~case_seed =
+  let rng = Ontgen.Rng.create case_seed in
+  let label = Printf.sprintf "seed-%d" case_seed in
+  match profile with
+  | Some p -> Runner.case ~label (Ontgen.Casegen.profile_tbox ~seed:case_seed p)
+  | None ->
+    let with_data = Ontgen.Rng.bool rng 0.5 in
+    let tbox = Ontgen.Casegen.tbox rng in
+    let data =
+      if with_data then Some (Ontgen.Casegen.abox rng, Ontgen.Casegen.query rng)
+      else None
+    in
+    { Runner.label; tbox; data }
+
+let shrink_failure ~config case_seed case outcome =
+  let still_failing c = (Runner.check ~config c).Runner.disagreements <> [] in
+  let shrunk, stats = Shrink.minimize ~still_failing case in
+  { case_seed; case; outcome; shrunk; stats }
+
+(* Sequential driver: stop at the first disagreement. *)
+let run_seq spec report =
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < spec.count do
+    let case_seed = spec.seed + !i in
+    let case = build_case ~profile:spec.profile ~case_seed in
+    let outcome = Runner.check ~config:spec.config case in
+    Report.record report outcome;
+    if outcome.Runner.disagreements <> [] then failure := Some (case_seed, case, outcome);
+    incr i
+  done;
+  !failure
+
+(* Parallel driver: deterministic seed-order blocks across the pool.
+   Within a block every case runs concurrently into its own slot; the
+   block is then scanned in seed order and recorded only up to the first
+   failure, so the visible result matches the sequential driver even
+   though a few later-seed cases were (wastefully) checked. *)
+let run_par pool spec report =
+  let jobs = Parallel.Pool.jobs pool in
+  let block = jobs * 4 in
+  let failure = ref None in
+  let start = ref 0 in
+  while !failure = None && !start < spec.count do
+    let n = min block (spec.count - !start) in
+    let outcomes = Array.make n None in
+    Parallel.Pool.parallel_for pool ~n (fun k ->
+        let case_seed = spec.seed + !start + k in
+        let case = build_case ~profile:spec.profile ~case_seed in
+        let outcome = Runner.check ~config:spec.config case in
+        outcomes.(k) <- Some (case_seed, case, outcome));
+    let k = ref 0 in
+    while !failure = None && !k < n do
+      (match outcomes.(!k) with
+       | None -> ()  (* unreachable: every slot is filled by its task *)
+       | Some ((_, _, outcome) as slot) ->
+         Report.record report outcome;
+         if outcome.Runner.disagreements <> [] then failure := Some slot);
+      incr k
+    done;
+    start := !start + n
+  done;
+  !failure
+
+(** [run ?pool ?jobs spec] drives a campaign.  With [jobs > 1] (or an
+    explicit [pool]) cases of a block run concurrently; the returned
+    report and failure are identical to the sequential run's.  The
+    shrink of a failing case is always sequential (it is a dependency
+    chain of reruns). *)
+let run ?pool ?(jobs = 1) spec =
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.global ~jobs ()
+  in
+  let report = Report.create () in
+  let failure =
+    if Parallel.Pool.jobs pool = 1 then run_seq spec report
+    else run_par pool spec report
+  in
+  let failure =
+    Option.map
+      (fun (case_seed, case, outcome) ->
+        let f = shrink_failure ~config:spec.config case_seed case outcome in
+        Report.record_shrink report f.stats;
+        f)
+      failure
+  in
+  { report; failure }

@@ -24,12 +24,15 @@ type t = {
   unsat : Unsat.t;
 }
 
-(** [classify ?algorithm tbox] builds the digraph representation,
+(** [classify ?algorithm ?jobs tbox] builds the digraph representation,
     materializes its transitive closure (default algorithm:
-    SCC condensation) and runs [computeUnsat]. *)
-let classify ?algorithm tbox =
+    SCC condensation; [jobs] selects the domain-pool width for the
+    parallel algorithms) and runs [computeUnsat]. *)
+let classify ?algorithm ?jobs tbox =
   let encoding = Encoding.build tbox in
-  let closure = Graphlib.Closure.compute ?algorithm (Encoding.graph encoding) in
+  let closure =
+    Graphlib.Closure.compute ?algorithm ?jobs (Encoding.graph encoding)
+  in
   let unsat = Unsat.compute encoding in
   Log.debug (fun m ->
       m "classified: %d nodes, %d arcs, %d unsatisfiable predicates"
@@ -157,28 +160,37 @@ let role_hierarchy t =
     (name_level t)
 
 (** [equivalence_classes t] groups concept names mutually subsuming each
-    other (cycles in the digraph), a common design-quality signal. *)
+    other (cycles in the digraph), a common design-quality signal.
+
+    Read directly off the Tarjan components of the Definition-1 digraph
+    instead of probing all O(n²) name pairs with [subsumes]: two
+    satisfiable names are equivalent iff their nodes share an SCC, and
+    the unsatisfiable names form one equivalence class of their own
+    ([a ⊑ ⊥] makes [a] subsumed by — and, via [Omega_T], a subsumer of —
+    every other unsatisfiable name; [computeUnsat] is closed under
+    digraph predecessors, so a satisfiable name can never reach an
+    unsatisfiable one). *)
 let equivalence_classes t =
   let signature = Tbox.signature (tbox t) in
   let names = Signature.concepts signature in
-  let canon = Hashtbl.create 16 in
+  let scc = Graphlib.Scc.tarjan (Encoding.graph t.encoding) in
+  (* key: component id for satisfiable in-graph names, [-1] for the
+     merged unsatisfiable class; names outside the digraph only subsume
+     themselves and stay singletons. *)
+  let classes = Hashtbl.create 16 in
+  let singletons = ref [] in
   List.iter
     (fun a ->
-      let representative =
-        List.find
-          (fun b ->
-            subsumes t
-              (Syntax.E_concept (Syntax.Atomic a))
-              (Syntax.E_concept (Syntax.Atomic b))
-            && subsumes t
-                 (Syntax.E_concept (Syntax.Atomic b))
-                 (Syntax.E_concept (Syntax.Atomic a)))
-          names
-      in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt canon representative) in
-      Hashtbl.replace canon representative (a :: prev))
+      match Encoding.node_opt t.encoding (Syntax.E_concept (Syntax.Atomic a)) with
+      | None -> singletons := [ a ] :: !singletons
+      | Some n ->
+        let key =
+          if Unsat.is_unsat_node t.unsat n then -1 else scc.Graphlib.Scc.component.(n)
+        in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt classes key) in
+        Hashtbl.replace classes key (a :: prev))
     names;
-  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) canon []
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) classes !singletons
   |> List.sort Stdlib.compare
 
 let pp_name_subsumption fmt = function

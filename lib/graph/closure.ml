@@ -1,8 +1,9 @@
 (** Transitive closure of directed graphs.
 
-    Four interchangeable algorithms are provided; they compute the same
-    relation (checked by property tests) but have very different cost
-    profiles, which the ablation bench [A1] measures:
+    Materializing algorithms — the [algorithm] cases below — compute the
+    same relation (checked extensionally by property tests) but have
+    very different cost profiles, which the ablation benches [A1] and
+    [A8] measure:
 
     - [Dfs]: one DFS per node, O(V * E).  Simple, good on sparse graphs.
     - [Warshall]: bit-parallel Warshall, O(V^3 / word).  Good on small
@@ -11,14 +12,45 @@
       the DAG unioning descendant bit-sets.  The default: ontology
       hierarchies are mostly DAGs with a few equivalence cycles, where
       this is the fastest by a wide margin.
-    - [On_demand]: no precomputation; memoized per-source DFS, for
-      workloads that only ask a few reachability queries.
+    - [Par_dfs]: [Dfs] with the per-source rows computed across a domain
+      pool, one DFS row per task.
+    - [Par_scc]: [Scc_condense] with the component-row expansion
+      level-scheduled across a domain pool (the Tarjan pass itself stays
+      sequential) and the node-row copy-out parallelized.
+
+    The parallel variants produce bit-for-bit the same closure as their
+    sequential counterparts for every job count — each row is a pure
+    function of the input graph and lands in its own slot; see
+    [Parallel.Pool] for the determinism contract.  With one job (or on a
+    single-core host, via [Parallel.Pool.global]) they degrade to the
+    sequential algorithms.
+
+    Separately from the materializing algorithms, the [On_demand]
+    *module* (not an [algorithm] case — it has a different type, carrying
+    a cache instead of a row matrix) does no precomputation at all and
+    memoizes one per-source DFS row per distinct source queried, for
+    workloads that only ask a few reachability questions.
 
     Closures are *reflexive*: every node reaches itself.  This matches
     the logical reading ([T |= S ⊑ S] always holds) and makes the
     predecessor sets of [computeUnsat] directly usable. *)
 
-type algorithm = Dfs | Warshall | Scc_condense
+type algorithm = Dfs | Warshall | Scc_condense | Par_dfs | Par_scc
+
+let string_of_algorithm = function
+  | Dfs -> "dfs"
+  | Warshall -> "warshall"
+  | Scc_condense -> "scc"
+  | Par_dfs -> "par-dfs"
+  | Par_scc -> "par-scc"
+
+let algorithm_of_string = function
+  | "dfs" -> Some Dfs
+  | "warshall" -> Some Warshall
+  | "scc" -> Some Scc_condense
+  | "par-dfs" -> Some Par_dfs
+  | "par-scc" -> Some Par_scc
+  | _ -> None
 
 (** Materialized closure: [rows.(v)] is the reflexive descendant set of
     node [v]. *)
@@ -110,13 +142,76 @@ let scc_closure g =
   done;
   { size = n; rows }
 
-(** [compute ?algorithm g] materializes the reflexive transitive closure
-    of [g].  Default algorithm: [Scc_condense]. *)
-let compute ?(algorithm = Scc_condense) g =
+let par_dfs_closure pool g =
+  let n = Graph.node_count g in
+  let rows = Array.make n (Bitvec.create 0) in
+  Parallel.Pool.parallel_for pool ~n (fun v -> rows.(v) <- Graph.reachable_from g v);
+  { size = n; rows }
+
+let par_scc_closure pool g =
+  let n = Graph.node_count g in
+  let r = Scc.tarjan g in
+  let dag = Scc.condensation g r in
+  let nc = r.Scc.count in
+  (* The sequential bottom-up pass is an exact dependency chain on the
+     reverse-topological ids; the parallel version recovers independence
+     by level scheduling: [level.(c)] is the longest path from [c] to a
+     sink, so every successor of [c] sits at a strictly lower level and
+     its row is complete before level [level.(c)] starts.  Within a
+     level no two components touch the same row. *)
+  let level = Array.make nc 0 in
+  let max_level = ref 0 in
+  for c = 0 to nc - 1 do
+    List.iter
+      (fun c' -> if level.(c') + 1 > level.(c) then level.(c) <- level.(c') + 1)
+      (Graph.successors dag c);
+    if level.(c) > !max_level then max_level := level.(c)
+  done;
+  let buckets = Array.make (!max_level + 1) [] in
+  for c = nc - 1 downto 0 do
+    buckets.(level.(c)) <- c :: buckets.(level.(c))
+  done;
+  let comp_rows = Array.init nc (fun _ -> Bitvec.create nc) in
+  Array.iter
+    (fun bucket ->
+      let bucket = Array.of_list bucket in
+      Parallel.Pool.parallel_for pool ~n:(Array.length bucket) (fun i ->
+          let c = bucket.(i) in
+          Bitvec.set comp_rows.(c) c;
+          List.iter
+            (fun c' ->
+              ignore (Bitvec.union_into ~src:comp_rows.(c') ~dst:comp_rows.(c)))
+            (Graph.successors dag c)))
+    buckets;
+  (* Expand component reachability back to node granularity, one task
+     per component, then copy rows out, one task per node. *)
+  let comp_node_rows = Array.make nc (Bitvec.create 0) in
+  Parallel.Pool.parallel_for pool ~n:nc (fun c ->
+      let row = Bitvec.create n in
+      Bitvec.iter_set comp_rows.(c) (fun c' ->
+          List.iter (fun v -> Bitvec.set row v) r.Scc.members.(c'));
+      comp_node_rows.(c) <- row);
+  let rows = Array.make n (Bitvec.create 0) in
+  Parallel.Pool.parallel_for pool ~n (fun v ->
+      rows.(v) <- Bitvec.copy comp_node_rows.(r.Scc.component.(v)));
+  { size = n; rows }
+
+(** [compute ?algorithm ?pool ?jobs g] materializes the reflexive
+    transitive closure of [g].  Default algorithm: [Scc_condense].  The
+    parallel algorithms run on [pool] when given, otherwise on the
+    shared [Parallel.Pool.global ?jobs ()] (which is sequential when
+    [jobs <= 1] or the host has one core); [pool]/[jobs] are ignored by
+    the sequential algorithms. *)
+let compute ?(algorithm = Scc_condense) ?pool ?jobs g =
+  let pool () =
+    match pool with Some p -> p | None -> Parallel.Pool.global ?jobs ()
+  in
   match algorithm with
   | Dfs -> dfs_closure g
   | Warshall -> warshall_closure g
   | Scc_condense -> scc_closure g
+  | Par_dfs -> par_dfs_closure (pool ()) g
+  | Par_scc -> par_scc_closure (pool ()) g
 
 (** [to_graph t] is the closure as an ordinary graph, *without* the
     reflexive edges (they carry no information for classification
@@ -126,15 +221,15 @@ let to_graph t =
   iter_pairs t (fun u v -> if u <> v then Graph.add_edge g u v);
   g
 
-(** [equal a b] is extensional equality of the two closures. *)
+(** [equal a b] is extensional equality of the two closures,
+    short-circuiting on the first differing row. *)
 let equal a b =
   a.size = b.size
   &&
-  let ok = ref true in
-  for v = 0 to a.size - 1 do
-    if not (Bitvec.equal a.rows.(v) b.rows.(v)) then ok := false
-  done;
-  !ok
+  let rec rows_equal v =
+    v >= a.size || (Bitvec.equal a.rows.(v) b.rows.(v) && rows_equal (v + 1))
+  in
+  rows_equal 0
 
 (** Memoized on-demand reachability: computes and caches one DFS row per
     distinct source actually queried. *)

@@ -4,22 +4,41 @@
     logical reading ([T ⊨ S ⊑ S] always holds) and making predecessor
     sets directly usable by [computeUnsat]. *)
 
-(** Interchangeable algorithms (ablation A1): per-node DFS (O(V·E)),
-    bit-parallel Warshall (O(V³/word)), and the default SCC-condensation
-    pass (fastest on the near-DAG shape of ontology hierarchies). *)
+(** Interchangeable *materializing* algorithms (ablations A1 and A8):
+    per-node DFS (O(V·E)), bit-parallel Warshall (O(V³/word)), the
+    default SCC-condensation pass (fastest on the near-DAG shape of
+    ontology hierarchies), and domain-pool-parallel variants of the DFS
+    and SCC algorithms.  The parallel variants are bit-for-bit equal to
+    their sequential counterparts at every job count, and degrade to
+    them at [jobs <= 1].  On-demand (non-materializing) reachability is
+    *not* an [algorithm] case: it has a different type and lives in the
+    [On_demand] submodule below. *)
 type algorithm =
   | Dfs
   | Warshall
   | Scc_condense
+  | Par_dfs
+  | Par_scc
+
+(** [string_of_algorithm a] is the CLI spelling: "dfs", "warshall",
+    "scc", "par-dfs" or "par-scc". *)
+val string_of_algorithm : algorithm -> string
+
+(** [algorithm_of_string s] parses the CLI spelling. *)
+val algorithm_of_string : string -> algorithm option
 
 (** A materialized closure. *)
 type t
 
 val size : t -> int
 
-(** [compute ?algorithm g] materializes the reflexive transitive closure
-    of [g] (default: [Scc_condense]). *)
-val compute : ?algorithm:algorithm -> Graph.t -> t
+(** [compute ?algorithm ?pool ?jobs g] materializes the reflexive
+    transitive closure of [g] (default: [Scc_condense]).  [Par_dfs] and
+    [Par_scc] run on [pool] when given, else on the shared
+    [Parallel.Pool.global ?jobs ()]; both options are ignored by the
+    sequential algorithms. *)
+val compute :
+  ?algorithm:algorithm -> ?pool:Parallel.Pool.t -> ?jobs:int -> Graph.t -> t
 
 (** [reaches t u v] is [true] iff [v] is a (reflexive) descendant of
     [u]. *)
@@ -44,7 +63,8 @@ val iter_pairs : t -> (int -> int -> unit) -> unit
     reflexive edges. *)
 val to_graph : t -> Graph.t
 
-(** [equal a b] is extensional equality of the two closures. *)
+(** [equal a b] is extensional equality of the two closures,
+    short-circuiting on the first differing row. *)
 val equal : t -> t -> bool
 
 (** Memoized on-demand reachability: computes and caches one DFS row per

@@ -1,0 +1,201 @@
+(** Fixed-size domain pool for deterministic fork-join parallelism.
+
+    The pool spawns its worker domains *once* and reuses them across
+    calls — domain spawn costs milliseconds, which would dwarf the
+    per-call win on classification-sized inputs.  There is no
+    [domainslib] dependency: the scheduling need here is plain fork-join
+    over index ranges, which a mutex, two condition variables and a task
+    list cover.
+
+    Determinism contract: [parallel_for] and [map_chunks] assign work by
+    *index*, and every result lands in the slot of its index.  Whatever
+    interleaving the domains happen to execute, the assembled output is
+    the one the sequential loop would produce — callers get bit-for-bit
+    reproducible results regardless of job count.
+
+    Concurrency contract: one batch at a time per pool.  Batches must
+    not be nested (a task submitting to its own pool would deadlock);
+    tasks must confine their writes to disjoint slots.  Batch completion
+    is synchronized through the pool mutex, so the caller observes every
+    task's writes once the call returns.
+
+    A pool with [jobs = 1] spawns no domains at all: the calling domain
+    runs every task inline, which is the graceful sequential fallback
+    ([global] picks it whenever the caller asks for one job or the host
+    has a single core). *)
+
+type t = {
+  jobs : int;  (** worker count, *including* the calling domain *)
+  mutable domains : unit Domain.t array;  (** the [jobs - 1] spawned workers *)
+  mutex : Mutex.t;
+  has_work : Condition.t;   (** signalled when tasks are queued (or shutdown) *)
+  batch_done : Condition.t; (** signalled when the last task of a batch ends *)
+  mutable queue : (unit -> unit) list;
+  mutable running : int;    (** tasks popped but not yet finished *)
+  mutable stop : bool;
+  mutable first_error : exn option;
+}
+
+let jobs t = t.jobs
+
+(* Pops and runs one task.  Called (by worker or caller) with the mutex
+   held; returns with the mutex held. *)
+let run_one t task =
+  t.running <- t.running + 1;
+  Mutex.unlock t.mutex;
+  (try task ()
+   with e ->
+     Mutex.lock t.mutex;
+     if t.first_error = None then t.first_error <- Some e;
+     Mutex.unlock t.mutex);
+  Mutex.lock t.mutex;
+  t.running <- t.running - 1;
+  if t.queue = [] && t.running = 0 then Condition.broadcast t.batch_done
+
+let worker t =
+  Mutex.lock t.mutex;
+  let continue = ref true in
+  while !continue do
+    match t.queue with
+    | task :: rest ->
+      t.queue <- rest;
+      run_one t task
+    | [] -> if t.stop then continue := false else Condition.wait t.has_work t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+(** [create ~jobs ()] spawns a pool of [max 1 jobs] workers ([jobs - 1]
+    domains plus the caller).  The caller is responsible for the pool's
+    lifetime; see [global] for the shared, spawn-once pools that the
+    closure and fuzz drivers use. *)
+let create ~jobs () =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      domains = [||];
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      batch_done = Condition.create ();
+      queue = [];
+      running = 0;
+      stop = false;
+      first_error = None;
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+(** [shutdown t] stops and joins the worker domains.  Only needed for
+    short-lived pools (tests); [global] pools live for the process. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+(* Runs a batch to completion: queue the tasks, wake the workers, and
+   have the caller chew through the queue too (with zero worker domains
+   this *is* the sequential path).  Re-raises the first task exception
+   after the whole batch has drained. *)
+let run_batch t tasks =
+  match tasks with
+  | [] -> ()
+  | [ task ] -> task ()
+  | tasks ->
+    Mutex.lock t.mutex;
+    t.queue <- tasks;
+    Condition.broadcast t.has_work;
+    let rec drain () =
+      match t.queue with
+      | task :: rest ->
+        t.queue <- rest;
+        run_one t task;
+        drain ()
+      | [] ->
+        if t.running > 0 then begin
+          Condition.wait t.batch_done t.mutex;
+          drain ()
+        end
+    in
+    drain ();
+    let err = t.first_error in
+    t.first_error <- None;
+    Mutex.unlock t.mutex;
+    (match err with Some e -> raise e | None -> ())
+
+(** [parallel_for t ~n f] runs [f i] for every [i] in [0 .. n-1],
+    split into contiguous index chunks across the pool.  [f] must write
+    only to slots owned by its own index. *)
+let parallel_for t ~n f =
+  if n > 0 then
+    if t.jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      (* a few chunks per worker so an uneven chunk cannot serialize the
+         batch, but few enough that scheduling stays cheap *)
+      let chunks = min n (t.jobs * 4) in
+      let base = n / chunks and extra = n mod chunks in
+      let tasks =
+        List.init chunks (fun c ->
+            let lo = (c * base) + min c extra in
+            let hi = lo + base + if c < extra then 1 else 0 in
+            fun () ->
+              for i = lo to hi - 1 do
+                f i
+              done)
+      in
+      run_batch t tasks
+    end
+
+(** [map_chunks t ~n ~chunk f] applies [f lo hi] to successive ranges
+    [\[lo, hi)] covering [0 .. n-1] in steps of [chunk], and returns the
+    results *in range order* — the deterministic-assembly primitive the
+    fuzz driver builds on. *)
+let map_chunks t ~n ~chunk f =
+  if n <= 0 then []
+  else begin
+    let chunk = max 1 chunk in
+    let k = ((n - 1) / chunk) + 1 in
+    let out = Array.make k None in
+    let tasks =
+      List.init k (fun c ->
+          let lo = c * chunk in
+          let hi = min n (lo + chunk) in
+          fun () -> out.(c) <- Some (f lo hi))
+    in
+    run_batch t tasks;
+    Array.to_list out |> List.map Option.get
+  end
+
+(* ------------------------- shared pools ------------------------------ *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+(* Spawn-once registry: one pool per effective job count, reused by
+   every [global] caller for the life of the process. *)
+let pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let pools_mutex = Mutex.create ()
+
+(** [global ?jobs ()] is the shared pool for [jobs] workers (default:
+    [Domain.recommended_domain_count ()]).  Falls back to the sequential
+    pool when [jobs <= 1] or the host reports a single core, so callers
+    can thread a user-supplied [--jobs] straight through. *)
+let global ?jobs () =
+  let requested = match jobs with Some j -> j | None -> recommended () in
+  let effective = if requested <= 1 || recommended () <= 1 then 1 else requested in
+  Mutex.lock pools_mutex;
+  let pool =
+    match Hashtbl.find_opt pools effective with
+    | Some p -> p
+    | None ->
+      let p = create ~jobs:effective () in
+      Hashtbl.add pools effective p;
+      p
+  in
+  Mutex.unlock pools_mutex;
+  pool

@@ -220,6 +220,22 @@ let test_equivalence_classes () =
     (List.exists (fun c -> List.sort compare c = [ "A"; "B" ]) classes);
   Alcotest.(check bool) "C alone" true (List.mem [ "C" ] classes)
 
+let test_equivalence_classes_unsat () =
+  (* A and D are each unsatisfiable, so Omega_T makes them mutually
+     subsuming: they must land in one class even though the digraph has
+     no cycle through them *)
+  let cls = Classify.classify (parse {|
+    A [= B
+    A [= not B
+    D [= E
+    D [= not E
+  |}) in
+  let classes = Classify.equivalence_classes cls in
+  Alcotest.(check bool) "unsat names merged" true
+    (List.exists (fun c -> List.sort compare c = [ "A"; "D" ]) classes);
+  Alcotest.(check bool) "B alone" true (List.mem [ "B" ] classes);
+  Alcotest.(check bool) "E alone" true (List.mem [ "E" ] classes)
+
 (* ------------------------- deductive closure ------------------------- *)
 
 let test_deductive_qualified () =
@@ -399,8 +415,11 @@ let prop_closure_algorithms_agree_on_classification =
       let c1 = Classify.classify ~algorithm:Graphlib.Closure.Dfs t in
       let c2 = Classify.classify ~algorithm:Graphlib.Closure.Warshall t in
       let c3 = Classify.classify ~algorithm:Graphlib.Closure.Scc_condense t in
+      let c4 = Classify.classify ~algorithm:Graphlib.Closure.Par_scc ~jobs:4 t in
       Classify.name_level c1 = Classify.name_level c2
-      && Classify.name_level c2 = Classify.name_level c3)
+      && Classify.name_level c2 = Classify.name_level c3
+      && Classify.name_level c3 = Classify.name_level c4
+      && Classify.equivalence_classes c1 = Classify.equivalence_classes c4)
 
 let prop_deductive_closure_sound =
   QCheck.Test.make ~count:80 ~name:"deductive closure sound vs oracle"
@@ -429,6 +448,8 @@ let () =
           Alcotest.test_case "inverses" `Quick test_classify_inverse_handling;
           Alcotest.test_case "name-level output" `Quick test_name_level_output;
           Alcotest.test_case "equivalence classes" `Quick test_equivalence_classes;
+          Alcotest.test_case "equivalence classes merge unsat" `Quick
+            test_equivalence_classes_unsat;
         ] );
       ( "omega_t",
         [

@@ -10,12 +10,17 @@
 
    Tier 3: harness self-test — inject a synthetic fault, check that the
    runner notices and that the shrinker reduces the failure to a
-   1-minimal counterexample of a handful of axioms. *)
+   1-minimal counterexample of a handful of axioms.
+
+   Tier 4: the parallel campaign driver — running the same fixed-seed
+   campaign across a real 4-domain pool must reproduce the sequential
+   driver's failure, shrunk corpus entry and report byte for byte. *)
 
 module Runner = Conformance.Runner
 module Subjects = Conformance.Subjects
 module Shrink = Conformance.Shrink
 module Corpus = Conformance.Corpus
+module Drive = Conformance.Drive
 
 let check_agrees case =
   let outcome = Runner.check case in
@@ -165,6 +170,49 @@ let test_healthy_subjects_pass_injection_seeds () =
         data = None }
   done
 
+(* ------------------------- parallel driver -------------------------- *)
+
+(* [Pool.create] (not [global]) so the domains really spawn even on a
+   single-core host. *)
+let with_pool ~jobs f =
+  let pool = Parallel.Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) (fun () -> f pool)
+
+let test_parallel_driver_reproduces_failure () =
+  let config =
+    { Runner.default_config with
+      Runner.fault = Subjects.Drop_inverse_role_axioms }
+  in
+  let spec = { Drive.seed = 1; count = 30; profile = None; config } in
+  let seq = Drive.run ~jobs:1 spec in
+  let par = with_pool ~jobs:4 (fun pool -> Drive.run ~pool spec) in
+  (match (seq.Drive.failure, par.Drive.failure) with
+   | Some a, Some b ->
+     Alcotest.(check int) "same failing seed" a.Drive.case_seed b.Drive.case_seed;
+     Alcotest.(check string) "same shrunk corpus entry"
+       (Corpus.to_string a.Drive.shrunk)
+       (Corpus.to_string b.Drive.shrunk);
+     Alcotest.(check int) "same shrink reruns"
+       a.Drive.stats.Shrink.reruns b.Drive.stats.Shrink.reruns
+   | None, None -> Alcotest.fail "expected the injected fault to be found"
+   | Some _, None -> Alcotest.fail "only the sequential driver found the fault"
+   | None, Some _ -> Alcotest.fail "only the parallel driver found the fault");
+  Alcotest.(check string) "same report"
+    (Conformance.Report.summary seq.Drive.report)
+    (Conformance.Report.summary par.Drive.report)
+
+let test_parallel_driver_clean_campaign () =
+  let spec =
+    { Drive.seed = 1; count = 12; profile = None; config = Runner.default_config }
+  in
+  let seq = Drive.run ~jobs:1 spec in
+  let par = with_pool ~jobs:3 (fun pool -> Drive.run ~pool spec) in
+  Alcotest.(check bool) "no sequential failure" true (seq.Drive.failure = None);
+  Alcotest.(check bool) "no parallel failure" true (par.Drive.failure = None);
+  Alcotest.(check string) "same report"
+    (Conformance.Report.summary seq.Drive.report)
+    (Conformance.Report.summary par.Drive.report)
+
 let () =
   Alcotest.run "conformance"
     [
@@ -186,5 +234,12 @@ let () =
             test_injected_fault_caught_and_shrunk;
           Alcotest.test_case "healthy seeds clean" `Quick
             test_healthy_subjects_pass_injection_seeds;
+        ] );
+      ( "parallel-driver",
+        [
+          Alcotest.test_case "jobs 4 reproduces the jobs 1 failure corpus" `Quick
+            test_parallel_driver_reproduces_failure;
+          Alcotest.test_case "jobs 3 reproduces a clean campaign" `Quick
+            test_parallel_driver_clean_campaign;
         ] );
     ]

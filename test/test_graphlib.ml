@@ -1,10 +1,19 @@
 (* Unit and property tests for the graph substrate: bit vectors, digraph
-   operations, SCC, and agreement of the transitive-closure algorithms. *)
+   operations, SCC, agreement of the transitive-closure algorithms, and
+   the domain pool underneath the parallel closures. *)
 
 module Bitvec = Graphlib.Bitvec
 module Graph = Graphlib.Graph
 module Scc = Graphlib.Scc
 module Closure = Graphlib.Closure
+module Pool = Parallel.Pool
+
+(* Pools are created with [Pool.create], not [Pool.global], so worker
+   domains really spawn even on a single-core host — these tests must
+   exercise cross-domain result assembly everywhere, not just on CI's
+   multicore runners.  One pool per width, reused across every test and
+   property below (the spawn-once contract). *)
+let test_pools = lazy (List.map (fun j -> (j, Pool.create ~jobs:j ())) [ 1; 2; 4; 8 ])
 
 (* ------------------------------ bitvec ------------------------------- *)
 
@@ -161,10 +170,13 @@ let test_condensation () =
 (* ------------------------------ closure ------------------------------ *)
 
 let closure_cases g =
+  let pool = List.assoc 4 (Lazy.force test_pools) in
   [
     Closure.compute ~algorithm:Closure.Dfs g;
     Closure.compute ~algorithm:Closure.Warshall g;
     Closure.compute ~algorithm:Closure.Scc_condense g;
+    Closure.compute ~algorithm:Closure.Par_dfs ~pool g;
+    Closure.compute ~algorithm:Closure.Par_scc ~pool g;
   ]
 
 let test_closure_simple () =
@@ -210,6 +222,56 @@ let test_on_demand () =
   Alcotest.(check bool) "od cached" true (Closure.On_demand.reaches od 0 1);
   Alcotest.(check bool) "od no" false (Closure.On_demand.reaches od 3 0)
 
+(* ------------------------------- pool -------------------------------- *)
+
+let test_pool_parallel_for () =
+  List.iter
+    (fun (jobs, pool) ->
+      Alcotest.(check int) "width" jobs (Pool.jobs pool);
+      (* every slot written exactly once, by its own index *)
+      List.iter
+        (fun n ->
+          let out = Array.make (max n 1) (-1) in
+          Pool.parallel_for pool ~n (fun i -> out.(i) <- i * i);
+          for i = 0 to n - 1 do
+            Alcotest.(check int) (Printf.sprintf "j%d n%d slot %d" jobs n i)
+              (i * i) out.(i)
+          done)
+        [ 0; 1; 7; 64; 1000 ])
+    (Lazy.force test_pools)
+
+let test_pool_map_chunks () =
+  List.iter
+    (fun (jobs, pool) ->
+      let ranges = Pool.map_chunks pool ~n:10 ~chunk:3 (fun lo hi -> (lo, hi)) in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "ranges in order at %d jobs" jobs)
+        [ (0, 3); (3, 6); (6, 9); (9, 10) ]
+        ranges;
+      Alcotest.(check (list (pair int int))) "empty" []
+        (Pool.map_chunks pool ~n:0 ~chunk:3 (fun lo hi -> (lo, hi))))
+    (Lazy.force test_pools)
+
+let test_pool_reuse_and_errors () =
+  let pool = Pool.create ~jobs:3 () in
+  (* batches reuse the same domains; an exception in any task surfaces
+     in the caller after the batch drains, and the pool stays usable *)
+  let total = ref 0 in
+  for _ = 1 to 50 do
+    let acc = Array.make 100 0 in
+    Pool.parallel_for pool ~n:100 (fun i -> acc.(i) <- 1);
+    total := !total + Array.fold_left ( + ) 0 acc
+  done;
+  Alcotest.(check int) "50 reused batches" 5000 !total;
+  Alcotest.check_raises "task exception propagates" (Invalid_argument "boom")
+    (fun () ->
+      Pool.parallel_for pool ~n:64 (fun i ->
+          if i = 33 then invalid_arg "boom"));
+  let out = Array.make 10 0 in
+  Pool.parallel_for pool ~n:10 (fun i -> out.(i) <- i);
+  Alcotest.(check int) "pool usable after error" 45 (Array.fold_left ( + ) 0 out);
+  Pool.shutdown pool
+
 (* Random graph generator for the agreement property. *)
 let gen_graph =
   QCheck.Gen.(
@@ -237,6 +299,19 @@ let prop_closure_agree =
       let warshall = Closure.compute ~algorithm:Closure.Warshall g in
       let scc = Closure.compute ~algorithm:Closure.Scc_condense g in
       Closure.equal dfs warshall && Closure.equal dfs scc)
+
+let prop_parallel_closure_agree =
+  QCheck.Test.make ~count:150
+    ~name:"parallel closures equal Scc_condense at jobs 1/2/4/8" arbitrary_graph
+    (fun spec ->
+      let g = build_graph spec in
+      let reference = Closure.compute ~algorithm:Closure.Scc_condense g in
+      List.for_all
+        (fun (_, pool) ->
+          Closure.equal reference (Closure.compute ~algorithm:Closure.Par_scc ~pool g)
+          && Closure.equal reference
+               (Closure.compute ~algorithm:Closure.Par_dfs ~pool g))
+        (Lazy.force test_pools))
 
 let prop_closure_transitive =
   QCheck.Test.make ~count:200 ~name:"closure is transitive" arbitrary_graph
@@ -316,10 +391,18 @@ let () =
           Alcotest.test_case "ancestors" `Quick test_closure_ancestors;
           Alcotest.test_case "on-demand" `Quick test_on_demand;
         ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for assembly" `Quick test_pool_parallel_for;
+          Alcotest.test_case "map_chunks order" `Quick test_pool_map_chunks;
+          Alcotest.test_case "reuse and error propagation" `Quick
+            test_pool_reuse_and_errors;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_closure_agree;
+            prop_parallel_closure_agree;
             prop_closure_transitive;
             prop_closure_vs_bfs;
             prop_scc_sound;
