@@ -430,6 +430,153 @@ let data_ablation () =
      paid on the TBox, evaluation scales with the sources)\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* serve: the caching query service, closed loop, cold vs warm         *)
+(* ------------------------------------------------------------------ *)
+
+(* A closed loop over [Server.Service] (in-process: what is measured is
+   the serving layer and its caches, not socket noise).  Each round
+   performs a data update — bumping the session version, so every
+   answer-cache entry is invalidated — then asks each university query
+   once cold (full evaluate path) and several times warm (answer-cache
+   hit).  p50/p95/p99 over all rounds, plus throughput, written to
+   BENCH_serve.json.  The acceptance bar: warm latency strictly below
+   cold at every percentile. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((p /. 100. *. float_of_int (n - 1)) +. 0.5)))
+
+type dist = {
+  count : int;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  total_s : float;
+}
+
+let dist_of samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let total = Array.fold_left ( +. ) 0.0 a in
+  {
+    count = n;
+    mean_s = (if n = 0 then 0.0 else total /. float_of_int n);
+    p50_s = percentile a 50.0;
+    p95_s = percentile a 95.0;
+    p99_s = percentile a 99.0;
+    total_s = total;
+  }
+
+let json_of_dist d =
+  Printf.sprintf
+    "{\"count\": %d, \"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}"
+    d.count (1000. *. d.mean_s) (1000. *. d.p50_s) (1000. *. d.p95_s)
+    (1000. *. d.p99_s)
+
+let serve_bench ~lru ~persons () =
+  let rounds = 25 and warm_repeats = 4 in
+  let instance =
+    Ontgen.Datagen.generate ~persons ~courses:(max 10 (persons / 10)) ()
+  in
+  let tuples = Obda.Database.size instance.Ontgen.Datagen.database in
+  Printf.printf
+    "== serve: caching query service, cold vs warm (university OBDA, %d \
+     persons, %d tuples, lru %d) ==\n"
+    persons tuples lru;
+  let service = Server.Service.create ~lru () in
+  let session = "bench" in
+  Server.Service.set_tbox service ~session instance.Ontgen.Datagen.tbox;
+  Server.Service.set_mappings service ~session instance.Ontgen.Datagen.mappings;
+  let db = instance.Ontgen.Datagen.database in
+  List.iter
+    (fun rel ->
+      List.iter
+        (fun row -> Server.Service.insert_fact service ~session rel row)
+        (Obda.Database.rows db rel))
+    (Obda.Database.relation_names db);
+  let cold = Hashtbl.create 8 and warm = Hashtbl.create 8 in
+  let push tbl name v =
+    Hashtbl.replace tbl name
+      (v :: (match Hashtbl.find_opt tbl name with Some l -> l | None -> []))
+  in
+  for round = 1 to rounds do
+    (* a data update: bumps the version, invalidating every cached
+       answer — the cold samples below pay the full evaluate path *)
+    Server.Service.insert_fact service ~session "t_update_log"
+      [ Printf.sprintf "r%d" round ];
+    List.iter
+      (fun (name, q) ->
+        let _, t =
+          timeit (fun () -> ignore (Server.Service.ask service ~session q))
+        in
+        push cold name t;
+        for _ = 1 to warm_repeats do
+          let _, t =
+            timeit (fun () -> ignore (Server.Service.ask service ~session q))
+          in
+          push warm name t
+        done)
+      Ontgen.Datagen.queries
+  done;
+  let rewrite_rate, classify_rate = Server.Service.hit_rates service in
+  Printf.printf "%-18s %9s %9s %9s | %9s %9s %9s | %8s\n" "query" "cold p50"
+    "p95" "p99" "warm p50" "p95" "p99" "speedup";
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"bench\": \"serve\",\n  \"persons\": %d,\n  \"tuples\": %d,\n  \
+        \"lru\": %d,\n  \"rounds\": %d,\n  \"warm_repeats\": %d,\n  \"queries\": [\n"
+       persons tuples lru rounds warm_repeats);
+  let all_cold = ref [] and all_warm = ref [] in
+  let first = ref true in
+  List.iter
+    (fun (name, _) ->
+      let c = dist_of (Hashtbl.find cold name) in
+      let w = dist_of (Hashtbl.find warm name) in
+      all_cold := Hashtbl.find cold name @ !all_cold;
+      all_warm := Hashtbl.find warm name @ !all_warm;
+      let speedup = if w.p50_s > 0. then c.p50_s /. w.p50_s else infinity in
+      Printf.printf "%-18s %7.3fms %7.3fms %7.3fms | %7.3fms %7.3fms %7.3fms | %7.1fx\n%!"
+        name (1000. *. c.p50_s) (1000. *. c.p95_s) (1000. *. c.p99_s)
+        (1000. *. w.p50_s) (1000. *. w.p95_s) (1000. *. w.p99_s) speedup;
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %S, \"cold\": %s, \"warm\": %s, \"speedup_p50\": %.2f}"
+           name (json_of_dist c) (json_of_dist w) speedup))
+    Ontgen.Datagen.queries;
+  let c = dist_of !all_cold and w = dist_of !all_warm in
+  let warm_below_cold =
+    w.p50_s < c.p50_s && w.p95_s < c.p95_s && w.p99_s < c.p99_s
+  in
+  let cold_rps = float_of_int c.count /. c.total_s in
+  let warm_rps = float_of_int w.count /. w.total_s in
+  Printf.printf
+    "overall: cold p50 %.3fms p95 %.3fms p99 %.3fms (%.0f req/s) | warm p50 \
+     %.3fms p95 %.3fms p99 %.3fms (%.0f req/s)\n"
+    (1000. *. c.p50_s) (1000. *. c.p95_s) (1000. *. c.p99_s) cold_rps
+    (1000. *. w.p50_s) (1000. *. w.p95_s) (1000. *. w.p99_s) warm_rps;
+  Printf.printf "cache: rewrite hit rate %.3f, classify hit rate %.3f\n"
+    rewrite_rate classify_rate;
+  Printf.printf "warm strictly below cold at p50/p95/p99: %b\n" warm_below_cold;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"overall\": {\"cold\": %s, \"warm\": %s, \"speedup_p50\": %.2f,\n    \
+        \"throughput_cold_rps\": %.1f, \"throughput_warm_rps\": %.1f,\n    \
+        \"warm_below_cold\": %b},\n  \"cache\": {\"rewrite_hit_rate\": %.4f, \
+        \"classify_hit_rate\": %.4f}\n}\n"
+       (json_of_dist c) (json_of_dist w)
+       (if w.p50_s > 0. then c.p50_s /. w.p50_s else infinity)
+       cold_rps warm_rps warm_below_cold rewrite_rate classify_rate);
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(table written to BENCH_serve.json)\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* A6: scalability of the fast classifiers                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -576,13 +723,15 @@ let () =
   let scale = get_opt "--scale" 0.04 args in
   let timeout = get_opt "--timeout" 10.0 args in
   let jobs = int_of_float (get_opt "--jobs" 4.0 args) in
+  let lru = int_of_float (get_opt "--lru" 64.0 args) in
+  let persons = int_of_float (get_opt "--persons" 2000.0 args) in
   let modes =
     List.filter
       (fun a ->
         List.mem a
           [
             "figure1"; "figure2"; "closure"; "closure-par"; "unsat"; "implication";
-            "rewrite"; "approx"; "scaling"; "data"; "conformance"; "micro";
+            "rewrite"; "approx"; "scaling"; "data"; "serve"; "conformance"; "micro";
           ])
       args
   in
@@ -598,6 +747,7 @@ let () =
     | "approx" -> approx_ablation ()
     | "scaling" -> scaling_ablation ()
     | "data" -> data_ablation ()
+    | "serve" -> serve_bench ~lru ~persons ()
     | "conformance" -> conformance_report ()
     | "micro" -> micro ()
     | _ -> ()
@@ -615,5 +765,6 @@ let () =
     approx_ablation ();
     scaling_ablation ();
     data_ablation ();
+    serve_bench ~lru ~persons ();
     micro ()
   | modes -> List.iter run modes

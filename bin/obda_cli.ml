@@ -490,6 +490,113 @@ let import_owl_cmd =
        ~doc:"Convert an OWL 2 QL functional-syntax file to the ASCII DL-Lite syntax.")
     Term.(const run $ file_arg)
 
+(* -------------------------------- query ------------------------------ *)
+
+(* Client mode: drive a running obda_server over the wire protocol.
+   [--stats] surfaces the server's cache hit/miss/eviction counters and
+   per-operation latency totals after the query. *)
+let query_cmd =
+  let run connect session ontology mappings data abox prepare named stats
+      query_text =
+    match Server.Client.connect connect with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok conn ->
+      let rpc req =
+        match Server.Client.request conn req with
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1
+        | Ok Server.Wire.Busy ->
+          prerr_endline "server busy (admission queue full); retry later";
+          exit 7
+        | Ok (Server.Wire.Err m) ->
+          Printf.eprintf "server error: %s\n" m;
+          exit 4
+        | Ok (Server.Wire.Ok lines) -> lines
+      in
+      let load kind path =
+        ignore
+          (rpc
+             (Server.Wire.Load
+                {
+                  session;
+                  kind;
+                  payload = Server.Wire.payload_of_text (read_file path);
+                }))
+      in
+      Option.iter (load Server.Wire.K_tbox) ontology;
+      Option.iter (load Server.Wire.K_mappings) mappings;
+      Option.iter (load Server.Wire.K_abox) abox;
+      Option.iter (load Server.Wire.K_facts) data;
+      Option.iter
+        (fun (name, text) ->
+          ignore (rpc (Server.Wire.Prepare { session; name; query = text })))
+        prepare;
+      Option.iter
+        (fun name ->
+          List.iter print_endline
+            (rpc (Server.Wire.Ask { session; query = Server.Wire.Named name })))
+        named;
+      Option.iter
+        (fun q ->
+          List.iter print_endline
+            (rpc (Server.Wire.Ask { session; query = Server.Wire.Inline q })))
+        query_text;
+      if stats then
+        List.iter print_endline (rpc (Server.Wire.Stats None));
+      ignore (rpc Server.Wire.Quit);
+      Server.Client.close conn
+  in
+  let connect_arg =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"ENDPOINT"
+             ~doc:"Server endpoint: unix:/path.sock or tcp:HOST:PORT.")
+  in
+  let session_arg =
+    Arg.(value & opt string "default"
+         & info [ "session" ] ~docv:"NAME" ~doc:"Server-side session name.")
+  in
+  let ontology_arg =
+    Arg.(value & opt (some file) None
+         & info [ "ontology"; "T" ] ~doc:"Load this ontology into the session.")
+  in
+  let mappings_opt_arg =
+    Arg.(value & opt (some file) None
+         & info [ "mappings"; "m" ] ~doc:"Load this mapping file into the session.")
+  in
+  let data_arg =
+    Arg.(value & opt (some file) None
+         & info [ "data"; "d" ] ~doc:"Load raw database facts into the session.")
+  in
+  let abox_arg =
+    Arg.(value & opt (some file) None
+         & info [ "abox"; "a" ] ~doc:"Load ontology-level facts into the session.")
+  in
+  let prepare_arg =
+    Arg.(value & opt (some (pair ~sep:'=' string string)) None
+         & info [ "prepare" ] ~docv:"NAME=QUERY"
+             ~doc:"Register a prepared query under NAME.")
+  in
+  let named_arg =
+    Arg.(value & opt (some string) None
+         & info [ "ask" ] ~docv:"NAME" ~doc:"Ask a previously prepared query.")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print server statistics (cache hit rates, op latencies).")
+  in
+  let query_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Query.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a running obda_server over the wire protocol.")
+    Term.(
+      const run $ connect_arg $ session_arg $ ontology_arg $ mappings_opt_arg
+      $ data_arg $ abox_arg $ prepare_arg $ named_arg $ stats_arg $ query_arg)
+
 let () =
   let info = Cmd.info "obda_cli" ~doc:"DL-Lite / OBDA toolkit." in
   exit
@@ -509,6 +616,7 @@ let () =
             sql_cmd;
             answer_cmd;
             analyze_cmd;
+            query_cmd;
             export_owl_cmd;
             import_owl_cmd;
           ]))

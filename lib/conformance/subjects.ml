@@ -216,4 +216,26 @@ let chase_answers =
         with Obda.Chase.Overflow -> A_unknown "chase: overflow");
   }
 
-let answer_subjects = [ perfectref_sql; presto_sql; chase_answers ]
+(* The served path: one process-wide Service shared across fuzz cases,
+   so the fingerprint-keyed rewrite cache carries entries from case to
+   case — exactly the reuse whose soundness is under test.  Every case
+   asks twice and reports the *warm* (answer-cache) result, which must
+   agree with the independently computed subjects.  Sessions are
+   per-domain (the fuzz driver runs cases on a domain pool) and reset
+   per case; the service's own mutex handles the rest. *)
+let service_answers =
+  let service = lazy (Server.Service.create ~lru:64 ()) in
+  {
+    a_name = "service";
+    answers =
+      (fun tbox abox q ->
+        let t = Lazy.force service in
+        let session = "fuzz-" ^ string_of_int (Domain.self () :> int) in
+        Server.Service.drop_session t ~session;
+        Server.Service.set_tbox t ~session tbox;
+        Server.Service.add_abox t ~session abox;
+        ignore (Server.Service.ask t ~session q);
+        Tuples (Server.Service.ask t ~session q));
+  }
+
+let answer_subjects = [ perfectref_sql; presto_sql; chase_answers; service_answers ]

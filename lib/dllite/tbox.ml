@@ -66,3 +66,27 @@ let pp fmt t =
   Format.fprintf fmt "@]"
 
 let to_string t = Format.asprintf "%a" pp t
+
+(** [fingerprint t] is a structural digest of the TBox: equal TBoxes
+    (same axiom set, same declared signature) always fingerprint
+    equally, independent of construction order, because both components
+    are kept as sorted sets.  The serving layer uses the fingerprint as
+    a cache key for classification results and query rewritings — both
+    are pure functions of the TBox — so a fingerprint collision would be
+    a soundness bug; MD5 over the canonical text makes one vanishingly
+    unlikely. *)
+let fingerprint t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ax ->
+      Buffer.add_string buf (Syntax.axiom_to_string ax);
+      Buffer.add_char buf '\n')
+    (axioms t);
+  Buffer.add_string buf "#signature\n";
+  List.iter (fun a -> Buffer.add_string buf ("c " ^ a ^ "\n"))
+    (Signature.concepts t.signature);
+  List.iter (fun p -> Buffer.add_string buf ("r " ^ p ^ "\n"))
+    (Signature.roles t.signature);
+  List.iter (fun u -> Buffer.add_string buf ("a " ^ u ^ "\n"))
+    (Signature.attributes t.signature);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -58,15 +58,24 @@ type violation = {
                                    object *)
 }
 
-(** [check tbox ~facts] evaluates every rewritten violation query over
-    the fact source; returns all violations ([] = consistent). *)
-let check tbox ~facts =
+(** [check ?rewrite tbox ~facts] evaluates every rewritten violation
+    query over the fact source; returns all violations ([] =
+    consistent).  [?rewrite] lets a long-running engine supply a shared
+    prepared rewriter ([Rewrite.apply prepared]) instead of the default,
+    which re-normalizes and re-indexes [tbox] for every negative
+    inclusion. *)
+let check ?rewrite tbox ~facts =
+  let rewrite =
+    match rewrite with
+    | Some f -> f
+    | None -> fun ucq -> fst (Rewrite.perfect_ref tbox ucq)
+  in
   List.filter_map
     (fun ax ->
       match violation_query ax with
       | None -> None
       | Some q ->
-        let rewritten, _stats = Rewrite.perfect_ref tbox [ q ] in
+        let rewritten = rewrite [ q ] in
         let answers = Cq.evaluate_ucq ~facts rewritten in
         if answers = [] then None
         else begin
@@ -74,7 +83,7 @@ let check tbox ~facts =
             match witness_query ax with
             | None -> []
             | Some wq ->
-              let rewritten, _ = Rewrite.perfect_ref tbox [ wq ] in
+              let rewritten = rewrite [ wq ] in
               List.sort_uniq compare
                 (List.concat (Cq.evaluate_ucq ~facts rewritten))
           in
@@ -82,5 +91,6 @@ let check tbox ~facts =
         end)
     (Tbox.negative_inclusions tbox)
 
-(** [consistent tbox ~facts] — [true] iff no violation query fires. *)
-let consistent tbox ~facts = check tbox ~facts = []
+(** [consistent ?rewrite tbox ~facts] — [true] iff no violation query
+    fires. *)
+let consistent ?rewrite tbox ~facts = check ?rewrite tbox ~facts = []

@@ -8,7 +8,13 @@
         --(mapping unfolding)--> UCQ over database --(evaluate)--> answers  v}
 
     A materialized-ABox mode short-circuits the mapping layer for
-    standalone (database-less) knowledge bases. *)
+    standalone (database-less) knowledge bases.
+
+    An engine amortizes its TBox-level work: the classification and the
+    prepared rewriting rule bases (normalization + rule indexing) are
+    computed lazily, once, and shared by every subsequent call — in
+    particular the consistency check, which rewrites one violation query
+    per negative inclusion, no longer re-prepares the TBox for each. *)
 
 open Dllite
 
@@ -20,6 +26,8 @@ type rewriting_mode =
   | Perfect_ref  (** vanilla PerfectRef over told axioms *)
   | Presto       (** classification-aided rule base (ablation A4) *)
 
+let string_of_mode = function Perfect_ref -> "perfectref" | Presto -> "presto"
+
 type t = {
   tbox : Tbox.t;
   mappings : Mapping.t;
@@ -28,7 +36,25 @@ type t = {
   constraints : Constraints.t list;
       (* functionality / identification constraints, checked at the
          data level (see [Integrity]) *)
+  cls : Quonto.Classify.t Lazy.t;
+      (* the shared classification: forced at most once per engine *)
+  prepared : Rewrite.prepared Lazy.t;
+      (* the mode's rule base, shared by rewriting and consistency *)
 }
+
+let assemble ~mode ~constraints ~tbox ~mappings ~database =
+  {
+    tbox;
+    mappings;
+    database;
+    mode;
+    constraints;
+    cls = lazy (Quonto.Classify.classify tbox);
+    prepared =
+      (match mode with
+       | Perfect_ref -> lazy (Rewrite.prepare tbox)
+       | Presto -> lazy (Rewrite.prepare_presto tbox));
+  }
 
 (** [create ?mode ?constraints ~tbox ~mappings ~database ()] assembles a
     system.  @raise Invalid_argument when the constraints violate the
@@ -37,7 +63,7 @@ let create ?(mode = Perfect_ref) ?(constraints = []) ~tbox ~mappings ~database (
   (match Constraints.well_formed tbox constraints with
    | [] -> ()
    | v :: _ -> invalid_arg ("Engine.create: " ^ v.Constraints.reason));
-  { tbox; mappings; database; mode; constraints }
+  assemble ~mode ~constraints ~tbox ~mappings ~database
 
 (** [of_abox ?mode tbox abox] wraps a materialized ABox as a degenerate
     OBDA system: one identity-style mapping per named predicate is not
@@ -53,12 +79,14 @@ let of_abox ?(mode = Perfect_ref) tbox abox =
       | Abox.Attr_assert (u, c, v) ->
         Database.insert database (Vabox.attr_pred u) [ c; v ])
     (Abox.assertions abox);
-  { tbox; mappings = []; database; mode; constraints = [] }
+  assemble ~mode ~constraints:[] ~tbox ~mappings:[] ~database
 
-let rewrite t ucq =
-  match t.mode with
-  | Perfect_ref -> Rewrite.perfect_ref t.tbox ucq
-  | Presto -> Rewrite.presto_ref t.tbox ucq
+let tbox t = t.tbox
+let mappings t = t.mappings
+let database t = t.database
+let mode t = t.mode
+
+let rewrite t ucq = Rewrite.apply (Lazy.force t.prepared) ucq
 
 (** [ontology_facts t] is the fact source seen at the ontology level:
     through the mappings when present, directly from the database
@@ -68,36 +96,53 @@ let ontology_facts t =
   if t.mappings = [] then Database.facts t.database
   else Vabox.facts_of_abox (Mapping.materialize t.mappings t.database)
 
-(** [certain_answers t q] — the full pipeline.  With mappings installed
-    the rewriting is *unfolded* and evaluated over the raw database;
-    without, it is evaluated over the loaded ABox relations. *)
-let certain_answers t q =
-  let rewritten, stats = rewrite t [ q ] in
+(** [compile t ucq] is the data-independent half of the pipeline: the
+    rewriting of [ucq], unfolded through the mappings when present.  The
+    result is a UCQ over the database schema, ready for
+    [evaluate_compiled] — and, being a pure function of (TBox, mappings,
+    mode, query), safely cacheable across data updates (the serving
+    layer does exactly that). *)
+let compile t ucq =
+  let rewritten, stats = rewrite t ucq in
   Log.debug (fun m ->
-      m "certain_answers: rewriting has %d disjuncts" stats.Rewrite.output_size);
-  if t.mappings = [] then
-    Cq.evaluate_ucq ~facts:(Database.facts t.database) rewritten
+      m "compile: rewriting has %d disjuncts" stats.Rewrite.output_size);
+  if t.mappings = [] then rewritten
   else begin
     let unfolded = Mapping.unfold_ucq t.mappings rewritten in
     Log.debug (fun m ->
-        m "certain_answers: %d disjuncts after unfolding" (List.length unfolded));
-    Cq.evaluate_ucq ~facts:(Database.facts t.database) unfolded
+        m "compile: %d disjuncts after unfolding" (List.length unfolded));
+    unfolded
   end
 
-(** [certain_answers_ucq t ucq] — same for a union query. *)
-let certain_answers_ucq t ucq =
-  let rewritten, _stats = rewrite t ucq in
-  if t.mappings = [] then
-    Cq.evaluate_ucq ~facts:(Database.facts t.database) rewritten
-  else
-    Cq.evaluate_ucq ~facts:(Database.facts t.database)
-      (Mapping.unfold_ucq t.mappings rewritten)
+(** [evaluate_compiled t ucq] — the data-dependent half: evaluate a
+    compiled UCQ over the current database contents. *)
+let evaluate_compiled t ucq =
+  Cq.evaluate_ucq ~facts:(Database.facts t.database) ucq
 
-(** [consistent t] — KB consistency via rewritten violation queries. *)
-let consistent t = Consistency.consistent t.tbox ~facts:(ontology_facts t)
+(** [certain_answers t q] — the full pipeline.  With mappings installed
+    the rewriting is *unfolded* and evaluated over the raw database;
+    without, it is evaluated over the loaded ABox relations. *)
+let certain_answers t q = evaluate_compiled t (compile t [ q ])
+
+(** [certain_answers_ucq t ucq] — same for a union query. *)
+let certain_answers_ucq t ucq = evaluate_compiled t (compile t ucq)
+
+(* the shared rewriter handed to [Consistency]: violation queries go
+   through the same prepared rule base as user queries *)
+let shared_rewrite t ucq = fst (Rewrite.apply (Lazy.force t.prepared) ucq)
+
+(** [consistent t] — KB consistency via rewritten violation queries,
+    sharing the engine's prepared rule base (and hence, in [Presto]
+    mode, its classification) instead of re-preparing per negative
+    inclusion. *)
+let consistent t =
+  Consistency.consistent ~rewrite:(shared_rewrite t) t.tbox
+    ~facts:(ontology_facts t)
 
 (** [violations t] — the full violation report. *)
-let violations t = Consistency.check t.tbox ~facts:(ontology_facts t)
+let violations t =
+  Consistency.check ~rewrite:(shared_rewrite t) t.tbox
+    ~facts:(ontology_facts t)
 
 (** [integrity_violations t] — functionality / identification
     violations over the retrieved facts (empty when no constraints are
@@ -105,5 +150,6 @@ let violations t = Consistency.check t.tbox ~facts:(ontology_facts t)
 let integrity_violations t = Integrity.check ~facts:(ontology_facts t) t.constraints
 
 (** [classification t] — intensional service pass-through: the ontology
-    engineer's design-quality check runs on the same system handle. *)
-let classification t = Quonto.Classify.classify t.tbox
+    engineer's design-quality check runs on the same system handle,
+    computed once per engine and shared across calls. *)
+let classification t = Lazy.force t.cls

@@ -1,0 +1,173 @@
+(** A bounded task executor over worker domains — the serving-side
+    counterpart of [Pool]'s fork-join batches.
+
+    [Pool] runs one caller-owned batch at a time; a server instead needs
+    fire-and-forget submission from many connection handlers, with
+    {e admission control}: the queue is bounded, and [try_submit]
+    refuses (returns [false]) rather than buffering unboundedly — the
+    wire layer turns that refusal into a [BUSY] reply, shedding load
+    instead of collapsing under it.
+
+    [pause] / [resume] exist for deterministic tests: a paused executor
+    accepts work but runs nothing, so a test can fill the queue to
+    capacity (forcing BUSY) or let a request time out, then [resume] and
+    watch the backlog drain.  Production code never pauses.
+
+    All synchronization is stdlib ([Mutex] / [Condition] / [Domain]);
+    no timed waits are needed here — callers that want a timeout poll
+    their own result cell. *)
+
+type stats = {
+  submitted : int;   (** accepted by [try_submit] *)
+  rejected : int;    (** refused: queue full or shutting down *)
+  completed : int;   (** tasks that finished running *)
+  queued : int;      (** currently waiting *)
+  running : int;     (** currently executing *)
+  workers : int;
+  queue_capacity : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  idle : Condition.t;  (** signalled whenever queue and running reach 0 *)
+  queue : (unit -> unit) Queue.t;
+  queue_capacity : int;
+  workers : int;
+  mutable domains : unit Domain.t array;
+  mutable paused : bool;
+  mutable draining : bool;  (** no new admissions; drain what is queued *)
+  mutable stop : bool;
+  mutable running : int;
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+}
+
+let worker t =
+  Mutex.lock t.mutex;
+  let continue = ref true in
+  while !continue do
+    if t.stop then continue := false
+    else if t.paused || Queue.is_empty t.queue then
+      Condition.wait t.has_work t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      t.running <- t.running + 1;
+      Mutex.unlock t.mutex;
+      (* tasks own their error reporting (the server wraps each in its
+         reply cell); a raise here must not kill the worker domain *)
+      (try task () with _ -> ());
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      t.completed <- t.completed + 1;
+      if Queue.is_empty t.queue && t.running = 0 then Condition.broadcast t.idle
+    end
+  done;
+  Mutex.unlock t.mutex
+
+(** [create ~workers ~queue_capacity ()] spawns [max 1 workers] domains
+    servicing a queue that admits at most [max 1 queue_capacity]
+    waiting tasks. *)
+let create ~workers ~queue_capacity () =
+  let workers = max 1 workers in
+  let t =
+    {
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      queue_capacity = max 1 queue_capacity;
+      workers;
+      domains = [||];
+      paused = false;
+      draining = false;
+      stop = false;
+      running = 0;
+      submitted = 0;
+      rejected = 0;
+      completed = 0;
+    }
+  in
+  t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+(** [try_submit t task] — [true] iff the task was admitted.  [false]
+    means the queue is at capacity (or the executor is draining): the
+    caller should shed the request. *)
+let try_submit t task =
+  Mutex.lock t.mutex;
+  let admitted =
+    if t.draining || t.stop || Queue.length t.queue >= t.queue_capacity then begin
+      t.rejected <- t.rejected + 1;
+      false
+    end
+    else begin
+      Queue.push task t.queue;
+      t.submitted <- t.submitted + 1;
+      Condition.signal t.has_work;
+      true
+    end
+  in
+  Mutex.unlock t.mutex;
+  admitted
+
+let pause t =
+  Mutex.lock t.mutex;
+  t.paused <- true;
+  Mutex.unlock t.mutex
+
+let resume t =
+  Mutex.lock t.mutex;
+  t.paused <- false;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex
+
+(** [drain t] blocks until nothing is queued or running.  Does not stop
+    admissions by itself — pair with [close] for shutdown, or call alone
+    to wait for a quiescent point.  Hangs if the executor is paused. *)
+let drain t =
+  Mutex.lock t.mutex;
+  while not (Queue.is_empty t.queue && t.running = 0) do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+(** [close t] stops admitting new tasks; already-queued work still
+    runs.  Returns the number of in-flight tasks (queued + running) at
+    the moment of closing — the server reports this as its drain
+    count. *)
+let close t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  let in_flight = Queue.length t.queue + t.running in
+  Mutex.unlock t.mutex;
+  in_flight
+
+(** [shutdown t] — close, drain, stop and join the worker domains. *)
+let shutdown t =
+  ignore (close t);
+  resume t;  (* a paused executor could never drain *)
+  drain t;
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      submitted = t.submitted;
+      rejected = t.rejected;
+      completed = t.completed;
+      queued = Queue.length t.queue;
+      running = t.running;
+      workers = t.workers;
+      queue_capacity = t.queue_capacity;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s

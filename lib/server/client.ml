@@ -1,0 +1,91 @@
+(** A blocking wire-protocol client, shared by [obda_cli query
+    --connect], the serve benchmark's closed loop and the transcript
+    test.  One request in flight per connection — the protocol has no
+    multiplexing, by design. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+(** Endpoint syntax accepted by [connect]:
+    - ["unix:/path/to.sock"]
+    - ["tcp:HOST:PORT"]
+    - ["HOST:PORT"] (tcp) or a bare path containing ['/'] (unix). *)
+let parse_endpoint spec =
+  match String.index_opt spec ':' with
+  | Some i when String.sub spec 0 i = "unix" ->
+    Result.Ok (Unix.ADDR_UNIX (String.sub spec (i + 1) (String.length spec - i - 1)))
+  | _ -> (
+    let host_port hp =
+      match String.rindex_opt hp ':' with
+      | None -> Result.Error (Printf.sprintf "bad endpoint %S (want HOST:PORT)" hp)
+      | Some i -> (
+        let host = String.sub hp 0 i in
+        let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+        match int_of_string_opt port with
+        | None -> Result.Error ("bad port in endpoint: " ^ hp)
+        | Some port -> (
+          match
+            try Unix.inet_addr_of_string host
+            with Failure _ ->
+              (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with
+          | addr -> Result.Ok (Unix.ADDR_INET (addr, port))
+          | exception Not_found -> Result.Error ("unknown host: " ^ host)))
+    in
+    if String.length spec >= 4 && String.sub spec 0 4 = "tcp:" then
+      host_port (String.sub spec 4 (String.length spec - 4))
+    else if String.contains spec '/' then Result.Ok (Unix.ADDR_UNIX spec)
+    else host_port spec)
+
+let connect spec =
+  match parse_endpoint spec with
+  | Result.Error _ as e -> e
+  | Result.Ok addr -> (
+    let domain = Unix.domain_of_sockaddr addr in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+      Result.Ok
+        { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Result.Error
+        (Printf.sprintf "connect %s: %s" spec (Unix.error_message e)))
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_lines t lines =
+  List.iter
+    (fun line ->
+      output_string t.oc line;
+      output_char t.oc '\n')
+    lines;
+  flush t.oc
+
+let read_reply t =
+  match input_line t.ic with
+  | exception End_of_file -> Result.Error "connection closed by server"
+  | header -> (
+    match Wire.parse_reply_header header with
+    | Result.Error _ as e -> e
+    | Result.Ok `Busy -> Result.Ok Wire.Busy
+    | Result.Ok (`Err m) -> Result.Ok (Wire.Err m)
+    | Result.Ok (`Ok n) -> (
+      let rec collect k acc =
+        if k = 0 then Result.Ok (Wire.Ok (List.rev acc))
+        else
+          match input_line t.ic with
+          | exception End_of_file -> Result.Error "truncated reply payload"
+          | line -> collect (k - 1) (line :: acc)
+      in
+      collect n []))
+
+(** [request t req] — send one request, read one reply. *)
+let request t req =
+  match send_lines t (Wire.encode_request req) with
+  | () -> read_reply t
+  | exception Sys_error e -> Result.Error e

@@ -1,0 +1,156 @@
+(** A bounded least-recently-used cache with hit/miss/eviction counters.
+
+    The cache is a plain polymorphic map (structural key equality via
+    [Hashtbl]) threaded on an intrusive doubly-linked list: [find]
+    promotes its entry to the front, [put] inserts at the front and
+    evicts from the back once over capacity.  All operations are O(1).
+
+    Degenerate capacities are first-class citizens — the serving layer's
+    invalidation property is tested at every capacity including these:
+    - [capacity = 0] stores nothing: every [find] is a miss, every [put]
+      a no-op (counted as an insertion that evicts itself);
+    - [capacity = 1] holds exactly the most recently inserted or hit
+      entry.
+
+    Not thread-safe; the owner ([Service]) serializes access. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (** towards the front (MRU) *)
+  mutable next : ('k, 'v) node option;  (** towards the back (LRU) *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable front : ('k, 'v) node option;
+  mutable back : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    front = None;
+    back = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    insertions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let stats (t : ('k, 'v) t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    insertions = t.insertions;
+    size = length t;
+    capacity = t.capacity;
+  }
+
+(** [hit_rate t] ∈ [0, 1]; 0 when no lookups happened yet. *)
+let hit_rate (t : ('k, 'v) t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+(* unlink [n] from the list (it must be a member) *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.front;
+  n.prev <- None;
+  (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
+  t.front <- Some n
+
+let promote t n =
+  if t.front != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let evict_back (t : ('k, 'v) t) =
+  match t.back with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    t.evictions <- t.evictions + 1
+
+(** [find t k] returns the cached value and promotes the entry. *)
+let find (t : ('k, 'v) t) k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    promote t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(** [mem t k] — membership without promotion or counter updates. *)
+let mem t k = Hashtbl.mem t.table k
+
+(** [put t k v] inserts or refreshes the binding, evicting the
+    least-recently-used entries beyond capacity. *)
+let put (t : ('k, 'v) t) k v =
+  t.insertions <- t.insertions + 1;
+  if t.capacity = 0 then t.evictions <- t.evictions + 1
+  else
+    match Hashtbl.find_opt t.table k with
+    | Some n ->
+      n.value <- v;
+      promote t n
+    | None ->
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n;
+      while length t > t.capacity do
+        evict_back t
+      done
+
+(** [remove t k] drops the binding if present (not counted as an
+    eviction: removals are invalidations, not capacity pressure). *)
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table k
+
+(** [clear t] drops every binding; counters are kept (they describe the
+    cache's lifetime, not its current contents). *)
+let clear t =
+  Hashtbl.reset t.table;
+  t.front <- None;
+  t.back <- None
+
+(** [keys t] — front (most recent) to back (least recent); for tests. *)
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.front

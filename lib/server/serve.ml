@@ -1,0 +1,240 @@
+(** The networked front end: TCP and Unix-domain-socket accept loops
+    feeding the shared [Service] through a bounded [Parallel.Executor].
+
+    Threading model: each listener gets an accept thread; each accepted
+    connection gets a handler thread ([threads.posix] — connection
+    handling is I/O-bound).  Request {e execution} is dispatched onto
+    the executor's worker domains, so CPU-bound work (classification,
+    rewriting) parallelizes while admission stays bounded: a full queue
+    turns into an immediate [BUSY] reply instead of an ever-growing
+    backlog.
+
+    Each dispatched request gets a deadline.  OCaml's [Condition] has no
+    timed wait, so the handler polls its result cell at millisecond
+    granularity — crude but dependency-free, and the polling thread is a
+    cheap OS thread, not a worker domain.  A timed-out request answers
+    [ERR timeout]; the task itself still completes on its worker and its
+    result is discarded.
+
+    [stop] makes shutdown graceful: listeners close (no new
+    connections), the executor stops admitting and drains in-flight
+    requests, then remaining connections are shut down.  It returns the
+    number of requests that were in flight when the drain began. *)
+
+type config = {
+  workers : int;           (** executor worker domains *)
+  queue_capacity : int;    (** admission queue bound; excess sheds BUSY *)
+  request_timeout_s : float;
+  limits : Wire.limits;
+}
+
+let default_config =
+  {
+    workers = 2;
+    queue_capacity = 64;
+    request_timeout_s = 30.0;
+    limits = Wire.default_limits;
+  }
+
+type t = {
+  service : Service.t;
+  exec : Parallel.Executor.t;
+  config : config;
+  mutex : Mutex.t;
+  mutable listeners : Unix.file_descr list;
+  mutable conns : Unix.file_descr list;   (** live connection sockets *)
+  mutable accept_threads : Thread.t list;
+  mutable stopping : bool;
+}
+
+let create ?(config = default_config) service =
+  {
+    service;
+    exec =
+      Parallel.Executor.create ~workers:config.workers
+        ~queue_capacity:config.queue_capacity ();
+    config;
+    mutex = Mutex.create ();
+    listeners = [];
+    conns = [];
+    accept_threads = [];
+    stopping = false;
+  }
+
+let executor t = t.exec
+
+(* ----------------------------- listeners ---------------------------- *)
+
+let listen_unix t path =
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path  (* stale socket *)
+   | _ -> ()
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  t.listeners <- fd :: t.listeners;
+  fd
+
+(** [listen_tcp t ~host ~port] binds and returns the actually bound
+    port (useful with [port = 0] in tests). *)
+let listen_tcp t ~host ~port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> Unix.inet_addr_loopback
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  t.listeners <- fd :: t.listeners;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, bound) -> bound
+  | _ -> port
+
+(* --------------------------- line reading --------------------------- *)
+
+(* Bounded line reader: never buffers more than [max_line + 1] bytes of
+   a single line.  An over-long line is truncated (the tail up to the
+   newline is consumed and discarded) and handed to the decoder, whose
+   length check reports it — one error path for both transports. *)
+let read_line_bounded ic ~max_line =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> Some (Buffer.contents buf)
+    | '\r' -> go ()
+    | c ->
+      if Buffer.length buf <= max_line then Buffer.add_char buf c;
+      go ()
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+  in
+  go ()
+
+(* ------------------------- request dispatch ------------------------- *)
+
+type cell = { cm : Mutex.t; mutable result : Wire.reply option }
+
+let dispatch t request =
+  let cell = { cm = Mutex.create (); result = None } in
+  let task () =
+    let reply =
+      try Service.handle t.service request
+      with e -> Wire.Err ("internal error: " ^ Printexc.to_string e)
+    in
+    Mutex.lock cell.cm;
+    cell.result <- Some reply;
+    Mutex.unlock cell.cm
+  in
+  if not (Parallel.Executor.try_submit t.exec task) then Wire.Busy
+  else begin
+    let deadline = Unix.gettimeofday () +. t.config.request_timeout_s in
+    let rec await () =
+      Mutex.lock cell.cm;
+      let r = cell.result in
+      Mutex.unlock cell.cm;
+      match r with
+      | Some reply -> reply
+      | None ->
+        if Unix.gettimeofday () > deadline then
+          Wire.Err
+            (Printf.sprintf "timeout after %.1fs" t.config.request_timeout_s)
+        else begin
+          Thread.delay 0.001;
+          await ()
+        end
+    in
+    await ()
+  end
+
+(* --------------------------- connections ---------------------------- *)
+
+let send_reply oc reply =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (Wire.encode_reply reply);
+  flush oc
+
+let forget_conn t fd =
+  Mutex.lock t.mutex;
+  t.conns <- List.filter (fun c -> c != fd) t.conns;
+  Mutex.unlock t.mutex
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let decoder = Wire.decoder ~limits:t.config.limits () in
+  let rec loop () =
+    match read_line_bounded ic ~max_line:t.config.limits.Wire.max_line with
+    | None -> ()
+    | Some line -> (
+      match Wire.feed decoder line with
+      | Wire.More -> loop ()
+      | Wire.Error e ->
+        send_reply oc (Wire.Err e);
+        loop ()
+      | Wire.Request Wire.Quit -> send_reply oc (Wire.Ok [])
+      | Wire.Request request ->
+        send_reply oc (dispatch t request);
+        loop ())
+  in
+  (try loop () with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+  forget_conn t fd;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Polling accept: a thread parked in accept(2) is not woken by another
+   thread closing the listener, so [stop] could never join it.  Select
+   with a short timeout instead, re-checking [stopping] each round. *)
+let accept_loop t listener =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    let stopping = t.stopping in
+    Mutex.unlock t.mutex;
+    if stopping then continue := false
+    else
+      match Unix.select [ listener ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept listener with
+        | fd, _ ->
+          Mutex.lock t.mutex;
+          t.conns <- fd :: t.conns;
+          Mutex.unlock t.mutex;
+          ignore (Thread.create (fun () -> handle_connection t fd) ())
+        | exception Unix.Unix_error _ -> continue := false)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> continue := false  (* listener closed *)
+  done
+
+(** [start t] spawns one accept thread per registered listener.  Call
+    after [listen_unix] / [listen_tcp]. *)
+let start t =
+  t.accept_threads <-
+    List.map (fun l -> Thread.create (fun () -> accept_loop t l) ()) t.listeners
+
+(** [stop t] — graceful shutdown: close listeners, drain in-flight
+    requests, shut remaining connections down, join accept threads.
+    Returns the number of requests that were in flight when the drain
+    began. *)
+let stop t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Mutex.unlock t.mutex;
+  List.iter (fun l -> try Unix.close l with Unix.Unix_error _ -> ()) t.listeners;
+  let in_flight = Parallel.Executor.close t.exec in
+  Parallel.Executor.resume t.exec;
+  Parallel.Executor.drain t.exec;
+  Mutex.lock t.mutex;
+  let conns = t.conns in
+  Mutex.unlock t.mutex;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join t.accept_threads;
+  t.accept_threads <- [];
+  Parallel.Executor.shutdown t.exec;
+  in_flight

@@ -1,0 +1,457 @@
+(** The embeddable OBDA query service: named sessions, caches, stats.
+
+    A session is a mutable OBDA system — TBox, mappings, database — with
+    an engine rebuilt on every intensional update and a monotonically
+    increasing {e version} bumped on {e any} update (TBox, mappings or
+    data).  Two cache layers sit on top, each keyed so that a stale hit
+    is impossible:
+
+    - the {e rewrite cache} (service-wide) maps
+      [(tbox fingerprint, mappings fingerprint, mode, query)] to the
+      compiled (rewritten + unfolded) UCQ.  Rewriting is a pure function
+      of exactly those inputs, so the entries survive data updates — the
+      OBDA promise that reasoning cost is paid on the TBox — and even
+      TBox {e reverts} re-hit, since the fingerprint is structural;
+    - the {e answer cache} (per session) maps [(version, query)] to the
+      canonical (sorted, deduplicated) answer set.  Any update bumps the
+      version, so stale answers become unreachable and age out of the
+      LRU.
+
+    The classification cache is fingerprint-keyed too, shared across
+    sessions.  Correctness of the whole scheme — cached answers
+    byte-identical to a fresh engine's under random update/query
+    interleavings, at every LRU capacity — is QCheck-tested
+    ([test/test_server.ml]) and differentially fuzzed (the [service]
+    conformance subject).
+
+    All operations serialize on one mutex: handlers may be called from
+    any number of server worker domains. *)
+
+open Dllite
+
+type op_stats = {
+  mutable count : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+type session = {
+  sname : string;
+  mutable tbox : Tbox.t;
+  mutable mappings : Obda.Mapping.t;
+  database : Obda.Database.t;
+  mutable engine : Obda.Engine.t;
+  mutable version : int;   (** bumped on every TBox / mapping / data update *)
+  mutable tbox_fp : string;
+  mutable map_fp : string;
+  prepared : (string, string) Hashtbl.t;  (** name -> raw query text *)
+  answers : (string, string list list) Lru.t;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mode : Obda.Engine.rewriting_mode;
+  lru_capacity : int;
+  sessions : (string, session) Hashtbl.t;
+  rewrites : (string, Obda.Cq.ucq) Lru.t;
+  classifications : (string, Quonto.Classify.t) Lru.t;
+  ops : (string, op_stats) Hashtbl.t;
+}
+
+let create ?(mode = Obda.Engine.Perfect_ref) ?(lru = 256) () =
+  {
+    mutex = Mutex.create ();
+    mode;
+    lru_capacity = lru;
+    sessions = Hashtbl.create 8;
+    rewrites = Lru.create ~capacity:lru;
+    classifications = Lru.create ~capacity:(max 1 (min lru 16));
+    ops = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let timed t op f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let s =
+    match Hashtbl.find_opt t.ops op with
+    | Some s -> s
+    | None ->
+      let s = { count = 0; total_s = 0.; max_s = 0. } in
+      Hashtbl.replace t.ops op s;
+      s
+  in
+  s.count <- s.count + 1;
+  s.total_s <- s.total_s +. elapsed;
+  if elapsed > s.max_s then s.max_s <- elapsed;
+  result
+
+(* ----------------------------- fingerprints ------------------------- *)
+
+let fp_mappings mappings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      Buffer.add_string buf (Obda.Mapping.target_pred m.Obda.Mapping.target);
+      List.iter
+        (fun term -> Buffer.add_string buf (Obda.Cq.show_term term))
+        (Obda.Mapping.target_args m.Obda.Mapping.target);
+      Buffer.add_string buf (Obda.Cq.show m.Obda.Mapping.source);
+      Buffer.add_char buf '\n')
+    mappings;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------ sessions ---------------------------- *)
+
+let rebuild_engine t s =
+  s.engine <-
+    Obda.Engine.create ~mode:t.mode ~tbox:s.tbox ~mappings:s.mappings
+      ~database:s.database ()
+
+let bump s = s.version <- s.version + 1
+
+let fresh_session t name =
+  let database = Obda.Database.create () in
+  let tbox = Tbox.empty in
+  {
+    sname = name;
+    tbox;
+    mappings = [];
+    database;
+    engine = Obda.Engine.create ~mode:t.mode ~tbox ~mappings:[] ~database ();
+    version = 0;
+    tbox_fp = Tbox.fingerprint tbox;
+    map_fp = fp_mappings [];
+    prepared = Hashtbl.create 8;
+    answers = Lru.create ~capacity:t.lru_capacity;
+  }
+
+(* session lookup; [create] makes LOAD / PREPARE bring sessions into
+   existence while read-only operations on unknown names fail *)
+let session ?(create = false) t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> Some s
+  | None ->
+    if create then begin
+      let s = fresh_session t name in
+      Hashtbl.replace t.sessions name s;
+      Some s
+    end
+    else None
+
+let session_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.sessions [] |> List.sort compare
+
+(* --------------------------- core operations ------------------------ *)
+(* All [op_*] functions assume the service mutex is held.               *)
+
+let op_set_tbox t s tbox =
+  s.tbox <- tbox;
+  s.tbox_fp <- Tbox.fingerprint tbox;
+  rebuild_engine t s;
+  bump s
+
+let op_set_mappings t s mappings =
+  s.mappings <- mappings;
+  s.map_fp <- fp_mappings mappings;
+  rebuild_engine t s;
+  bump s
+
+let op_insert_fact _t s rel row =
+  Obda.Database.insert s.database rel row;
+  bump s
+
+let op_add_abox _t s abox =
+  List.iter
+    (function
+      | Abox.Concept_assert (a, c) ->
+        Obda.Database.insert s.database (Obda.Vabox.concept_pred a) [ c ]
+      | Abox.Role_assert (p, c1, c2) ->
+        Obda.Database.insert s.database (Obda.Vabox.role_pred p) [ c1; c2 ]
+      | Abox.Attr_assert (u, c, v) ->
+        Obda.Database.insert s.database (Obda.Vabox.attr_pred u) [ c; v ])
+    (Abox.assertions abox);
+  bump s
+
+let op_classification t s =
+  match Lru.find t.classifications s.tbox_fp with
+  | Some cls -> cls
+  | None ->
+    let cls = Obda.Engine.classification s.engine in
+    Lru.put t.classifications s.tbox_fp cls;
+    cls
+
+(* the cached certain-answers pipeline; answers are canonicalized
+   (sorted, deduplicated) before caching so every consumer — wire
+   replies, the conformance subject, the QCheck property — sees one
+   deterministic byte representation *)
+let op_ask t s q =
+  let qkey = Obda.Cq.show q in
+  let akey = Printf.sprintf "%d|%s" s.version qkey in
+  match Lru.find s.answers akey with
+  | Some tuples -> tuples
+  | None ->
+    let rkey =
+      Printf.sprintf "%s|%s|%s|%s" s.tbox_fp s.map_fp
+        (Obda.Engine.string_of_mode t.mode)
+        qkey
+    in
+    let compiled =
+      match Lru.find t.rewrites rkey with
+      | Some compiled -> compiled
+      | None ->
+        let compiled = Obda.Engine.compile s.engine [ q ] in
+        Lru.put t.rewrites rkey compiled;
+        compiled
+    in
+    let tuples =
+      List.sort_uniq compare (Obda.Engine.evaluate_compiled s.engine compiled)
+    in
+    Lru.put s.answers akey tuples;
+    tuples
+
+(* ------------------------- typed (embedded) API --------------------- *)
+(* The API the conformance subject, the QCheck properties and the serve
+   benchmark drive directly; the wire layer below maps onto the same
+   operations. *)
+
+let set_tbox t ~session:name tbox =
+  locked t (fun () ->
+      let s = Option.get (session ~create:true t name) in
+      timed t "load" (fun () -> op_set_tbox t s tbox))
+
+let set_mappings t ~session:name mappings =
+  locked t (fun () ->
+      let s = Option.get (session ~create:true t name) in
+      timed t "load" (fun () -> op_set_mappings t s mappings))
+
+let add_abox t ~session:name abox =
+  locked t (fun () ->
+      let s = Option.get (session ~create:true t name) in
+      timed t "load" (fun () -> op_add_abox t s abox))
+
+let insert_fact t ~session:name rel row =
+  locked t (fun () ->
+      let s = Option.get (session ~create:true t name) in
+      timed t "load" (fun () -> op_insert_fact t s rel row))
+
+(** [ask t ~session q] — cached certain answers, canonical order. *)
+let ask t ~session:name q =
+  locked t (fun () ->
+      let s = Option.get (session ~create:true t name) in
+      timed t "ask" (fun () -> op_ask t s q))
+
+let classification t ~session:name =
+  locked t (fun () ->
+      let s = Option.get (session ~create:true t name) in
+      timed t "classify" (fun () -> op_classification t s))
+
+(** [drop_session t ~session] forgets the session entirely (its answer
+    cache goes with it; service-wide caches are untouched — their keys
+    are fingerprints, not session names). *)
+let drop_session t ~session:name =
+  locked t (fun () -> Hashtbl.remove t.sessions name)
+
+let version t ~session:name =
+  locked t (fun () ->
+      match session t name with Some s -> s.version | None -> 0)
+
+(* ------------------------------- stats ------------------------------ *)
+
+let cache_line label (st : Lru.stats) =
+  Printf.sprintf "cache %s hits=%d misses=%d evictions=%d size=%d capacity=%d"
+    label st.Lru.hits st.Lru.misses st.Lru.evictions st.Lru.size
+    st.Lru.capacity
+
+let stats_lines ?session:filter t =
+  let b = ref [] in
+  let out line = b := line :: !b in
+  let names =
+    match filter with
+    | Some n -> if Hashtbl.mem t.sessions n then [ n ] else []
+    | None -> session_names t
+  in
+  out
+    (Printf.sprintf "service sessions=%d lru_capacity=%d mode=%s"
+       (Hashtbl.length t.sessions) t.lru_capacity
+       (Obda.Engine.string_of_mode t.mode));
+  out (cache_line "rewrite" (Lru.stats t.rewrites));
+  out (cache_line "classify" (Lru.stats t.classifications));
+  List.iter
+    (fun op ->
+      match Hashtbl.find_opt t.ops op with
+      | None -> ()
+      | Some s ->
+        out
+          (Printf.sprintf "op %s count=%d total_s=%.6f max_s=%.6f" op s.count
+             s.total_s s.max_s))
+    [ "load"; "classify"; "prepare"; "ask"; "stats" ];
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.sessions name with
+      | None -> ()
+      | Some s ->
+        out
+          (Printf.sprintf
+             "session %s version=%d axioms=%d mappings=%d facts=%d prepared=%d"
+             name s.version (Tbox.axiom_count s.tbox)
+             (List.length s.mappings)
+             (Obda.Database.size s.database)
+             (Hashtbl.length s.prepared));
+        out
+          (Printf.sprintf "session %s %s" name
+             (cache_line "answers" (Lru.stats s.answers))))
+    names;
+  List.rev !b
+
+(** [hit_rates t] — (rewrite cache, classification cache) hit rates,
+    for the serve benchmark's report. *)
+let hit_rates t =
+  locked t (fun () -> (Lru.hit_rate t.rewrites, Lru.hit_rate t.classifications))
+
+(* --------------------------- ABox text parsing ---------------------- *)
+
+exception Bad_line of string
+
+let parse_abox_lines signature lines =
+  let parse_line i raw =
+    let line = String.trim raw in
+    if line = "" || line.[0] = '#' then None
+    else
+      match String.index_opt line '(' with
+      | Some j when String.length line > 0 && line.[String.length line - 1] = ')'
+        ->
+        let name = String.trim (String.sub line 0 j) in
+        let args_text = String.sub line (j + 1) (String.length line - j - 2) in
+        let args =
+          String.split_on_char ',' args_text
+          |> List.map (fun a ->
+                 let a = String.trim a in
+                 if String.length a >= 2 && a.[0] = '"'
+                    && a.[String.length a - 1] = '"'
+                 then String.sub a 1 (String.length a - 2)
+                 else a)
+          |> List.filter (fun a -> a <> "")
+        in
+        (match args with
+         | [ c ] when Signature.mem_concept name signature ->
+           Some (Abox.Concept_assert (name, c))
+         | [ c1; c2 ] when Signature.mem_role name signature ->
+           Some (Abox.Role_assert (name, c1, c2))
+         | [ c; v ] when Signature.mem_attribute name signature ->
+           Some (Abox.Attr_assert (name, c, v))
+         | _ ->
+           raise
+             (Bad_line
+                (Printf.sprintf
+                   "line %d: %s is not a signature predicate of this arity"
+                   (i + 1) name)))
+      | _ -> raise (Bad_line (Printf.sprintf "line %d: expected PRED(args)" (i + 1)))
+  in
+  List.mapi parse_line lines |> List.filter_map Fun.id
+
+(* ------------------------------ wire layer -------------------------- *)
+
+let render_tuple = function
+  | [] -> "()"  (* boolean query answered positively *)
+  | tuple -> String.concat ", " tuple
+
+let handle_load t s kind payload =
+  let text = String.concat "\n" payload in
+  match kind with
+  | Wire.K_tbox -> (
+    match Parser.tbox_of_string text with
+    | Result.Ok tbox ->
+      op_set_tbox t s tbox;
+      Wire.Ok []
+    | Result.Error e -> Wire.Err ("ontology: " ^ e))
+  | Wire.K_mappings -> (
+    match Obda.Qparse.parse_mappings ~signature:(Tbox.signature s.tbox) text with
+    | mappings ->
+      op_set_mappings t s mappings;
+      Wire.Ok []
+    | exception Obda.Qparse.Parse_error e -> Wire.Err ("mappings: " ^ e))
+  | Wire.K_abox -> (
+    match parse_abox_lines (Tbox.signature s.tbox) payload with
+    | assertions ->
+      op_add_abox t s (Abox.of_list assertions);
+      Wire.Ok []
+    | exception Bad_line e -> Wire.Err ("abox: " ^ e))
+  | Wire.K_facts -> (
+    match Obda.Qparse.load_facts s.database text with
+    | () ->
+      bump s;
+      Wire.Ok []
+    | exception Obda.Qparse.Parse_error e -> Wire.Err ("facts: " ^ e))
+
+let parse_query s text =
+  match Obda.Qparse.parse_query ~signature:(Tbox.signature s.tbox) text with
+  | q -> Result.Ok q
+  | exception Obda.Qparse.Parse_error e -> Result.Error e
+
+let handle_ask t s query_ref =
+  let text =
+    match query_ref with
+    | Wire.Inline text -> Result.Ok text
+    | Wire.Named name -> (
+      match Hashtbl.find_opt s.prepared name with
+      | Some text -> Result.Ok text
+      | None -> Result.Error (Printf.sprintf "unknown prepared query %s" name))
+  in
+  match text with
+  | Result.Error e -> Wire.Err e
+  | Result.Ok text -> (
+    match parse_query s text with
+    | Result.Error e -> Wire.Err ("query: " ^ e)
+    | Result.Ok q ->
+      let tuples = op_ask t s q in
+      Wire.Ok (List.map render_tuple tuples))
+
+(** [handle t request] — the service behind the wire protocol.  Pure
+    mapping of requests onto the typed operations above; everything runs
+    under the service mutex, so handlers may be invoked from any worker.
+    [Quit] is acknowledged here but connection teardown is the server's
+    business. *)
+let handle t request =
+  locked t (fun () ->
+      match request with
+      | Wire.Load { session = name; kind; payload } ->
+        timed t "load" (fun () ->
+            let s = Option.get (session ~create:true t name) in
+            handle_load t s kind payload)
+      | Wire.Classify { session = name } ->
+        timed t "classify" (fun () ->
+            match session t name with
+            | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
+            | Some s ->
+              let cls = op_classification t s in
+              let lines =
+                List.map
+                  (fun sub ->
+                    Format.asprintf "%a" Quonto.Classify.pp_name_subsumption sub)
+                  (Quonto.Classify.name_level cls)
+              in
+              Wire.Ok lines)
+      | Wire.Prepare { session = name; name = qname; query } ->
+        timed t "prepare" (fun () ->
+            let s = Option.get (session ~create:true t name) in
+            match parse_query s query with
+            | Result.Error e -> Wire.Err ("query: " ^ e)
+            | Result.Ok _ ->
+              (* stored as text and re-parsed per ASK: a later TBox swap
+                 may re-sort predicate names, which must affect the
+                 parse, not silently reuse a stale one *)
+              Hashtbl.replace s.prepared qname query;
+              Wire.Ok [])
+      | Wire.Ask { session = name; query } ->
+        timed t "ask" (fun () ->
+            match session t name with
+            | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
+            | Some s -> handle_ask t s query)
+      | Wire.Stats filter ->
+        timed t "stats" (fun () -> Wire.Ok (stats_lines ?session:filter t))
+      | Wire.Quit -> Wire.Ok [])

@@ -1,0 +1,222 @@
+(** The line-based wire protocol, as a pure codec.
+
+    Requests (one header line, plus [n] raw payload lines for [LOAD]):
+
+    {v
+      LOAD <session> TBOX|MAPPINGS|ABOX|FACTS <n>
+      <n raw payload lines>
+      CLASSIFY <session>
+      PREPARE <session> <name> <query text ...>
+      ASK <session> <name>
+      ASK <session> ? <query text ...>
+      STATS [<session>]
+      QUIT
+    v}
+
+    Replies (one header line, plus [n] raw payload lines for [OK]):
+
+    {v
+      OK <n>
+      <n lines>
+      ERR <message>
+      BUSY
+    v}
+
+    Payload lines are counted, never escaped, so any ontology / mapping
+    / fact text round-trips as-is.  The decoder is incremental — feed it
+    lines as they arrive — and enforces [max_line] and
+    [max_payload_lines] limits so a hostile client cannot make the
+    server buffer unboundedly; everything here is pure and tested
+    without sockets. *)
+
+type load_kind =
+  | K_tbox      (** ontology text in the ASCII DL-Lite syntax *)
+  | K_mappings  (** [map HEAD <- ATOMS] lines *)
+  | K_abox      (** ontology-level facts, [A(a)] / [p(a, b)] lines *)
+  | K_facts     (** raw database tuples, [rel(a, b)] lines *)
+
+let string_of_kind = function
+  | K_tbox -> "TBOX"
+  | K_mappings -> "MAPPINGS"
+  | K_abox -> "ABOX"
+  | K_facts -> "FACTS"
+
+let kind_of_string = function
+  | "TBOX" -> Some K_tbox
+  | "MAPPINGS" -> Some K_mappings
+  | "ABOX" -> Some K_abox
+  | "FACTS" -> Some K_facts
+  | _ -> None
+
+type query_ref =
+  | Named of string   (** a query registered with PREPARE *)
+  | Inline of string  (** query text on the ASK line itself *)
+
+type request =
+  | Load of { session : string; kind : load_kind; payload : string list }
+  | Classify of { session : string }
+  | Prepare of { session : string; name : string; query : string }
+  | Ask of { session : string; query : query_ref }
+  | Stats of string option
+  | Quit
+
+type reply =
+  | Ok of string list
+  | Err of string
+  | Busy
+
+(* ------------------------------- names ------------------------------ *)
+
+let valid_name s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-' || c = '.')
+       s
+
+(* ------------------------------ encoding ---------------------------- *)
+
+let encode_request = function
+  | Load { session; kind; payload } ->
+    Printf.sprintf "LOAD %s %s %d" session (string_of_kind kind)
+      (List.length payload)
+    :: payload
+  | Classify { session } -> [ "CLASSIFY " ^ session ]
+  | Prepare { session; name; query } ->
+    [ Printf.sprintf "PREPARE %s %s %s" session name query ]
+  | Ask { session; query = Named name } ->
+    [ Printf.sprintf "ASK %s %s" session name ]
+  | Ask { session; query = Inline q } -> [ Printf.sprintf "ASK %s ? %s" session q ]
+  | Stats None -> [ "STATS" ]
+  | Stats (Some session) -> [ "STATS " ^ session ]
+  | Quit -> [ "QUIT" ]
+
+let encode_reply = function
+  | Ok lines -> Printf.sprintf "OK %d" (List.length lines) :: lines
+  | Err message ->
+    (* a newline inside the message would desynchronize the stream *)
+    let flat =
+      String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) message
+    in
+    [ "ERR " ^ flat ]
+  | Busy -> [ "BUSY" ]
+
+(** [payload_of_text text] splits a file's contents into payload lines
+    (the newline-terminated final line does not produce a trailing
+    empty payload line). *)
+let payload_of_text text =
+  match String.split_on_char '\n' text with
+  | [] -> []
+  | lines ->
+    (match List.rev lines with
+     | "" :: rest -> List.rev rest
+     | _ -> lines)
+
+(* ------------------------------ decoding ---------------------------- *)
+
+type limits = {
+  max_line : int;           (** longest accepted line, bytes *)
+  max_payload_lines : int;  (** largest accepted LOAD payload *)
+}
+
+let default_limits = { max_line = 65536; max_payload_lines = 100_000 }
+
+type decoder = {
+  limits : limits;
+  mutable pending : pending option;
+}
+
+and pending = {
+  p_session : string;
+  p_kind : load_kind;
+  mutable p_remaining : int;
+  mutable p_acc : string list;  (* reversed *)
+}
+
+let decoder ?(limits = default_limits) () = { limits; pending = None }
+
+type event =
+  | Request of request
+  | More             (** the line was consumed; the request is not complete yet *)
+  | Error of string  (** malformed input; the decoder has re-synchronized *)
+
+(* split a header line into whitespace-separated tokens *)
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let parse_header d line =
+  match tokens line with
+  | [ "LOAD"; session; kind; n ] -> (
+    match kind_of_string kind, int_of_string_opt n with
+    | None, _ -> Error (Printf.sprintf "unknown LOAD kind %s" kind)
+    | _, None -> Error (Printf.sprintf "bad LOAD line count %s" n)
+    | _ when not (valid_name session) -> Error "bad session name"
+    | _, Some n when n < 0 -> Error "negative LOAD line count"
+    | _, Some n when n > d.limits.max_payload_lines ->
+      Error
+        (Printf.sprintf "payload too large (%d lines, limit %d)" n
+           d.limits.max_payload_lines)
+    | Some kind, Some 0 -> Request (Load { session; kind; payload = [] })
+    | Some kind, Some n ->
+      d.pending <-
+        Some { p_session = session; p_kind = kind; p_remaining = n; p_acc = [] };
+      More)
+  | [ "CLASSIFY"; session ] when valid_name session ->
+    Request (Classify { session })
+  | "PREPARE" :: session :: name :: (_ :: _ as rest)
+    when valid_name session && valid_name name ->
+    Request (Prepare { session; name; query = String.concat " " rest })
+  | "ASK" :: session :: "?" :: (_ :: _ as rest) when valid_name session ->
+    Request (Ask { session; query = Inline (String.concat " " rest) })
+  | [ "ASK"; session; name ] when valid_name session && valid_name name ->
+    Request (Ask { session; query = Named name })
+  | [ "STATS" ] -> Request (Stats None)
+  | [ "STATS"; session ] when valid_name session -> Request (Stats (Some session))
+  | [ "QUIT" ] -> Request Quit
+  | [] -> More  (* blank lines between requests are tolerated *)
+  | verb :: _ ->
+    Error
+      (Printf.sprintf "malformed command %s"
+         (if String.length verb > 32 then String.sub verb 0 32 ^ "..." else verb))
+
+(** [feed d line] advances the decoder by one input line (without its
+    terminator).  A protocol error drops any half-collected payload —
+    the connection is desynchronized anyway; servers should report the
+    error and continue from the next line. *)
+let feed d line =
+  if String.length line > d.limits.max_line then begin
+    d.pending <- None;
+    Error
+      (Printf.sprintf "line too long (%d bytes, limit %d)" (String.length line)
+         d.limits.max_line)
+  end
+  else
+    match d.pending with
+    | Some p ->
+      p.p_acc <- line :: p.p_acc;
+      p.p_remaining <- p.p_remaining - 1;
+      if p.p_remaining = 0 then begin
+        d.pending <- None;
+        Request
+          (Load
+             { session = p.p_session; kind = p.p_kind; payload = List.rev p.p_acc })
+      end
+      else More
+    | None -> parse_header d line
+
+(* ------------------------- reply-side parsing ------------------------ *)
+
+(** [parse_reply_header line] — the client side of the codec. *)
+let parse_reply_header line =
+  match tokens line with
+  | [ "OK"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Result.Ok (`Ok n)
+    | _ -> Result.Error ("bad OK line count: " ^ line))
+  | "OK" :: _ -> Result.Error ("bad OK header: " ^ line)
+  | "ERR" :: rest -> Result.Ok (`Err (String.concat " " rest))
+  | [ "BUSY" ] -> Result.Ok `Busy
+  | _ -> Result.Error ("unrecognized reply: " ^ line)

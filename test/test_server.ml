@@ -1,0 +1,402 @@
+(* The serving layer: LRU mechanics, TBox fingerprints, the wire codec,
+   the Service's cache behaviour — and the soundness property that
+   justifies caching at all: under random interleavings of TBox swaps,
+   data loads and repeated queries, a caching Service answers
+   byte-identically to a fresh, cache-less Engine, at every LRU
+   capacity including the degenerate 0 and 1. *)
+
+open Dllite
+module Lru = Server.Lru
+module Wire = Server.Wire
+module Service = Server.Service
+
+(* ------------------------------- LRU -------------------------------- *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Lru.find c "a");
+  (* a was promoted by the find, so inserting c evicts b *)
+  Lru.put c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Lru.find c "c");
+  Alcotest.(check (list string)) "MRU order" [ "c"; "a" ] (Lru.keys c);
+  let st = Lru.stats c in
+  Alcotest.(check int) "hits" 3 st.Lru.hits;
+  Alcotest.(check int) "misses" 1 st.Lru.misses;
+  Alcotest.(check int) "evictions" 1 st.Lru.evictions;
+  Alcotest.(check int) "size" 2 st.Lru.size
+
+let test_lru_capacity_zero () =
+  let c = Lru.create ~capacity:0 in
+  Lru.put c "a" 1;
+  Alcotest.(check (option int)) "stores nothing" None (Lru.find c "a");
+  Alcotest.(check int) "size 0" 0 (Lru.length c);
+  let st = Lru.stats c in
+  Alcotest.(check int) "put counted" 1 st.Lru.insertions;
+  Alcotest.(check int) "self-evicted" 1 st.Lru.evictions
+
+let test_lru_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Alcotest.(check (option int)) "a evicted" None (Lru.find c "a");
+  Alcotest.(check (option int)) "b is the resident" (Some 2) (Lru.find c "b");
+  (* refreshing the resident must not evict it *)
+  Lru.put c "b" 20;
+  Alcotest.(check (option int)) "refreshed in place" (Some 20) (Lru.find c "b");
+  Alcotest.(check int) "exactly one eviction" 1 (Lru.stats c).Lru.evictions
+
+let test_lru_remove_and_clear () =
+  let c = Lru.create ~capacity:4 in
+  List.iter (fun (k, v) -> Lru.put c k v) [ ("a", 1); ("b", 2); ("c", 3) ];
+  Lru.remove c "b";
+  Alcotest.(check (option int)) "removed" None (Lru.find c "b");
+  Alcotest.(check int) "removal is not an eviction" 0 (Lru.stats c).Lru.evictions;
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check (list string)) "empty list" [] (Lru.keys c);
+  (* the list structure must still be sound after a clear *)
+  Lru.put c "z" 26;
+  Alcotest.(check (option int)) "usable after clear" (Some 26) (Lru.find c "z")
+
+let test_lru_negative_capacity () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (Lru.create ~capacity:(-1)))
+
+(* ---------------------------- fingerprints --------------------------- *)
+
+let tbox_of_string s = Parser.tbox_of_string_exn s
+
+let test_fingerprint_stable () =
+  let t1 = tbox_of_string "A [= B\nB [= C\nrole p\nexists p [= A" in
+  let t2 = tbox_of_string "exists p [= A\nB [= C\nrole p\nA [= B" in
+  Alcotest.(check string) "axiom order is canonicalized" (Tbox.fingerprint t1)
+    (Tbox.fingerprint t2)
+
+let test_fingerprint_sensitive () =
+  let t1 = tbox_of_string "A [= B" in
+  let t2 = tbox_of_string "A [= C" in
+  let t3 = tbox_of_string "A [= B\nconcept C" in
+  Alcotest.(check bool) "different axioms" false
+    (Tbox.fingerprint t1 = Tbox.fingerprint t2);
+  (* same axioms, larger declared signature: the signature is part of
+     the semantics (it scopes classification), so it must be part of
+     the fingerprint *)
+  Alcotest.(check bool) "signature matters" false
+    (Tbox.fingerprint t1 = Tbox.fingerprint t3)
+
+let test_fingerprint_revert () =
+  let original = tbox_of_string "A [= B\nB [= C" in
+  let edited = tbox_of_string "A [= B\nB [= C\nC [= D" in
+  let reverted = tbox_of_string "B [= C\nA [= B" in
+  Alcotest.(check bool) "edit changes fp" false
+    (Tbox.fingerprint original = Tbox.fingerprint edited);
+  Alcotest.(check string) "revert restores fp" (Tbox.fingerprint original)
+    (Tbox.fingerprint reverted)
+
+(* ------------------------------ wire codec --------------------------- *)
+
+let feed_all lines =
+  let d = Wire.decoder () in
+  List.filter_map
+    (fun line ->
+      match Wire.feed d line with
+      | Wire.Request r -> Some (Result.Ok r)
+      | Wire.Error e -> Some (Result.Error e)
+      | Wire.More -> None)
+    lines
+
+let roundtrip r =
+  match feed_all (Wire.encode_request r) with
+  | [ Result.Ok r' ] -> r' = r
+  | _ -> false
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun r -> Alcotest.(check bool) "request roundtrips" true (roundtrip r))
+    [
+      Wire.Load { session = "s1"; kind = Wire.K_tbox; payload = [ "A [= B"; "" ] };
+      Wire.Load { session = "s1"; kind = Wire.K_facts; payload = [] };
+      Wire.Load { session = "x"; kind = Wire.K_abox; payload = [ "A(a)" ] };
+      Wire.Load { session = "x"; kind = Wire.K_mappings; payload = [ "m" ] };
+      Wire.Classify { session = "s1" };
+      Wire.Prepare { session = "s1"; name = "q0"; query = "x <- c$A(x), r$p(x, y)" };
+      Wire.Ask { session = "s1"; query = Wire.Named "q0" };
+      Wire.Ask { session = "s1"; query = Wire.Inline "x <- c$A(x)" };
+      Wire.Stats None;
+      Wire.Stats (Some "s1");
+      Wire.Quit;
+    ]
+
+let test_wire_payload_verbatim () =
+  (* payload lines are counted, never parsed: command-looking lines
+     inside a payload must come through untouched *)
+  let payload = [ "QUIT"; "ASK x ? y"; ""; "  indented " ] in
+  let r = Wire.Load { session = "s"; kind = Wire.K_tbox; payload } in
+  match feed_all (Wire.encode_request r) with
+  | [ Result.Ok (Wire.Load l) ] ->
+    Alcotest.(check (list string)) "verbatim payload" payload l.payload
+  | _ -> Alcotest.fail "payload did not roundtrip"
+
+let test_wire_malformed () =
+  let errors lines =
+    List.filter_map
+      (function Result.Error e -> Some e | Result.Ok _ -> None)
+      (feed_all lines)
+  in
+  Alcotest.(check int) "unknown verb" 1 (List.length (errors [ "FROBNICATE now" ]));
+  Alcotest.(check int) "bad kind" 1 (List.length (errors [ "LOAD s JUNK 3" ]));
+  Alcotest.(check int) "bad count" 1 (List.length (errors [ "LOAD s TBOX x" ]));
+  Alcotest.(check int) "negative count" 1 (List.length (errors [ "LOAD s TBOX -1" ]));
+  Alcotest.(check int) "bad session chars" 1
+    (List.length (errors [ "CLASSIFY bad session" ]));
+  Alcotest.(check int) "payload over limit" 1
+    (List.length (errors [ "LOAD s TBOX 1000001" ]));
+  (* blank lines between requests are fine *)
+  Alcotest.(check int) "blank tolerated" 0 (List.length (errors [ ""; "" ]))
+
+let test_wire_line_too_long () =
+  let d = Wire.decoder ~limits:{ Wire.max_line = 64; max_payload_lines = 10 } () in
+  (match Wire.feed d (String.make 100 'x') with
+   | Wire.Error _ -> ()
+   | _ -> Alcotest.fail "over-long line must be an error");
+  (* ...and it must also abort a half-collected payload *)
+  (match Wire.feed d "LOAD s TBOX 2" with
+   | Wire.More -> ()
+   | _ -> Alcotest.fail "LOAD header should await payload");
+  (match Wire.feed d (String.make 100 'y') with
+   | Wire.Error _ -> ()
+   | _ -> Alcotest.fail "over-long payload line must be an error");
+  match Wire.feed d "QUIT" with
+  | Wire.Request Wire.Quit -> ()
+  | _ -> Alcotest.fail "decoder must resynchronize after the error"
+
+let test_wire_reply_header () =
+  let ok = function Result.Ok v -> v | Result.Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "OK n" true (ok (Wire.parse_reply_header "OK 3") = `Ok 3);
+  Alcotest.(check bool) "BUSY" true (ok (Wire.parse_reply_header "BUSY") = `Busy);
+  Alcotest.(check bool) "ERR msg" true
+    (ok (Wire.parse_reply_header "ERR no such thing") = `Err "no such thing");
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Wire.parse_reply_header "WAT"));
+  Alcotest.(check bool) "negative OK rejected" true
+    (Result.is_error (Wire.parse_reply_header "OK -2"))
+
+(* ------------------------------- service ----------------------------- *)
+
+let sample_tbox =
+  tbox_of_string
+    "role worksFor\nManager [= Employee\nEmployee [= Person\nEmployee [= exists worksFor"
+
+let sample_sig = Tbox.signature sample_tbox
+
+let q text = Obda.Qparse.parse_query ~signature:sample_sig text
+
+let test_service_answers_and_hits () =
+  let t = Service.create ~lru:8 () in
+  Service.set_tbox t ~session:"s" sample_tbox;
+  Service.add_abox t ~session:"s"
+    (Abox.of_list
+       [ Abox.Concept_assert ("Manager", "ada"); Abox.Concept_assert ("Employee", "bob") ]);
+  let query = q "x <- Person(x)" in
+  let cold = Service.ask t ~session:"s" query in
+  Alcotest.(check (list (list string))) "subsumption answers" [ [ "ada" ]; [ "bob" ] ] cold;
+  let warm = Service.ask t ~session:"s" query in
+  Alcotest.(check (list (list string))) "warm identical" cold warm;
+  (* the second ask must be an answer-cache hit: the session's stats
+     line reads "session s cache answers hits=1 ..." *)
+  let has_hit =
+    List.exists
+      (fun l ->
+        String.split_on_char ' ' l
+        |> List.exists (fun tok -> tok = "hits=1"))
+      (Service.stats_lines t)
+  in
+  Alcotest.(check bool) "answer cache hit recorded" true has_hit
+
+let test_service_invalidation_on_insert () =
+  let t = Service.create ~lru:8 () in
+  Service.set_tbox t ~session:"s" sample_tbox;
+  Service.add_abox t ~session:"s" (Abox.of_list [ Abox.Concept_assert ("Employee", "ada") ]);
+  let query = q "x <- Person(x)" in
+  Alcotest.(check (list (list string))) "before" [ [ "ada" ] ]
+    (Service.ask t ~session:"s" query);
+  ignore (Service.ask t ~session:"s" query);
+  Service.add_abox t ~session:"s" (Abox.of_list [ Abox.Concept_assert ("Manager", "eve") ]);
+  Alcotest.(check (list (list string))) "insert visible immediately"
+    [ [ "ada" ]; [ "eve" ] ]
+    (Service.ask t ~session:"s" query)
+
+let test_service_invalidation_on_tbox_swap () =
+  let t = Service.create ~lru:8 () in
+  Service.set_tbox t ~session:"s" sample_tbox;
+  Service.add_abox t ~session:"s" (Abox.of_list [ Abox.Concept_assert ("Manager", "ada") ]);
+  let query = q "x <- Person(x)" in
+  Alcotest.(check (list (list string))) "with subsumption" [ [ "ada" ] ]
+    (Service.ask t ~session:"s" query);
+  (* drop Employee [= Person: ada must stop being a Person *)
+  let weaker =
+    tbox_of_string "role worksFor\nManager [= Employee\nconcept Person"
+  in
+  Service.set_tbox t ~session:"s" weaker;
+  let query' = q "x <- Person(x)" in
+  Alcotest.(check (list (list string))) "swap visible immediately" []
+    (Service.ask t ~session:"s" query');
+  (* revert: the fingerprint-keyed rewrite cache may re-hit, but the
+     answers must again include the subsumption *)
+  Service.set_tbox t ~session:"s" sample_tbox;
+  Alcotest.(check (list (list string))) "revert restores" [ [ "ada" ] ]
+    (Service.ask t ~session:"s" query)
+
+let test_service_wire_handle () =
+  let t = Service.create ~lru:8 () in
+  let ok = function
+    | Wire.Ok lines -> lines
+    | Wire.Err e -> Alcotest.fail ("unexpected ERR " ^ e)
+    | Wire.Busy -> Alcotest.fail "unexpected BUSY"
+  in
+  let tbox_text = "role p\nA [= exists p\nexists p^- [= B" in
+  ignore
+    (ok
+       (Service.handle t
+          (Wire.Load
+             {
+               session = "w";
+               kind = Wire.K_tbox;
+               payload = Wire.payload_of_text tbox_text;
+             })));
+  ignore
+    (ok
+       (Service.handle t
+          (Wire.Load { session = "w"; kind = Wire.K_abox; payload = [ "A(a)" ] })));
+  (* boolean query via the anonymous-witness rewriting: exists p^- [= B
+     and A [= exists p make B() certain even with no named B *)
+  let answers =
+    ok (Service.handle t (Wire.Ask { session = "w"; query = Wire.Inline "<- B(x)" }))
+  in
+  Alcotest.(check (list string)) "boolean yes" [ "()" ] answers;
+  (match Service.handle t (Wire.Ask { session = "nope"; query = Wire.Inline "x <- A(x)" }) with
+   | Wire.Err _ -> ()
+   | _ -> Alcotest.fail "unknown session must ERR");
+  (match
+     Service.handle t (Wire.Ask { session = "w"; query = Wire.Inline "x <- A(x" })
+   with
+   | Wire.Err _ -> ()
+   | _ -> Alcotest.fail "bad query must ERR");
+  ignore
+    (ok
+       (Service.handle t
+          (Wire.Prepare { session = "w"; name = "q1"; query = "x <- A(x)" })));
+  let named =
+    ok (Service.handle t (Wire.Ask { session = "w"; query = Wire.Named "q1" }))
+  in
+  Alcotest.(check (list string)) "prepared query answers" [ "a" ] named;
+  let stats = ok (Service.handle t (Wire.Stats None)) in
+  Alcotest.(check bool) "stats non-empty" true (List.length stats > 3)
+
+(* --------------------- the invalidation property --------------------- *)
+
+(* Random interleavings of updates and (frequently repeated) queries:
+   the cached service must answer byte-identically to a fresh engine
+   built from scratch over the session's accumulated state, at every
+   capacity — 0 (caching off), 1, and small values that force constant
+   eviction are the interesting ones. *)
+
+let reference_answers tbox assertions query =
+  let engine = Obda.Engine.of_abox tbox (Abox.of_list assertions) in
+  List.sort_uniq compare (Obda.Engine.certain_answers engine query)
+
+let scenario_agrees ~capacity seed =
+  let rng = Ontgen.Rng.create seed in
+  let service = Service.create ~lru:capacity () in
+  let session = "prop" in
+  let tbox = ref (Ontgen.Casegen.tbox rng) in
+  let assertions = ref [] in
+  Service.set_tbox service ~session !tbox;
+  let queries = ref [ Ontgen.Casegen.query rng ] in
+  let ops = 14 + Ontgen.Rng.int rng 8 in
+  let failure = ref None in
+  for _ = 1 to ops do
+    if !failure = None then
+      match Ontgen.Rng.int rng 10 with
+      | 0 | 1 ->
+        (* swap the TBox (sometimes swap *back* to an earlier structure
+           by regenerating from a fresh rng — fingerprint re-hits) *)
+        tbox := Ontgen.Casegen.tbox rng;
+        Service.set_tbox service ~session !tbox
+      | 2 | 3 ->
+        let abox = Ontgen.Casegen.abox rng in
+        assertions := !assertions @ Abox.assertions abox;
+        Service.add_abox service ~session abox
+      | 4 ->
+        queries := Ontgen.Casegen.query rng :: !queries
+      | _ ->
+        (* ask, usually a repeat of an earlier query: repeats are where
+           a stale cache entry would surface *)
+        let query = List.nth !queries (Ontgen.Rng.int rng (List.length !queries)) in
+        let served = Service.ask service ~session query in
+        let fresh = reference_answers !tbox !assertions query in
+        if served <> fresh then failure := Some (query, served, fresh)
+  done;
+  match !failure with
+  | None -> true
+  | Some (query, served, fresh) ->
+    QCheck.Test.fail_reportf
+      "capacity %d seed %d: served %s but fresh engine says %s for %s" capacity
+      seed
+      (String.concat "; " (List.map (String.concat ",") served))
+      (String.concat "; " (List.map (String.concat ",") fresh))
+      (Obda.Cq.to_string query)
+
+let prop_cached_answers_sound capacity =
+  QCheck.Test.make ~count:40
+    ~name:(Printf.sprintf "cached = fresh (lru capacity %d)" capacity)
+    QCheck.(int_bound 1_000_000)
+    (fun seed -> scenario_agrees ~capacity seed)
+
+(* -------------------------------- suite ------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "capacity 0" `Quick test_lru_capacity_zero;
+          Alcotest.test_case "capacity 1" `Quick test_lru_capacity_one;
+          Alcotest.test_case "remove/clear" `Quick test_lru_remove_and_clear;
+          Alcotest.test_case "negative capacity" `Quick test_lru_negative_capacity;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable" `Quick test_fingerprint_stable;
+          Alcotest.test_case "sensitive" `Quick test_fingerprint_sensitive;
+          Alcotest.test_case "revert" `Quick test_fingerprint_revert;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "payload verbatim" `Quick test_wire_payload_verbatim;
+          Alcotest.test_case "malformed" `Quick test_wire_malformed;
+          Alcotest.test_case "line too long" `Quick test_wire_line_too_long;
+          Alcotest.test_case "reply header" `Quick test_wire_reply_header;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "answers + hits" `Quick test_service_answers_and_hits;
+          Alcotest.test_case "insert invalidates" `Quick
+            test_service_invalidation_on_insert;
+          Alcotest.test_case "tbox swap invalidates" `Quick
+            test_service_invalidation_on_tbox_swap;
+          Alcotest.test_case "wire handle" `Quick test_service_wire_handle;
+        ] );
+      ( "invalidation-property",
+        List.map
+          (fun capacity ->
+            QCheck_alcotest.to_alcotest (prop_cached_answers_sound capacity))
+          [ 0; 1; 2; 8 ] );
+    ]
