@@ -144,14 +144,17 @@ let parse_mappings ~signature text =
   |> List.mapi (fun i raw -> parse_line (i + 1) raw)
   |> List.filter_map Fun.id
 
-(** [load_facts db text] loads ground facts into [db], one per line:
+(** [parse_facts text] parses ground facts, one per line:
     [rel(a, b, c)] (bare arguments are constants here; [#] comments and
-    blank lines skipped). *)
-let load_facts db text =
+    blank lines skipped).  Pure: raises [Parse_error] on the first
+    malformed line without any side effect, so callers can load the
+    returned rows atomically — all or nothing. *)
+let parse_facts text =
   String.split_on_char '\n' text
-  |> List.iteri (fun i raw ->
+  |> List.mapi (fun i raw ->
          let line = String.trim raw in
-         if line <> "" && line.[0] <> '#' then
+         if line = "" || line.[0] = '#' then None
+         else
            match String.index_opt line '(' with
            | Some j when line.[String.length line - 1] = ')' ->
              let rel = String.trim (String.sub line 0 j) in
@@ -181,5 +184,12 @@ let load_facts db text =
                    else a)
                  !chunks
              in
-             Database.insert db rel row
+             Some (rel, row)
            | _ -> fail "line %d: expected rel(arg, ...)" (i + 1))
+  |> List.filter_map Fun.id
+
+(** [load_facts db text] loads [parse_facts text] into [db]; the parse
+    completes before the first insert, so a [Parse_error] leaves [db]
+    untouched. *)
+let load_facts db text =
+  List.iter (fun (rel, row) -> Database.insert db rel row) (parse_facts text)

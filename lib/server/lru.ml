@@ -85,11 +85,14 @@ let push_front t n =
   (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
   t.front <- Some n
 
+(* physical comparison against the node inside [front], not against a
+   freshly allocated [Some n] (which would never be equal) *)
 let promote t n =
-  if t.front != Some n then begin
+  match t.front with
+  | Some f when f == n -> ()
+  | _ ->
     unlink t n;
     push_front t n
-  end
 
 let evict_back (t : ('k, 'v) t) =
   match t.back with

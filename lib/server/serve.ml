@@ -4,17 +4,22 @@
     Threading model: each listener gets an accept thread; each accepted
     connection gets a handler thread ([threads.posix] — connection
     handling is I/O-bound).  Request {e execution} is dispatched onto
-    the executor's worker domains, so CPU-bound work (classification,
-    rewriting) parallelizes while admission stays bounded: a full queue
-    turns into an immediate [BUSY] reply instead of an ever-growing
-    backlog.
+    the executor's worker domains.  [Service] locks per session, so
+    CPU-bound work (classification, rewriting) parallelizes across
+    {e distinct} sessions; requests against one session serialize on its
+    mutex — a session is a single mutable knowledge base.  Admission
+    stays bounded either way: a full queue turns into an immediate
+    [BUSY] reply instead of an ever-growing backlog.
 
     Each dispatched request gets a deadline.  OCaml's [Condition] has no
     timed wait, so the handler polls its result cell at millisecond
     granularity — crude but dependency-free, and the polling thread is a
     cheap OS thread, not a worker domain.  A timed-out request answers
-    [ERR timeout]; the task itself still completes on its worker and its
-    result is discarded.
+    [ERR timeout]; the task itself is {e not} cancelled — it completes
+    on its worker (discarding its result) and meanwhile occupies that
+    worker and its session's mutex, so the timeout bounds the client's
+    wait, not the worker's.  Size [workers] and [request_timeout_s] for
+    the slowest request a deployment should absorb.
 
     [stop] makes shutdown graceful: listeners close (no new
     connections), the executor stops admitting and drains in-flight
@@ -97,20 +102,27 @@ let listen_tcp t ~host ~port =
 (* Bounded line reader: never buffers more than [max_line + 1] bytes of
    a single line.  An over-long line is truncated (the tail up to the
    newline is consumed and discarded) and handed to the decoder, whose
-   length check reports it — one error path for both transports. *)
+   length check reports it — one error path for both transports.  Only
+   a CR immediately preceding the newline is stripped (CRLF clients);
+   a CR anywhere else is payload content and passes through. *)
 let read_line_bounded ic ~max_line =
   let buf = Buffer.create 128 in
-  let rec go () =
+  let add c = if Buffer.length buf <= max_line then Buffer.add_char buf c in
+  let rec go ~pending_cr =
     match input_char ic with
     | '\n' -> Some (Buffer.contents buf)
-    | '\r' -> go ()
     | c ->
-      if Buffer.length buf <= max_line then Buffer.add_char buf c;
-      go ()
+      if pending_cr then add '\r';
+      if c = '\r' then go ~pending_cr:true
+      else begin
+        add c;
+        go ~pending_cr:false
+      end
     | exception End_of_file ->
+      if pending_cr then add '\r';
       if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
   in
-  go ()
+  go ~pending_cr:false
 
 (* ------------------------- request dispatch ------------------------- *)
 

@@ -24,8 +24,16 @@
     ([test/test_server.ml]) and differentially fuzzed (the [service]
     conformance subject).
 
-    All operations serialize on one mutex: handlers may be called from
-    any number of server worker domains. *)
+    Locking: handlers may be called from any number of server worker
+    domains.  Each session has its own mutex, held for the duration of
+    any operation on it — a session is one mutable knowledge base, so
+    its requests serialize, but requests against {e different} sessions
+    run in parallel.  The session registry and the two service-wide
+    caches are guarded by short-lived leaf mutexes of their own (lock
+    order: session before cache/stats; the registry lock is never held
+    across an operation).  Cached values shared between sessions
+    (classifications, compiled UCQs) are immutable, so concurrent reads
+    need no lock. *)
 
 open Dllite
 
@@ -37,6 +45,7 @@ type op_stats = {
 
 type session = {
   sname : string;
+  smutex : Mutex.t;  (** held for the duration of any operation on the session *)
   mutable tbox : Tbox.t;
   mutable mappings : Obda.Mapping.t;
   database : Obda.Database.t;
@@ -49,7 +58,9 @@ type session = {
 }
 
 type t = {
-  mutex : Mutex.t;
+  registry_mutex : Mutex.t;  (** guards [sessions]; never held across an op *)
+  cache_mutex : Mutex.t;     (** guards [rewrites] and [classifications] *)
+  ops_mutex : Mutex.t;       (** guards [ops] *)
   mode : Obda.Engine.rewriting_mode;
   lru_capacity : int;
   sessions : (string, session) Hashtbl.t;
@@ -60,7 +71,9 @@ type t = {
 
 let create ?(mode = Obda.Engine.Perfect_ref) ?(lru = 256) () =
   {
-    mutex = Mutex.create ();
+    registry_mutex = Mutex.create ();
+    cache_mutex = Mutex.create ();
+    ops_mutex = Mutex.create ();
     mode;
     lru_capacity = lru;
     sessions = Hashtbl.create 8;
@@ -69,25 +82,26 @@ let create ?(mode = Obda.Engine.Perfect_ref) ?(lru = 256) () =
     ops = Hashtbl.create 8;
   }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let timed t op f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let elapsed = Unix.gettimeofday () -. t0 in
-  let s =
-    match Hashtbl.find_opt t.ops op with
-    | Some s -> s
-    | None ->
-      let s = { count = 0; total_s = 0.; max_s = 0. } in
-      Hashtbl.replace t.ops op s;
-      s
-  in
-  s.count <- s.count + 1;
-  s.total_s <- s.total_s +. elapsed;
-  if elapsed > s.max_s then s.max_s <- elapsed;
+  locked t.ops_mutex (fun () ->
+      let s =
+        match Hashtbl.find_opt t.ops op with
+        | Some s -> s
+        | None ->
+          let s = { count = 0; total_s = 0.; max_s = 0. } in
+          Hashtbl.replace t.ops op s;
+          s
+      in
+      s.count <- s.count + 1;
+      s.total_s <- s.total_s +. elapsed;
+      if elapsed > s.max_s then s.max_s <- elapsed);
   result
 
 (* ----------------------------- fingerprints ------------------------- *)
@@ -119,6 +133,7 @@ let fresh_session t name =
   let tbox = Tbox.empty in
   {
     sname = name;
+    smutex = Mutex.create ();
     tbox;
     mappings = [];
     database;
@@ -130,24 +145,29 @@ let fresh_session t name =
     answers = Lru.create ~capacity:t.lru_capacity;
   }
 
-(* session lookup; [create] makes LOAD / PREPARE bring sessions into
-   existence while read-only operations on unknown names fail *)
-let session ?(create = false) t name =
-  match Hashtbl.find_opt t.sessions name with
-  | Some s -> Some s
-  | None ->
-    if create then begin
-      let s = fresh_session t name in
-      Hashtbl.replace t.sessions name s;
-      Some s
-    end
-    else None
+(* Registry lookups hold only the (leaf-duration) registry mutex; the
+   returned session is then locked by the caller.  LOAD / PREPARE bring
+   sessions into existence; read-only operations on unknown names fail. *)
+let find_session t name =
+  locked t.registry_mutex (fun () -> Hashtbl.find_opt t.sessions name)
+
+let get_or_create_session t name =
+  locked t.registry_mutex (fun () ->
+      match Hashtbl.find_opt t.sessions name with
+      | Some s -> s
+      | None ->
+        let s = fresh_session t name in
+        Hashtbl.replace t.sessions name s;
+        s)
 
 let session_names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.sessions [] |> List.sort compare
+  locked t.registry_mutex (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.sessions []
+      |> List.sort compare)
 
 (* --------------------------- core operations ------------------------ *)
-(* All [op_*] functions assume the service mutex is held.               *)
+(* All [op_*] functions assume the session's mutex is held; the shared
+   caches they touch are guarded internally by [cache_mutex].           *)
 
 let op_set_tbox t s tbox =
   s.tbox <- tbox;
@@ -178,11 +198,13 @@ let op_add_abox _t s abox =
   bump s
 
 let op_classification t s =
-  match Lru.find t.classifications s.tbox_fp with
+  match locked t.cache_mutex (fun () -> Lru.find t.classifications s.tbox_fp) with
   | Some cls -> cls
   | None ->
+    (* computed outside the cache lock: two sessions racing on the same
+       fingerprint may classify twice, but neither blocks the cache *)
     let cls = Obda.Engine.classification s.engine in
-    Lru.put t.classifications s.tbox_fp cls;
+    locked t.cache_mutex (fun () -> Lru.put t.classifications s.tbox_fp cls);
     cls
 
 (* the cached certain-answers pipeline; answers are canonicalized
@@ -201,11 +223,11 @@ let op_ask t s q =
         qkey
     in
     let compiled =
-      match Lru.find t.rewrites rkey with
+      match locked t.cache_mutex (fun () -> Lru.find t.rewrites rkey) with
       | Some compiled -> compiled
       | None ->
         let compiled = Obda.Engine.compile s.engine [ q ] in
-        Lru.put t.rewrites rkey compiled;
+        locked t.cache_mutex (fun () -> Lru.put t.rewrites rkey compiled);
         compiled
     in
     let tuples =
@@ -219,46 +241,50 @@ let op_ask t s q =
    benchmark drive directly; the wire layer below maps onto the same
    operations. *)
 
+exception Unknown_session of string
+
+(* write operations materialize the session; read operations must not —
+   a mistyped name answering from a silently created empty KB would
+   mask the caller's error *)
+let write_op t name op f =
+  let s = get_or_create_session t name in
+  locked s.smutex (fun () -> timed t op (fun () -> f s))
+
+let read_op t name op f =
+  match find_session t name with
+  | None -> raise (Unknown_session name)
+  | Some s -> locked s.smutex (fun () -> timed t op (fun () -> f s))
+
 let set_tbox t ~session:name tbox =
-  locked t (fun () ->
-      let s = Option.get (session ~create:true t name) in
-      timed t "load" (fun () -> op_set_tbox t s tbox))
+  write_op t name "load" (fun s -> op_set_tbox t s tbox)
 
 let set_mappings t ~session:name mappings =
-  locked t (fun () ->
-      let s = Option.get (session ~create:true t name) in
-      timed t "load" (fun () -> op_set_mappings t s mappings))
+  write_op t name "load" (fun s -> op_set_mappings t s mappings)
 
 let add_abox t ~session:name abox =
-  locked t (fun () ->
-      let s = Option.get (session ~create:true t name) in
-      timed t "load" (fun () -> op_add_abox t s abox))
+  write_op t name "load" (fun s -> op_add_abox t s abox)
 
 let insert_fact t ~session:name rel row =
-  locked t (fun () ->
-      let s = Option.get (session ~create:true t name) in
-      timed t "load" (fun () -> op_insert_fact t s rel row))
+  write_op t name "load" (fun s -> op_insert_fact t s rel row)
 
-(** [ask t ~session q] — cached certain answers, canonical order. *)
-let ask t ~session:name q =
-  locked t (fun () ->
-      let s = Option.get (session ~create:true t name) in
-      timed t "ask" (fun () -> op_ask t s q))
+(** [ask t ~session q] — cached certain answers, canonical order.
+    @raise Unknown_session when no such session was ever loaded. *)
+let ask t ~session:name q = read_op t name "ask" (fun s -> op_ask t s q)
 
+(** @raise Unknown_session when no such session was ever loaded. *)
 let classification t ~session:name =
-  locked t (fun () ->
-      let s = Option.get (session ~create:true t name) in
-      timed t "classify" (fun () -> op_classification t s))
+  read_op t name "classify" (fun s -> op_classification t s)
 
 (** [drop_session t ~session] forgets the session entirely (its answer
     cache goes with it; service-wide caches are untouched — their keys
     are fingerprints, not session names). *)
 let drop_session t ~session:name =
-  locked t (fun () -> Hashtbl.remove t.sessions name)
+  locked t.registry_mutex (fun () -> Hashtbl.remove t.sessions name)
 
 let version t ~session:name =
-  locked t (fun () ->
-      match session t name with Some s -> s.version | None -> 0)
+  match find_session t name with
+  | Some s -> locked s.smutex (fun () -> s.version)
+  | None -> 0
 
 (* ------------------------------- stats ------------------------------ *)
 
@@ -267,51 +293,59 @@ let cache_line label (st : Lru.stats) =
     label st.Lru.hits st.Lru.misses st.Lru.evictions st.Lru.size
     st.Lru.capacity
 
+(* Not a consistent snapshot — each mutex is taken briefly in turn
+   (registry, then caches, then ops, then each session), which is fine
+   for an observability surface and keeps STATS from stalling asks. *)
 let stats_lines ?session:filter t =
   let b = ref [] in
   let out line = b := line :: !b in
   let names =
     match filter with
-    | Some n -> if Hashtbl.mem t.sessions n then [ n ] else []
+    | Some n -> (match find_session t n with Some _ -> [ n ] | None -> [])
     | None -> session_names t
   in
   out
     (Printf.sprintf "service sessions=%d lru_capacity=%d mode=%s"
-       (Hashtbl.length t.sessions) t.lru_capacity
+       (locked t.registry_mutex (fun () -> Hashtbl.length t.sessions))
+       t.lru_capacity
        (Obda.Engine.string_of_mode t.mode));
-  out (cache_line "rewrite" (Lru.stats t.rewrites));
-  out (cache_line "classify" (Lru.stats t.classifications));
-  List.iter
-    (fun op ->
-      match Hashtbl.find_opt t.ops op with
-      | None -> ()
-      | Some s ->
-        out
-          (Printf.sprintf "op %s count=%d total_s=%.6f max_s=%.6f" op s.count
-             s.total_s s.max_s))
-    [ "load"; "classify"; "prepare"; "ask"; "stats" ];
+  locked t.cache_mutex (fun () ->
+      out (cache_line "rewrite" (Lru.stats t.rewrites));
+      out (cache_line "classify" (Lru.stats t.classifications)));
+  locked t.ops_mutex (fun () ->
+      List.iter
+        (fun op ->
+          match Hashtbl.find_opt t.ops op with
+          | None -> ()
+          | Some s ->
+            out
+              (Printf.sprintf "op %s count=%d total_s=%.6f max_s=%.6f" op
+                 s.count s.total_s s.max_s))
+        [ "load"; "classify"; "prepare"; "ask"; "stats" ]);
   List.iter
     (fun name ->
-      match Hashtbl.find_opt t.sessions name with
+      match find_session t name with
       | None -> ()
       | Some s ->
-        out
-          (Printf.sprintf
-             "session %s version=%d axioms=%d mappings=%d facts=%d prepared=%d"
-             name s.version (Tbox.axiom_count s.tbox)
-             (List.length s.mappings)
-             (Obda.Database.size s.database)
-             (Hashtbl.length s.prepared));
-        out
-          (Printf.sprintf "session %s %s" name
-             (cache_line "answers" (Lru.stats s.answers))))
+        locked s.smutex (fun () ->
+            out
+              (Printf.sprintf
+                 "session %s version=%d axioms=%d mappings=%d facts=%d prepared=%d"
+                 name s.version (Tbox.axiom_count s.tbox)
+                 (List.length s.mappings)
+                 (Obda.Database.size s.database)
+                 (Hashtbl.length s.prepared));
+            out
+              (Printf.sprintf "session %s %s" name
+                 (cache_line "answers" (Lru.stats s.answers)))))
     names;
   List.rev !b
 
 (** [hit_rates t] — (rewrite cache, classification cache) hit rates,
     for the serve benchmark's report. *)
 let hit_rates t =
-  locked t (fun () -> (Lru.hit_rate t.rewrites, Lru.hit_rate t.classifications))
+  locked t.cache_mutex (fun () ->
+      (Lru.hit_rate t.rewrites, Lru.hit_rate t.classifications))
 
 (* --------------------------- ABox text parsing ---------------------- *)
 
@@ -382,8 +416,12 @@ let handle_load t s kind payload =
       Wire.Ok []
     | exception Bad_line e -> Wire.Err ("abox: " ^ e))
   | Wire.K_facts -> (
-    match Obda.Qparse.load_facts s.database text with
-    | () ->
+    (* parse fully before the first insert: a malformed line must leave
+       the database untouched, or the unchanged version would keep
+       serving pre-load answers from the cache over a half-loaded KB *)
+    match Obda.Qparse.parse_facts text with
+    | rows ->
+      List.iter (fun (rel, row) -> Obda.Database.insert s.database rel row) rows;
       bump s;
       Wire.Ok []
     | exception Obda.Qparse.Parse_error e -> Wire.Err ("facts: " ^ e))
@@ -412,22 +450,22 @@ let handle_ask t s query_ref =
       Wire.Ok (List.map render_tuple tuples))
 
 (** [handle t request] — the service behind the wire protocol.  Pure
-    mapping of requests onto the typed operations above; everything runs
-    under the service mutex, so handlers may be invoked from any worker.
-    [Quit] is acknowledged here but connection teardown is the server's
-    business. *)
+    mapping of requests onto the typed operations above; handlers may be
+    invoked from any worker, and requests lock only their own session,
+    so distinct sessions are served in parallel.  [Quit] is acknowledged
+    here but connection teardown is the server's business. *)
 let handle t request =
-  locked t (fun () ->
-      match request with
-      | Wire.Load { session = name; kind; payload } ->
-        timed t "load" (fun () ->
-            let s = Option.get (session ~create:true t name) in
-            handle_load t s kind payload)
-      | Wire.Classify { session = name } ->
-        timed t "classify" (fun () ->
-            match session t name with
-            | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
-            | Some s ->
+  match request with
+  | Wire.Load { session = name; kind; payload } ->
+    let s = get_or_create_session t name in
+    locked s.smutex (fun () ->
+        timed t "load" (fun () -> handle_load t s kind payload))
+  | Wire.Classify { session = name } -> (
+    match find_session t name with
+    | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
+    | Some s ->
+      locked s.smutex (fun () ->
+          timed t "classify" (fun () ->
               let cls = op_classification t s in
               let lines =
                 List.map
@@ -435,10 +473,11 @@ let handle t request =
                     Format.asprintf "%a" Quonto.Classify.pp_name_subsumption sub)
                   (Quonto.Classify.name_level cls)
               in
-              Wire.Ok lines)
-      | Wire.Prepare { session = name; name = qname; query } ->
+              Wire.Ok lines)))
+  | Wire.Prepare { session = name; name = qname; query } ->
+    let s = get_or_create_session t name in
+    locked s.smutex (fun () ->
         timed t "prepare" (fun () ->
-            let s = Option.get (session ~create:true t name) in
             match parse_query s query with
             | Result.Error e -> Wire.Err ("query: " ^ e)
             | Result.Ok _ ->
@@ -446,12 +485,12 @@ let handle t request =
                  may re-sort predicate names, which must affect the
                  parse, not silently reuse a stale one *)
               Hashtbl.replace s.prepared qname query;
-              Wire.Ok [])
-      | Wire.Ask { session = name; query } ->
-        timed t "ask" (fun () ->
-            match session t name with
-            | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
-            | Some s -> handle_ask t s query)
-      | Wire.Stats filter ->
-        timed t "stats" (fun () -> Wire.Ok (stats_lines ?session:filter t))
-      | Wire.Quit -> Wire.Ok [])
+              Wire.Ok []))
+  | Wire.Ask { session = name; query } -> (
+    match find_session t name with
+    | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
+    | Some s ->
+      locked s.smutex (fun () -> timed t "ask" (fun () -> handle_ask t s query)))
+  | Wire.Stats filter ->
+    timed t "stats" (fun () -> Wire.Ok (stats_lines ?session:filter t))
+  | Wire.Quit -> Wire.Ok []

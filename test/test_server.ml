@@ -298,6 +298,74 @@ let test_service_wire_handle () =
   let stats = ok (Service.handle t (Wire.Stats None)) in
   Alcotest.(check bool) "stats non-empty" true (List.length stats > 3)
 
+let test_service_facts_load_atomic () =
+  (* a LOAD FACTS with any malformed line must leave the database (and
+     the version, hence the answer cache) untouched — a partial insert
+     without a version bump would serve stale cached answers over a
+     half-loaded KB *)
+  let t = Service.create ~lru:8 () in
+  let ok = function
+    | Wire.Ok lines -> lines
+    | Wire.Err e -> Alcotest.fail ("unexpected ERR " ^ e)
+    | Wire.Busy -> Alcotest.fail "unexpected BUSY"
+  in
+  let load kind payload =
+    Service.handle t (Wire.Load { session = "f"; kind; payload })
+  in
+  let ask () =
+    ok (Service.handle t (Wire.Ask { session = "f"; query = Wire.Inline "x <- A(x)" }))
+  in
+  ignore (ok (load Wire.K_tbox [ "concept A" ]));
+  ignore (ok (load Wire.K_mappings [ "map A(x) <- t(x)" ]));
+  ignore (ok (load Wire.K_facts [ "t(a)" ]));
+  Alcotest.(check (list string)) "baseline" [ "a" ] (ask ());
+  (* the good line precedes the bad one: nothing of it may stick *)
+  (match load Wire.K_facts [ "t(b)"; "this is not a fact" ] with
+   | Wire.Err _ -> ()
+   | _ -> Alcotest.fail "malformed facts payload must ERR");
+  Alcotest.(check (list string)) "unchanged after failed load" [ "a" ] (ask ());
+  ignore (ok (load Wire.K_facts [ "t(c)" ]));
+  (* the version bump makes the post-update answer fresh: b must not
+     have leaked in during the failed load *)
+  Alcotest.(check (list string)) "only the successful loads" [ "a"; "c" ] (ask ())
+
+let test_service_unknown_session_typed () =
+  let t = Service.create ~lru:8 () in
+  Service.set_tbox t ~session:"known" sample_tbox;
+  Alcotest.check_raises "ask" (Service.Unknown_session "ghost") (fun () ->
+      ignore (Service.ask t ~session:"ghost" (q "x <- Person(x)")));
+  Alcotest.check_raises "classification" (Service.Unknown_session "ghost")
+    (fun () -> ignore (Service.classification t ~session:"ghost"));
+  (* and the failed reads must not have materialized the session *)
+  Alcotest.(check (list string)) "no ghost session" [ "known" ]
+    (Service.session_names t)
+
+(* --------------------------- line reading ---------------------------- *)
+
+let read_lines_of_string content =
+  let path = Filename.temp_file "server_test" ".txt" in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  let ic = open_in_bin path in
+  let rec go acc =
+    match Server.Serve.read_line_bounded ic ~max_line:1024 with
+    | Some line -> go (line :: acc)
+    | None -> List.rev acc
+  in
+  let lines = go [] in
+  close_in ic;
+  Sys.remove path;
+  lines
+
+let test_read_line_crlf () =
+  (* only a CR that immediately precedes the newline is line-ending
+     decoration; any other CR is content and must survive *)
+  Alcotest.(check (list string))
+    "CRLF stripped, embedded CR kept"
+    [ "abc"; "a\rb"; "trailing\r" ]
+    (read_lines_of_string "abc\r\na\rb\ntrailing\r")
+
 (* --------------------- the invalidation property --------------------- *)
 
 (* Random interleavings of updates and (frequently repeated) queries:
@@ -393,7 +461,13 @@ let () =
           Alcotest.test_case "tbox swap invalidates" `Quick
             test_service_invalidation_on_tbox_swap;
           Alcotest.test_case "wire handle" `Quick test_service_wire_handle;
+          Alcotest.test_case "facts load atomic" `Quick
+            test_service_facts_load_atomic;
+          Alcotest.test_case "unknown session (typed)" `Quick
+            test_service_unknown_session_typed;
         ] );
+      ( "line-reader",
+        [ Alcotest.test_case "crlf" `Quick test_read_line_crlf ] );
       ( "invalidation-property",
         List.map
           (fun capacity ->
