@@ -476,6 +476,37 @@ let json_of_dist d =
     d.count (1000. *. d.mean_s) (1000. *. d.p50_s) (1000. *. d.p95_s)
     (1000. *. d.p99_s)
 
+(* The per-phase breakdown comes from the observability layer: the
+   library spans (classify phases, rewriting, evaluation) record into
+   obda_phase_seconds on the default registry as the service runs. *)
+let span_phases =
+  [
+    "classify"; "classify.encode"; "classify.closure"; "classify.unsat";
+    "rewrite.prepare"; "rewrite"; "eval"; "chase";
+  ]
+
+let phase_summaries () =
+  List.filter_map
+    (fun phase ->
+      let h =
+        Obs.Registry.histogram Obs.default ~labels:[ ("phase", phase) ]
+          "obda_phase_seconds"
+      in
+      let s = Obs.Histogram.summary h in
+      if s.Obs.Histogram.count = 0 then None else Some (phase, s))
+    span_phases
+
+let json_of_phase (s : Obs.Histogram.summary) =
+  Printf.sprintf
+    "{\"count\": %d, \"sum_ms\": %.4f, \"max_ms\": %.4f, \"p50_ms\": %.4f, \
+     \"p95_ms\": %.4f, \"p99_ms\": %.4f}"
+    s.Obs.Histogram.count
+    (1000. *. s.Obs.Histogram.sum)
+    (1000. *. s.Obs.Histogram.max)
+    (1000. *. s.Obs.Histogram.p50)
+    (1000. *. s.Obs.Histogram.p95)
+    (1000. *. s.Obs.Histogram.p99)
+
 let serve_bench ~lru ~persons () =
   let rounds = 25 and warm_repeats = 4 in
   let instance =
@@ -497,6 +528,9 @@ let serve_bench ~lru ~persons () =
         (fun row -> Server.Service.insert_fact service ~session rel row)
         (Obda.Database.rows db rel))
     (Obda.Database.relation_names db);
+  (* one CLASSIFY so the A10 phase table covers the classification
+     spans too (encode / closure / unsat) *)
+  ignore (Server.Service.classification service ~session);
   let cold = Hashtbl.create 8 and warm = Hashtbl.create 8 in
   let push tbl name v =
     Hashtbl.replace tbl name
@@ -562,15 +596,30 @@ let serve_bench ~lru ~persons () =
   Printf.printf "cache: rewrite hit rate %.3f, classify hit rate %.3f\n"
     rewrite_rate classify_rate;
   Printf.printf "warm strictly below cold at p50/p95/p99: %b\n" warm_below_cold;
+  let phases = phase_summaries () in
+  Printf.printf "%-18s %7s %10s %9s %9s %9s\n" "phase" "count" "sum" "p50"
+    "p95" "p99";
+  List.iter
+    (fun (phase, (s : Obs.Histogram.summary)) ->
+      Printf.printf "%-18s %7d %8.1fms %7.3fms %7.3fms %7.3fms\n" phase s.count
+        (1000. *. s.sum) (1000. *. s.p50) (1000. *. s.p95) (1000. *. s.p99))
+    phases;
+  let phases_json =
+    String.concat ",\n"
+      (List.map
+         (fun (phase, s) ->
+           Printf.sprintf "    %S: %s" phase (json_of_phase s))
+         phases)
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "\n  ],\n  \"overall\": {\"cold\": %s, \"warm\": %s, \"speedup_p50\": %.2f,\n    \
         \"throughput_cold_rps\": %.1f, \"throughput_warm_rps\": %.1f,\n    \
         \"warm_below_cold\": %b},\n  \"cache\": {\"rewrite_hit_rate\": %.4f, \
-        \"classify_hit_rate\": %.4f}\n}\n"
+        \"classify_hit_rate\": %.4f},\n  \"phases\": {\n%s\n  }\n}\n"
        (json_of_dist c) (json_of_dist w)
        (if w.p50_s > 0. then c.p50_s /. w.p50_s else infinity)
-       cold_rps warm_rps warm_below_cold rewrite_rate classify_rate);
+       cold_rps warm_rps warm_below_cold rewrite_rate classify_rate phases_json);
   let oc = open_out "BENCH_serve.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

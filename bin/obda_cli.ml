@@ -493,11 +493,12 @@ let import_owl_cmd =
 (* -------------------------------- query ------------------------------ *)
 
 (* Client mode: drive a running obda_server over the wire protocol.
-   [--stats] surfaces the server's cache hit/miss/eviction counters and
-   per-operation latency totals after the query. *)
+   [--stats] fetches the versioned STATS reply through the typed client
+   parser and prints one aligned `metric{labels} value` row per sample;
+   [--metrics] dumps the raw Prometheus-style exposition text. *)
 let query_cmd =
   let run connect session ontology mappings data abox prepare named stats
-      query_text =
+      metrics query_text =
     match Server.Client.connect connect with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -544,8 +545,23 @@ let query_cmd =
           List.iter print_endline
             (rpc (Server.Wire.Ask { session; query = Server.Wire.Inline q })))
         query_text;
-      if stats then
-        List.iter print_endline (rpc (Server.Wire.Stats None));
+      if stats then begin
+        match Server.Client.stats conn with
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 4
+        | Ok samples ->
+          let width =
+            List.fold_left (fun w (k, _) -> max w (String.length k)) 0 samples
+          in
+          List.iter
+            (fun (key, value) ->
+              Printf.printf "%-*s %s\n" width key
+                (Obs.string_of_value value))
+            samples
+      end;
+      if metrics then
+        List.iter print_endline (rpc Server.Wire.Metrics);
       ignore (rpc Server.Wire.Quit);
       Server.Client.close conn
   in
@@ -586,7 +602,14 @@ let query_cmd =
   let stats_arg =
     Arg.(value & flag
          & info [ "stats" ]
-             ~doc:"Print server statistics (cache hit rates, op latencies).")
+             ~doc:"Print the server's versioned STATS samples (caches, \
+                   per-op and per-phase latencies, sessions).")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Dump the server's metrics in Prometheus text exposition \
+                   format.")
   in
   let query_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Query.")
@@ -595,7 +618,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Query a running obda_server over the wire protocol.")
     Term.(
       const run $ connect_arg $ session_arg $ ontology_arg $ mappings_opt_arg
-      $ data_arg $ abox_arg $ prepare_arg $ named_arg $ stats_arg $ query_arg)
+      $ data_arg $ abox_arg $ prepare_arg $ named_arg $ stats_arg $ metrics_arg
+      $ query_arg)
 
 let () =
   let info = Cmd.info "obda_cli" ~doc:"DL-Lite / OBDA toolkit." in

@@ -5,22 +5,39 @@
 
 open Cmdliner
 
-let run unix_path tcp_port host workers queue timeout lru presto =
+let run unix_path tcp_port host workers queue timeout lru presto algorithm
+    classify_jobs slow_log =
   if unix_path = None && tcp_port = None then begin
     prerr_endline "error: need at least one of --unix PATH / --tcp PORT";
     exit 2
   end;
+  let algorithm =
+    match algorithm with
+    | None -> None
+    | Some s ->
+      (match Graphlib.Closure.algorithm_of_string s with
+       | Some a -> Some a
+       | None ->
+         Printf.eprintf
+           "error: unknown algorithm %s (use dfs, warshall, scc, par-dfs or \
+            par-scc)\n"
+           s;
+         exit 2)
+  in
   (* block before spawning anything: domains and threads inherit the
      mask, making the wait_signal below the one delivery point *)
   ignore (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
   let mode = if presto then Obda.Engine.Presto else Obda.Engine.Perfect_ref in
-  let service = Server.Service.create ~mode ~lru () in
+  let service =
+    Server.Service.create ~mode ~lru ?algorithm ?jobs:classify_jobs ()
+  in
   let config =
     {
       Server.Serve.default_config with
       workers;
       queue_capacity = queue;
       request_timeout_s = timeout;
+      slow_log_s = (match slow_log with Some s -> s | None -> infinity);
     }
   in
   let srv = Server.Serve.create ~config service in
@@ -82,6 +99,24 @@ let () =
     Arg.(value & flag
          & info [ "presto" ] ~doc:"Use the classification-aided rewriter.")
   in
+  let algorithm_arg =
+    Arg.(value & opt (some string) None
+         & info [ "algorithm" ] ~docv:"ALGO"
+             ~doc:"Transitive-closure algorithm for CLASSIFY: dfs, warshall, \
+                   scc, par-dfs or par-scc.")
+  in
+  let classify_jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "classify-jobs" ] ~docv:"N"
+             ~doc:"Domain-pool width for the parallel classification \
+                   algorithms.")
+  in
+  let slow_log_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-log" ] ~docv:"SECONDS"
+             ~doc:"Warn-log any operation or trace span slower than this \
+                   threshold (default: disabled).")
+  in
   let info =
     Cmd.info "obda_server"
       ~doc:"Caching OBDA query server (LOAD/CLASSIFY/PREPARE/ASK/STATS wire protocol)."
@@ -91,4 +126,5 @@ let () =
        (Cmd.v info
           Term.(
             const run $ unix_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
-            $ timeout_arg $ lru_arg $ presto_arg)))
+            $ timeout_arg $ lru_arg $ presto_arg $ algorithm_arg
+            $ classify_jobs_arg $ slow_log_arg)))

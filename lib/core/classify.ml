@@ -29,17 +29,19 @@ type t = {
     SCC condensation; [jobs] selects the domain-pool width for the
     parallel algorithms) and runs [computeUnsat]. *)
 let classify ?algorithm ?jobs tbox =
-  let encoding = Encoding.build tbox in
-  let closure =
-    Graphlib.Closure.compute ?algorithm ?jobs (Encoding.graph encoding)
-  in
-  let unsat = Unsat.compute encoding in
-  Log.debug (fun m ->
-      m "classified: %d nodes, %d arcs, %d unsatisfiable predicates"
-        (Encoding.node_count encoding)
-        (Graphlib.Graph.edge_count (Encoding.graph encoding))
-        (Unsat.count unsat));
-  { encoding; closure; unsat }
+  Obs.span "classify" (fun () ->
+      let encoding = Obs.span "classify.encode" (fun () -> Encoding.build tbox) in
+      let closure =
+        Obs.span "classify.closure" (fun () ->
+            Graphlib.Closure.compute ?algorithm ?jobs (Encoding.graph encoding))
+      in
+      let unsat = Obs.span "classify.unsat" (fun () -> Unsat.compute encoding) in
+      Log.debug (fun m ->
+          m "classified: %d nodes, %d arcs, %d unsatisfiable predicates"
+            (Encoding.node_count encoding)
+            (Graphlib.Graph.edge_count (Encoding.graph encoding))
+            (Unsat.count unsat));
+      { encoding; closure; unsat })
 
 let encoding t = t.encoding
 let closure t = t.closure

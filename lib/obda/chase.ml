@@ -60,6 +60,7 @@ let terms_of facts =
     inclusions of [tbox], creating labelled nulls up to [max_depth]
     generations away from the named individuals (default 3). *)
 let run ?(max_depth = 3) ?(max_nulls = 2_000) tbox abox =
+  Obs.span "chase" @@ fun () ->
   let null_depth = Hashtbl.create 32 in
   let next_null = ref 0 in
   let fresh_null depth =

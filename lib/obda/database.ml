@@ -25,6 +25,9 @@ let declare db name ~arity =
     Hashtbl.replace db.relations name
       { arity; rows = []; row_set = Hashtbl.create 64 }
 
+(* eager module-level registration: no lazy forcing races across domains *)
+let m_inserts = Obs.counter "obda_db_rows_inserted_total"
+
 (** [insert db name row] adds a tuple (declaring the relation on first
     use); duplicates are ignored. *)
 let insert db name row =
@@ -36,7 +39,8 @@ let insert db name row =
   let r = Hashtbl.find db.relations name in
   if not (Hashtbl.mem r.row_set row) then begin
     Hashtbl.replace r.row_set row ();
-    r.rows <- row :: r.rows
+    r.rows <- row :: r.rows;
+    Obs.Counter.incr m_inserts
   end
 
 (** [insert_all db name rows] bulk-inserts. *)

@@ -42,28 +42,33 @@ type t = {
       (* the mode's rule base, shared by rewriting and consistency *)
 }
 
-let assemble ~mode ~constraints ~tbox ~mappings ~database =
+let assemble ?algorithm ?jobs ~mode ~constraints ~tbox ~mappings ~database () =
   {
     tbox;
     mappings;
     database;
     mode;
     constraints;
-    cls = lazy (Quonto.Classify.classify tbox);
+    cls = lazy (Quonto.Classify.classify ?algorithm ?jobs tbox);
     prepared =
       (match mode with
        | Perfect_ref -> lazy (Rewrite.prepare tbox)
        | Presto -> lazy (Rewrite.prepare_presto tbox));
   }
 
-(** [create ?mode ?constraints ~tbox ~mappings ~database ()] assembles a
-    system.  @raise Invalid_argument when the constraints violate the
-    DL-Lite_A admissibility condition w.r.t. [tbox]. *)
-let create ?(mode = Perfect_ref) ?(constraints = []) ~tbox ~mappings ~database () =
+(** [create ?mode ?constraints ?algorithm ?jobs ~tbox ~mappings
+    ~database ()] assembles a system.  [algorithm] / [jobs] select the
+    closure algorithm and domain-pool width for the (lazy)
+    classification — the serving layer threads its [--algorithm] /
+    [--classify-jobs] flags through here.  @raise Invalid_argument when
+    the constraints violate the DL-Lite_A admissibility condition
+    w.r.t. [tbox]. *)
+let create ?(mode = Perfect_ref) ?(constraints = []) ?algorithm ?jobs ~tbox
+    ~mappings ~database () =
   (match Constraints.well_formed tbox constraints with
    | [] -> ()
    | v :: _ -> invalid_arg ("Engine.create: " ^ v.Constraints.reason));
-  assemble ~mode ~constraints ~tbox ~mappings ~database
+  assemble ?algorithm ?jobs ~mode ~constraints ~tbox ~mappings ~database ()
 
 (** [of_abox ?mode tbox abox] wraps a materialized ABox as a degenerate
     OBDA system: one identity-style mapping per named predicate is not
@@ -79,7 +84,7 @@ let of_abox ?(mode = Perfect_ref) tbox abox =
       | Abox.Attr_assert (u, c, v) ->
         Database.insert database (Vabox.attr_pred u) [ c; v ])
     (Abox.assertions abox);
-  assemble ~mode ~constraints:[] ~tbox ~mappings:[] ~database
+  assemble ~mode ~constraints:[] ~tbox ~mappings:[] ~database ()
 
 let tbox t = t.tbox
 let mappings t = t.mappings
@@ -117,7 +122,8 @@ let compile t ucq =
 (** [evaluate_compiled t ucq] — the data-dependent half: evaluate a
     compiled UCQ over the current database contents. *)
 let evaluate_compiled t ucq =
-  Cq.evaluate_ucq ~facts:(Database.facts t.database) ucq
+  Obs.span "eval" (fun () ->
+      Cq.evaluate_ucq ~facts:(Database.facts t.database) ucq)
 
 (** [certain_answers t q] — the full pipeline.  With mappings installed
     the rewriting is *unfolded* and evaluated over the raw database;

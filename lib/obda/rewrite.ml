@@ -373,24 +373,36 @@ type prepared = {
   name : string;  (** "perfectref" or "presto", for logs and stats *)
 }
 
+(* Registered eagerly at module initialization (single-threaded), so no
+   lazy forcing can race across domains on the hot path. *)
+let m_generated = Obs.counter "obda_rewrite_generated_total"
+
+let m_ucq_disjuncts =
+  Obs.histogram ~buckets:Obs.Histogram.size_buckets "obda_rewrite_ucq_disjuncts"
+
 (** [prepare tbox] — the told (vanilla PerfectRef) rule base. *)
 let prepare tbox =
-  { idx = index_told (normalize tbox); name = "perfectref" }
+  Obs.span "rewrite.prepare" (fun () ->
+      { idx = index_told (normalize tbox); name = "perfectref" })
 
 (** [prepare_presto tbox] — the classified (Presto-style) rule base;
     classification happens here, once. *)
 let prepare_presto tbox =
-  { idx = index_classified (normalize tbox); name = "presto" }
+  Obs.span "rewrite.prepare" (fun () ->
+      { idx = index_classified (normalize tbox); name = "presto" })
 
 (** [apply prepared ucq] saturates [ucq] under the prepared rule base
     and minimizes the result. *)
 let apply prepared ucq =
-  let all, stats = saturate prepared.idx ucq in
-  let out = Cq.minimize_ucq all in
-  Log.debug (fun m ->
-      m "%s: %d disjuncts kept of %d generated in %d rounds" prepared.name
-        (List.length out) stats.generated stats.iterations);
-  (out, { stats with output_size = List.length out })
+  Obs.span "rewrite" (fun () ->
+      let all, stats = saturate prepared.idx ucq in
+      let out = Cq.minimize_ucq all in
+      Log.debug (fun m ->
+          m "%s: %d disjuncts kept of %d generated in %d rounds" prepared.name
+            (List.length out) stats.generated stats.iterations);
+      Obs.Counter.incr ~by:stats.generated m_generated;
+      Obs.Histogram.observe m_ucq_disjuncts (float_of_int (List.length out));
+      (out, { stats with output_size = List.length out }))
 
 (** [perfect_ref tbox ucq] computes the perfect rewriting of [ucq]
     w.r.t. the positive inclusions of [tbox] (qualified existentials are

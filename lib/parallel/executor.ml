@@ -27,6 +27,16 @@ type stats = {
   queue_capacity : int;
 }
 
+(* Registry handles resolved once at [create]: the per-event updates on
+   the hot path are then a counter increment / gauge store each. *)
+type metrics = {
+  m_submitted : Obs.Counter.t;
+  m_rejected : Obs.Counter.t;   (* the shed count: BUSY replies upstream *)
+  m_completed : Obs.Counter.t;
+  m_queue_depth : Obs.Gauge.t;
+  m_running : Obs.Gauge.t;      (* worker utilization = running / workers *)
+}
+
 type t = {
   mutex : Mutex.t;
   has_work : Condition.t;
@@ -34,6 +44,7 @@ type t = {
   queue : (unit -> unit) Queue.t;
   queue_capacity : int;
   workers : int;
+  metrics : metrics option;
   mutable domains : unit Domain.t array;
   mutable paused : bool;
   mutable draining : bool;  (** no new admissions; drain what is queued *)
@@ -43,6 +54,14 @@ type t = {
   mutable rejected : int;
   mutable completed : int;
 }
+
+(* call with t.mutex held *)
+let sync_metrics t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    Obs.Gauge.set m.m_queue_depth (float_of_int (Queue.length t.queue));
+    Obs.Gauge.set m.m_running (float_of_int t.running)
 
 let worker t =
   Mutex.lock t.mutex;
@@ -54,6 +73,7 @@ let worker t =
     else begin
       let task = Queue.pop t.queue in
       t.running <- t.running + 1;
+      sync_metrics t;
       Mutex.unlock t.mutex;
       (* tasks own their error reporting (the server wraps each in its
          reply cell); a raise here must not kill the worker domain *)
@@ -61,16 +81,44 @@ let worker t =
       Mutex.lock t.mutex;
       t.running <- t.running - 1;
       t.completed <- t.completed + 1;
+      (match t.metrics with
+       | None -> ()
+       | Some m -> Obs.Counter.incr m.m_completed);
+      sync_metrics t;
       if Queue.is_empty t.queue && t.running = 0 then Condition.broadcast t.idle
     end
   done;
   Mutex.unlock t.mutex
 
-(** [create ~workers ~queue_capacity ()] spawns [max 1 workers] domains
-    servicing a queue that admits at most [max 1 queue_capacity]
-    waiting tasks. *)
-let create ~workers ~queue_capacity () =
+(** [create ?registry ~workers ~queue_capacity ()] spawns
+    [max 1 workers] domains servicing a queue that admits at most
+    [max 1 queue_capacity] waiting tasks.  With [registry] the executor
+    publishes [obda_executor_*] metrics (submissions, shed count via
+    [rejected_total], completions, queue depth and running-worker
+    gauges) into it. *)
+let create ?registry ~workers ~queue_capacity () =
   let workers = max 1 workers in
+  let metrics =
+    Option.map
+      (fun registry ->
+        let counter = Obs.Registry.counter registry in
+        let gauge name = Obs.Registry.gauge registry name in
+        let m =
+          {
+            m_submitted = counter "obda_executor_submitted_total";
+            m_rejected = counter "obda_executor_rejected_total";
+            m_completed = counter "obda_executor_completed_total";
+            m_queue_depth = gauge "obda_executor_queue_depth";
+            m_running = gauge "obda_executor_running";
+          }
+        in
+        Obs.Gauge.set (gauge "obda_executor_workers") (float_of_int workers);
+        Obs.Gauge.set
+          (gauge "obda_executor_queue_capacity")
+          (float_of_int (max 1 queue_capacity));
+        m)
+      registry
+  in
   let t =
     {
       mutex = Mutex.create ();
@@ -79,6 +127,7 @@ let create ~workers ~queue_capacity () =
       queue = Queue.create ();
       queue_capacity = max 1 queue_capacity;
       workers;
+      metrics;
       domains = [||];
       paused = false;
       draining = false;
@@ -100,11 +149,18 @@ let try_submit t task =
   let admitted =
     if t.draining || t.stop || Queue.length t.queue >= t.queue_capacity then begin
       t.rejected <- t.rejected + 1;
+      (match t.metrics with
+       | None -> ()
+       | Some m -> Obs.Counter.incr m.m_rejected);
       false
     end
     else begin
       Queue.push task t.queue;
       t.submitted <- t.submitted + 1;
+      (match t.metrics with
+       | None -> ()
+       | Some m -> Obs.Counter.incr m.m_submitted);
+      sync_metrics t;
       Condition.signal t.has_work;
       true
     end

@@ -89,3 +89,47 @@ let request t req =
   match send_lines t (Wire.encode_request req) with
   | () -> read_reply t
   | exception Sys_error e -> Result.Error e
+
+(* ------------------------- typed stats access ------------------------ *)
+
+let ok_payload = function
+  | Result.Error _ as e -> e
+  | Result.Ok Wire.Busy -> Result.Error "server busy"
+  | Result.Ok (Wire.Err m) -> Result.Error m
+  | Result.Ok (Wire.Ok lines) -> Result.Ok lines
+
+(* one [<metric> <labels> <value>] line of the v2 schema *)
+let parse_sample line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ name; labels; value ] -> (
+    match float_of_string_opt value with
+    | None -> Result.Error (Printf.sprintf "bad stats value in %S" line)
+    | Some v ->
+      let key = if labels = "-" then name else name ^ "{" ^ labels ^ "}" in
+      Result.Ok (key, v))
+  | _ -> Result.Error (Printf.sprintf "bad stats line %S" line)
+
+(** [stats ?session t] — issue [STATS] and parse the versioned reply
+    into [(key, value)] pairs, where a labelled metric's key is
+    [name{k=v,...}] and an unlabelled one's is just [name].  Fails on a
+    schema version other than [stats.version 2] — the caller is typed
+    against this vocabulary. *)
+let stats ?session t =
+  match ok_payload (request t (Wire.Stats session)) with
+  | Result.Error _ as e -> e
+  | Result.Ok [] -> Result.Error "empty STATS reply"
+  | Result.Ok (version :: rest) ->
+    if version <> Printf.sprintf "stats.version %d" Service.stats_version then
+      Result.Error ("unsupported stats schema: " ^ version)
+    else
+      let rec go acc = function
+        | [] -> Result.Ok (List.rev acc)
+        | line :: rest -> (
+          match parse_sample line with
+          | Result.Error _ as e -> e
+          | Result.Ok kv -> go (kv :: acc) rest)
+      in
+      go [] rest
+
+(** [metrics t] — the Prometheus-style text exposition, as lines. *)
+let metrics t = ok_payload (request t Wire.Metrics)

@@ -12,6 +12,13 @@
     - [capacity = 1] holds exactly the most recently inserted or hit
       entry.
 
+    Counters can be published into an [Obs] registry: pass
+    [~metrics:(registry, labels)] to [create] and the cache registers
+    [obda_cache_{hits,misses,evictions,insertions}_total] counters plus
+    [obda_cache_{size,capacity}] gauges under those labels (the caller
+    picks labels that identify the cache, e.g. [cache=rewrite]).
+    [unregister] removes them again when the cache is dropped.
+
     Not thread-safe; the owner ([Service]) serializes access. *)
 
 type ('k, 'v) node = {
@@ -21,9 +28,22 @@ type ('k, 'v) node = {
   mutable next : ('k, 'v) node option;  (** towards the back (LRU) *)
 }
 
+(* handles resolved once at [create]; per-operation updates are one
+   atomic increment / gauge store each *)
+type obs_handles = {
+  o_registry : Obs.registry;
+  o_labels : (string * string) list;
+  o_hits : Obs.Counter.t;
+  o_misses : Obs.Counter.t;
+  o_evictions : Obs.Counter.t;
+  o_insertions : Obs.Counter.t;
+  o_size : Obs.Gauge.t;
+}
+
 type ('k, 'v) t = {
   capacity : int;
   table : ('k, ('k, 'v) node) Hashtbl.t;
+  obs : obs_handles option;
   mutable front : ('k, 'v) node option;
   mutable back : ('k, 'v) node option;
   mutable hits : int;
@@ -32,6 +52,8 @@ type ('k, 'v) t = {
   mutable insertions : int;
 }
 
+(** @deprecated A point-in-time counter snapshot, kept for one PR as a
+    migration shim — the [Obs] registry is the counters' home now. *)
 type stats = {
   hits : int;
   misses : int;
@@ -41,11 +63,39 @@ type stats = {
   capacity : int;
 }
 
-let create ~capacity =
+let metric_names =
+  [
+    "obda_cache_hits_total";
+    "obda_cache_misses_total";
+    "obda_cache_evictions_total";
+    "obda_cache_insertions_total";
+    "obda_cache_size";
+    "obda_cache_capacity";
+  ]
+
+let create ?metrics ~capacity () =
   if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  let obs =
+    Option.map
+      (fun (registry, labels) ->
+        let counter name = Obs.Registry.counter registry ~labels name in
+        let gauge name = Obs.Registry.gauge registry ~labels name in
+        Obs.Gauge.set (gauge "obda_cache_capacity") (float_of_int capacity);
+        {
+          o_registry = registry;
+          o_labels = labels;
+          o_hits = counter "obda_cache_hits_total";
+          o_misses = counter "obda_cache_misses_total";
+          o_evictions = counter "obda_cache_evictions_total";
+          o_insertions = counter "obda_cache_insertions_total";
+          o_size = gauge "obda_cache_size";
+        })
+      metrics
+  in
   {
     capacity;
     table = Hashtbl.create (max 16 capacity);
+    obs;
     front = None;
     back = None;
     hits = 0;
@@ -57,6 +107,26 @@ let create ~capacity =
 let capacity t = t.capacity
 let length t = Hashtbl.length t.table
 
+let obs_count t pick =
+  match t.obs with None -> () | Some o -> Obs.Counter.incr (pick o)
+
+let sync_size t =
+  match t.obs with
+  | None -> ()
+  | Some o -> Obs.Gauge.set o.o_size (float_of_int (length t))
+
+(** [unregister t] removes this cache's metrics from its registry (a
+    no-op for caches created without [~metrics]); call when the cache's
+    owner goes away, or its last gauge values would linger forever. *)
+let unregister t =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    List.iter
+      (fun name -> Obs.Registry.remove o.o_registry ~labels:o.o_labels name)
+      metric_names
+
+(** @deprecated Use the [Obs] registry the cache was created with. *)
 let stats (t : ('k, 'v) t) =
   {
     hits = t.hits;
@@ -100,17 +170,20 @@ let evict_back (t : ('k, 'v) t) =
   | Some n ->
     unlink t n;
     Hashtbl.remove t.table n.key;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    obs_count t (fun o -> o.o_evictions)
 
 (** [find t k] returns the cached value and promotes the entry. *)
 let find (t : ('k, 'v) t) k =
   match Hashtbl.find_opt t.table k with
   | Some n ->
     t.hits <- t.hits + 1;
+    obs_count t (fun o -> o.o_hits);
     promote t n;
     Some n.value
   | None ->
     t.misses <- t.misses + 1;
+    obs_count t (fun o -> o.o_misses);
     None
 
 (** [mem t k] — membership without promotion or counter updates. *)
@@ -120,19 +193,24 @@ let mem t k = Hashtbl.mem t.table k
     least-recently-used entries beyond capacity. *)
 let put (t : ('k, 'v) t) k v =
   t.insertions <- t.insertions + 1;
-  if t.capacity = 0 then t.evictions <- t.evictions + 1
-  else
-    match Hashtbl.find_opt t.table k with
-    | Some n ->
-      n.value <- v;
-      promote t n
-    | None ->
-      let n = { key = k; value = v; prev = None; next = None } in
-      Hashtbl.replace t.table k n;
-      push_front t n;
-      while length t > t.capacity do
-        evict_back t
-      done
+  obs_count t (fun o -> o.o_insertions);
+  (if t.capacity = 0 then begin
+     t.evictions <- t.evictions + 1;
+     obs_count t (fun o -> o.o_evictions)
+   end
+   else
+     match Hashtbl.find_opt t.table k with
+     | Some n ->
+       n.value <- v;
+       promote t n
+     | None ->
+       let n = { key = k; value = v; prev = None; next = None } in
+       Hashtbl.replace t.table k n;
+       push_front t n;
+       while length t > t.capacity do
+         evict_back t
+       done);
+  sync_size t
 
 (** [remove t k] drops the binding if present (not counted as an
     eviction: removals are invalidations, not capacity pressure). *)
@@ -141,14 +219,16 @@ let remove t k =
   | None -> ()
   | Some n ->
     unlink t n;
-    Hashtbl.remove t.table k
+    Hashtbl.remove t.table k;
+    sync_size t
 
 (** [clear t] drops every binding; counters are kept (they describe the
     cache's lifetime, not its current contents). *)
 let clear t =
   Hashtbl.reset t.table;
   t.front <- None;
-  t.back <- None
+  t.back <- None;
+  sync_size t
 
 (** [keys t] — front (most recent) to back (least recent); for tests. *)
 let keys t =

@@ -30,6 +30,7 @@ type config = {
   workers : int;           (** executor worker domains *)
   queue_capacity : int;    (** admission queue bound; excess sheds BUSY *)
   request_timeout_s : float;
+  slow_log_s : float;      (** slow-log threshold; [infinity] disables *)
   limits : Wire.limits;
 }
 
@@ -38,13 +39,24 @@ let default_config =
     workers = 2;
     queue_capacity = 64;
     request_timeout_s = 30.0;
+    slow_log_s = infinity;
     limits = Wire.default_limits;
   }
+
+(* request-lifecycle metric handles, resolved once at [create] *)
+type req_metrics = {
+  m_ok : Obs.Counter.t;
+  m_err : Obs.Counter.t;
+  m_busy : Obs.Counter.t;
+  m_timeout : Obs.Counter.t;
+  m_seconds : Obs.Histogram.t;  (** full lifecycle: dispatch to reply *)
+}
 
 type t = {
   service : Service.t;
   exec : Parallel.Executor.t;
   config : config;
+  rm : req_metrics;
   mutex : Mutex.t;
   mutable listeners : Unix.file_descr list;
   mutable conns : Unix.file_descr list;   (** live connection sockets *)
@@ -53,12 +65,25 @@ type t = {
 }
 
 let create ?(config = default_config) service =
+  let registry = Service.registry service in
+  Obs.set_slow_log_threshold config.slow_log_s;
+  let result_counter r =
+    Obs.Registry.counter registry ~labels:[ ("result", r) ] "obda_requests_total"
+  in
   {
     service;
     exec =
-      Parallel.Executor.create ~workers:config.workers
+      Parallel.Executor.create ~registry ~workers:config.workers
         ~queue_capacity:config.queue_capacity ();
     config;
+    rm =
+      {
+        m_ok = result_counter "ok";
+        m_err = result_counter "err";
+        m_busy = result_counter "busy";
+        m_timeout = result_counter "timeout";
+        m_seconds = Obs.Registry.histogram registry "obda_request_seconds";
+      };
     mutex = Mutex.create ();
     listeners = [];
     conns = [];
@@ -129,6 +154,12 @@ let read_line_bounded ic ~max_line =
 type cell = { cm : Mutex.t; mutable result : Wire.reply option }
 
 let dispatch t request =
+  let t0 = Unix.gettimeofday () in
+  let finish counter reply =
+    Obs.Histogram.observe t.rm.m_seconds (Unix.gettimeofday () -. t0);
+    Obs.Counter.incr counter;
+    reply
+  in
   let cell = { cm = Mutex.create (); result = None } in
   let task () =
     let reply =
@@ -139,7 +170,8 @@ let dispatch t request =
     cell.result <- Some reply;
     Mutex.unlock cell.cm
   in
-  if not (Parallel.Executor.try_submit t.exec task) then Wire.Busy
+  if not (Parallel.Executor.try_submit t.exec task) then
+    finish t.rm.m_busy Wire.Busy
   else begin
     let deadline = Unix.gettimeofday () +. t.config.request_timeout_s in
     let rec await () =
@@ -147,11 +179,13 @@ let dispatch t request =
       let r = cell.result in
       Mutex.unlock cell.cm;
       match r with
-      | Some reply -> reply
+      | Some (Wire.Ok _ as reply) -> finish t.rm.m_ok reply
+      | Some reply -> finish t.rm.m_err reply
       | None ->
         if Unix.gettimeofday () > deadline then
-          Wire.Err
-            (Printf.sprintf "timeout after %.1fs" t.config.request_timeout_s)
+          finish t.rm.m_timeout
+            (Wire.Err
+               (Printf.sprintf "timeout after %.1fs" t.config.request_timeout_s))
         else begin
           Thread.delay 0.001;
           await ()

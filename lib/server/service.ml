@@ -37,12 +37,6 @@
 
 open Dllite
 
-type op_stats = {
-  mutable count : int;
-  mutable total_s : float;
-  mutable max_s : float;
-}
-
 type session = {
   sname : string;
   smutex : Mutex.t;  (** held for the duration of any operation on the session *)
@@ -60,48 +54,60 @@ type session = {
 type t = {
   registry_mutex : Mutex.t;  (** guards [sessions]; never held across an op *)
   cache_mutex : Mutex.t;     (** guards [rewrites] and [classifications] *)
-  ops_mutex : Mutex.t;       (** guards [ops] *)
   mode : Obda.Engine.rewriting_mode;
   lru_capacity : int;
+  registry : Obs.registry;   (** every metric of this service lives here *)
+  algorithm : Graphlib.Closure.algorithm option;
+  jobs : int option;         (** domain-pool width for parallel closure *)
   sessions : (string, session) Hashtbl.t;
   rewrites : (string, Obda.Cq.ucq) Lru.t;
   classifications : (string, Quonto.Classify.t) Lru.t;
-  ops : (string, op_stats) Hashtbl.t;
 }
 
-let create ?(mode = Obda.Engine.Perfect_ref) ?(lru = 256) () =
+(** [create ?mode ?lru ?registry ?algorithm ?jobs ()] — [registry]
+    defaults to {!Obs.default}, which is what a server process wants
+    (library-level spans record there too); embedders that need
+    isolated counters (tests) pass their own.  [algorithm] / [jobs]
+    select the closure algorithm for classifications triggered by any
+    session. *)
+let create ?(mode = Obda.Engine.Perfect_ref) ?(lru = 256)
+    ?(registry = Obs.default) ?algorithm ?jobs () =
   {
     registry_mutex = Mutex.create ();
     cache_mutex = Mutex.create ();
-    ops_mutex = Mutex.create ();
     mode;
     lru_capacity = lru;
+    registry;
+    algorithm;
+    jobs;
     sessions = Hashtbl.create 8;
-    rewrites = Lru.create ~capacity:lru;
-    classifications = Lru.create ~capacity:(max 1 (min lru 16));
-    ops = Hashtbl.create 8;
+    rewrites =
+      Lru.create
+        ~metrics:(registry, [ ("cache", "rewrite") ])
+        ~capacity:lru ();
+    classifications =
+      Lru.create
+        ~metrics:(registry, [ ("cache", "classify") ])
+        ~capacity:(max 1 (min lru 16))
+        ();
   }
+
+let registry t = t.registry
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* per-operation latency: one histogram per wire verb, plus the shared
+   slow log (the registry lookup is a mutex-guarded hashtable find —
+   negligible next to any actual operation) *)
 let timed t op f =
+  let h = Obs.Registry.histogram t.registry ~labels:[ ("op", op) ] "obda_op_seconds" in
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let elapsed = Unix.gettimeofday () -. t0 in
-  locked t.ops_mutex (fun () ->
-      let s =
-        match Hashtbl.find_opt t.ops op with
-        | Some s -> s
-        | None ->
-          let s = { count = 0; total_s = 0.; max_s = 0. } in
-          Hashtbl.replace t.ops op s;
-          s
-      in
-      s.count <- s.count + 1;
-      s.total_s <- s.total_s +. elapsed;
-      if elapsed > s.max_s then s.max_s <- elapsed);
+  Obs.Histogram.observe h elapsed;
+  Obs.slow_check ("op:" ^ op) elapsed;
   result
 
 (* ----------------------------- fingerprints ------------------------- *)
@@ -123,8 +129,8 @@ let fp_mappings mappings =
 
 let rebuild_engine t s =
   s.engine <-
-    Obda.Engine.create ~mode:t.mode ~tbox:s.tbox ~mappings:s.mappings
-      ~database:s.database ()
+    Obda.Engine.create ~mode:t.mode ?algorithm:t.algorithm ?jobs:t.jobs
+      ~tbox:s.tbox ~mappings:s.mappings ~database:s.database ()
 
 let bump s = s.version <- s.version + 1
 
@@ -137,12 +143,17 @@ let fresh_session t name =
     tbox;
     mappings = [];
     database;
-    engine = Obda.Engine.create ~mode:t.mode ~tbox ~mappings:[] ~database ();
+    engine =
+      Obda.Engine.create ~mode:t.mode ?algorithm:t.algorithm ?jobs:t.jobs ~tbox
+        ~mappings:[] ~database ();
     version = 0;
     tbox_fp = Tbox.fingerprint tbox;
     map_fp = fp_mappings [];
     prepared = Hashtbl.create 8;
-    answers = Lru.create ~capacity:t.lru_capacity;
+    answers =
+      Lru.create
+        ~metrics:(t.registry, [ ("cache", "answers"); ("session", name) ])
+        ~capacity:t.lru_capacity ();
   }
 
 (* Registry lookups hold only the (leaf-duration) registry mutex; the
@@ -276,10 +287,18 @@ let classification t ~session:name =
   read_op t name "classify" (fun s -> op_classification t s)
 
 (** [drop_session t ~session] forgets the session entirely (its answer
-    cache goes with it; service-wide caches are untouched — their keys
-    are fingerprints, not session names). *)
+    cache goes with it, and that cache's metrics leave the registry;
+    service-wide caches are untouched — their keys are fingerprints,
+    not session names). *)
 let drop_session t ~session:name =
-  locked t.registry_mutex (fun () -> Hashtbl.remove t.sessions name)
+  match
+    locked t.registry_mutex (fun () ->
+        let s = Hashtbl.find_opt t.sessions name in
+        Hashtbl.remove t.sessions name;
+        s)
+  with
+  | None -> ()
+  | Some s -> Lru.unregister s.answers
 
 let version t ~session:name =
   match find_session t name with
@@ -288,58 +307,99 @@ let version t ~session:name =
 
 (* ------------------------------- stats ------------------------------ *)
 
-let cache_line label (st : Lru.stats) =
-  Printf.sprintf "cache %s hits=%d misses=%d evictions=%d size=%d capacity=%d"
-    label st.Lru.hits st.Lru.misses st.Lru.evictions st.Lru.size
-    st.Lru.capacity
+(** The wire STATS schema version announced on the first payload line. *)
+let stats_version = 2
 
-(* Not a consistent snapshot — each mutex is taken briefly in turn
-   (registry, then caches, then ops, then each session), which is fine
-   for an observability surface and keeps STATS from stalling asks. *)
-let stats_lines ?session:filter t =
-  let b = ref [] in
-  let out line = b := line :: !b in
+let sample name labels value = { Obs.name; labels; value }
+
+(* service- and session-level facts are computed at scrape time — they
+   are authoritative state (session count, axiom count), not event
+   streams, so they don't live as registry metrics *)
+let scrape_samples ?session:filter t =
   let names =
     match filter with
     | Some n -> (match find_session t n with Some _ -> [ n ] | None -> [])
     | None -> session_names t
   in
-  out
-    (Printf.sprintf "service sessions=%d lru_capacity=%d mode=%s"
-       (locked t.registry_mutex (fun () -> Hashtbl.length t.sessions))
-       t.lru_capacity
-       (Obda.Engine.string_of_mode t.mode));
-  locked t.cache_mutex (fun () ->
-      out (cache_line "rewrite" (Lru.stats t.rewrites));
-      out (cache_line "classify" (Lru.stats t.classifications)));
-  locked t.ops_mutex (fun () ->
-      List.iter
-        (fun op ->
-          match Hashtbl.find_opt t.ops op with
-          | None -> ()
-          | Some s ->
-            out
-              (Printf.sprintf "op %s count=%d total_s=%.6f max_s=%.6f" op
-                 s.count s.total_s s.max_s))
-        [ "load"; "classify"; "prepare"; "ask"; "stats" ]);
-  List.iter
-    (fun name ->
-      match find_session t name with
-      | None -> ()
-      | Some s ->
-        locked s.smutex (fun () ->
-            out
-              (Printf.sprintf
-                 "session %s version=%d axioms=%d mappings=%d facts=%d prepared=%d"
-                 name s.version (Tbox.axiom_count s.tbox)
-                 (List.length s.mappings)
-                 (Obda.Database.size s.database)
-                 (Hashtbl.length s.prepared));
-            out
-              (Printf.sprintf "session %s %s" name
-                 (cache_line "answers" (Lru.stats s.answers)))))
-    names;
-  List.rev !b
+  let service_samples =
+    [
+      sample "obda_service_sessions" []
+        (float_of_int
+           (locked t.registry_mutex (fun () -> Hashtbl.length t.sessions)));
+      sample "obda_service_lru_capacity" [] (float_of_int t.lru_capacity);
+      sample "obda_service_info"
+        [ ("mode", Obda.Engine.string_of_mode t.mode) ]
+        1.0;
+    ]
+  in
+  let session_samples =
+    List.concat_map
+      (fun name ->
+        match find_session t name with
+        | None -> []
+        | Some s ->
+          locked s.smutex (fun () ->
+              let labels = [ ("session", name) ] in
+              [
+                sample "obda_session_version" labels (float_of_int s.version);
+                sample "obda_session_axioms" labels
+                  (float_of_int (Tbox.axiom_count s.tbox));
+                sample "obda_session_mappings" labels
+                  (float_of_int (List.length s.mappings));
+                sample "obda_session_facts" labels
+                  (float_of_int (Obda.Database.size s.database));
+                sample "obda_session_prepared" labels
+                  (float_of_int (Hashtbl.length s.prepared));
+              ]))
+      names
+  in
+  service_samples @ session_samples
+
+let render_sample { Obs.name; labels; value } =
+  let rendered_labels =
+    match labels with
+    | [] -> "-"
+    | labels ->
+      String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+  in
+  Printf.sprintf "%s %s %s" name rendered_labels (Obs.string_of_value value)
+
+(* Not a consistent snapshot — each mutex is taken briefly in turn
+   (the Obs registry, then the session registry, then each session),
+   which is fine for an observability surface and keeps STATS from
+   stalling asks. *)
+
+(** [stats_lines ?session t] — the versioned STATS reply: a
+    [stats.version 2] line, then one [<metric> <labels> <value>] line
+    per sample, sorted.  With a session filter, registry samples
+    labelled with a {e different} session are dropped (service-wide
+    metrics all stay — they aggregate over sessions by nature). *)
+let stats_lines ?session:filter t =
+  let registry_samples =
+    let all = Obs.Registry.samples t.registry in
+    match filter with
+    | None -> all
+    | Some n ->
+      List.filter
+        (fun { Obs.labels; _ } ->
+          match List.assoc_opt "session" labels with
+          | Some other -> other = n
+          | None -> true)
+        all
+  in
+  let samples =
+    List.sort
+      (fun a b -> compare (a.Obs.name, a.Obs.labels) (b.Obs.name, b.Obs.labels))
+      (registry_samples @ scrape_samples ?session:filter t)
+  in
+  Printf.sprintf "stats.version %d" stats_version
+  :: List.map render_sample samples
+
+(** [metrics_lines t] — the Prometheus-style exposition, as reply
+    payload lines (the [METRICS] wire verb). *)
+let metrics_lines t =
+  match String.split_on_char '\n' (Obs.Registry.exposition t.registry) with
+  | lines -> List.filter (fun l -> l <> "") lines
 
 (** [hit_rates t] — (rewrite cache, classification cache) hit rates,
     for the serve benchmark's report. *)
@@ -493,4 +553,5 @@ let handle t request =
       locked s.smutex (fun () -> timed t "ask" (fun () -> handle_ask t s query)))
   | Wire.Stats filter ->
     timed t "stats" (fun () -> Wire.Ok (stats_lines ?session:filter t))
+  | Wire.Metrics -> timed t "metrics" (fun () -> Wire.Ok (metrics_lines t))
   | Wire.Quit -> Wire.Ok []

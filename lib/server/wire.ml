@@ -10,8 +10,15 @@
       ASK <session> <name>
       ASK <session> ? <query text ...>
       STATS [<session>]
+      METRICS
       QUIT
     v}
+
+    [STATS] replies are versioned and machine-parsable since schema
+    version 2: the first payload line is [stats.version 2], each
+    following line is [<metric> <labels> <value>] with labels rendered
+    as [k=v,k2=v2] (or [-] when there are none).  [METRICS] returns the
+    Prometheus-style text exposition of the same registry.
 
     Replies (one header line, plus [n] raw payload lines for [OK]):
 
@@ -58,6 +65,7 @@ type request =
   | Prepare of { session : string; name : string; query : string }
   | Ask of { session : string; query : query_ref }
   | Stats of string option
+  | Metrics  (** Prometheus-style text exposition *)
   | Quit
 
 type reply =
@@ -92,6 +100,7 @@ let encode_request = function
   | Ask { session; query = Inline q } -> [ Printf.sprintf "ASK %s ? %s" session q ]
   | Stats None -> [ "STATS" ]
   | Stats (Some session) -> [ "STATS " ^ session ]
+  | Metrics -> [ "METRICS" ]
   | Quit -> [ "QUIT" ]
 
 let encode_reply = function
@@ -175,6 +184,7 @@ let parse_header d line =
     Request (Ask { session; query = Named name })
   | [ "STATS" ] -> Request (Stats None)
   | [ "STATS"; session ] when valid_name session -> Request (Stats (Some session))
+  | [ "METRICS" ] -> Request Metrics
   | [ "QUIT" ] -> Request Quit
   | [] -> More  (* blank lines between requests are tolerated *)
   | verb :: _ ->

@@ -14,17 +14,23 @@ let sock_path =
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "obda-transcript-%d.sock" (Unix.getpid ()))
 
-(* "total_s=0.000123" carries wall-clock time; the field name is the
-   contract, the number is not *)
+(* v2 stats lines are "<metric> <labels> <value>"; any value derived
+   from wall-clock time (the *_seconds histograms' sum/max/quantiles)
+   is redacted — the metric name and its label set are the contract,
+   the number is not.  Observation *counts* are deterministic under the
+   scripted session and stay. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 let redact line =
-  String.split_on_char ' ' line
-  |> List.map (fun tok ->
-         match String.index_opt tok '=' with
-         | Some i
-           when List.mem (String.sub tok 0 i) [ "total_s"; "max_s" ] ->
-           String.sub tok 0 i ^ "=*"
-         | _ -> tok)
-  |> String.concat " "
+  match String.split_on_char ' ' line with
+  | [ name; labels; _value ]
+    when contains name "seconds" && not (String.ends_with ~suffix:"_count" name)
+    ->
+    String.concat " " [ name; labels; "*" ]
+  | _ -> line
 
 let show_reply = function
   | Server.Wire.Busy -> [ "BUSY" ]
@@ -53,6 +59,7 @@ let () =
       Server.Serve.workers = 1;
       queue_capacity = 1;
       request_timeout_s = 0.5;
+      slow_log_s = infinity;
       limits = { Server.Wire.max_line = 200; max_payload_lines = 50 };
     }
   in

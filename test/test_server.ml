@@ -13,7 +13,7 @@ module Service = Server.Service
 (* ------------------------------- LRU -------------------------------- *)
 
 let test_lru_basic () =
-  let c = Lru.create ~capacity:2 in
+  let c = Lru.create ~capacity:2 () in
   Lru.put c "a" 1;
   Lru.put c "b" 2;
   Alcotest.(check (option int)) "a cached" (Some 1) (Lru.find c "a");
@@ -30,7 +30,7 @@ let test_lru_basic () =
   Alcotest.(check int) "size" 2 st.Lru.size
 
 let test_lru_capacity_zero () =
-  let c = Lru.create ~capacity:0 in
+  let c = Lru.create ~capacity:0 () in
   Lru.put c "a" 1;
   Alcotest.(check (option int)) "stores nothing" None (Lru.find c "a");
   Alcotest.(check int) "size 0" 0 (Lru.length c);
@@ -39,7 +39,7 @@ let test_lru_capacity_zero () =
   Alcotest.(check int) "self-evicted" 1 st.Lru.evictions
 
 let test_lru_capacity_one () =
-  let c = Lru.create ~capacity:1 in
+  let c = Lru.create ~capacity:1 () in
   Lru.put c "a" 1;
   Lru.put c "b" 2;
   Alcotest.(check (option int)) "a evicted" None (Lru.find c "a");
@@ -50,7 +50,7 @@ let test_lru_capacity_one () =
   Alcotest.(check int) "exactly one eviction" 1 (Lru.stats c).Lru.evictions
 
 let test_lru_remove_and_clear () =
-  let c = Lru.create ~capacity:4 in
+  let c = Lru.create ~capacity:4 () in
   List.iter (fun (k, v) -> Lru.put c k v) [ ("a", 1); ("b", 2); ("c", 3) ];
   Lru.remove c "b";
   Alcotest.(check (option int)) "removed" None (Lru.find c "b");
@@ -65,7 +65,7 @@ let test_lru_remove_and_clear () =
 let test_lru_negative_capacity () =
   Alcotest.check_raises "negative capacity"
     (Invalid_argument "Lru.create: negative capacity") (fun () ->
-      ignore (Lru.create ~capacity:(-1)))
+      ignore (Lru.create ~capacity:(-1) ()))
 
 (* ---------------------------- fingerprints --------------------------- *)
 
@@ -197,7 +197,10 @@ let sample_sig = Tbox.signature sample_tbox
 let q text = Obda.Qparse.parse_query ~signature:sample_sig text
 
 let test_service_answers_and_hits () =
-  let t = Service.create ~lru:8 () in
+  (* a private registry: the process-wide default would accumulate
+     counts across test cases and break the exact-count assertions *)
+  let registry = Obs.Registry.create () in
+  let t = Service.create ~lru:8 ~registry () in
   Service.set_tbox t ~session:"s" sample_tbox;
   Service.add_abox t ~session:"s"
     (Abox.of_list
@@ -207,14 +210,14 @@ let test_service_answers_and_hits () =
   Alcotest.(check (list (list string))) "subsumption answers" [ [ "ada" ]; [ "bob" ] ] cold;
   let warm = Service.ask t ~session:"s" query in
   Alcotest.(check (list (list string))) "warm identical" cold warm;
-  (* the second ask must be an answer-cache hit: the session's stats
-     line reads "session s cache answers hits=1 ..." *)
+  let lines = Service.stats_lines t in
+  (match lines with
+   | version :: _ ->
+     Alcotest.(check string) "versioned schema" "stats.version 2" version
+   | [] -> Alcotest.fail "empty stats");
+  (* the second ask must be an answer-cache hit, now a registry sample *)
   let has_hit =
-    List.exists
-      (fun l ->
-        String.split_on_char ' ' l
-        |> List.exists (fun tok -> tok = "hits=1"))
-      (Service.stats_lines t)
+    List.mem "obda_cache_hits_total cache=answers,session=s 1" lines
   in
   Alcotest.(check bool) "answer cache hit recorded" true has_hit
 
@@ -366,6 +369,115 @@ let test_read_line_crlf () =
     [ "abc"; "a\rb"; "trailing\r" ]
     (read_lines_of_string "abc\r\na\rb\ntrailing\r")
 
+(* -------------------- observability round-trips ---------------------- *)
+
+let test_lru_obs_registration () =
+  let r = Obs.Registry.create () in
+  let c = Lru.create ~metrics:(r, [ ("cache", "t") ]) ~capacity:1 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  ignore (Lru.find c "b");
+  ignore (Lru.find c "a");
+  let v name =
+    List.find_map
+      (fun { Obs.name = n; labels; value } ->
+        if n = name && labels = [ ("cache", "t") ] then Some value else None)
+      (Obs.Registry.samples r)
+  in
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check (option (float 0.))) name (Some expected) (v name))
+    [
+      ("obda_cache_hits_total", 1.0);
+      ("obda_cache_misses_total", 1.0);
+      ("obda_cache_evictions_total", 1.0);
+      ("obda_cache_insertions_total", 2.0);
+      ("obda_cache_size", 1.0);
+      ("obda_cache_capacity", 1.0);
+    ];
+  (* the registry counters agree with the deprecated snapshot shim *)
+  let st = Lru.stats c in
+  Alcotest.(check int) "shim agrees" st.Lru.hits 1;
+  Lru.unregister c;
+  Alcotest.(check int) "unregister removes all series" 0
+    (List.length (Obs.Registry.samples r))
+
+(* the versioned STATS schema round-trips through a real loopback
+   server and the typed [Client.stats] accessor *)
+let test_loopback_client_stats () =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "obda-test-stats-%d.sock" (Unix.getpid ()))
+  in
+  (* the default registry, as in a real server process: library-level
+     spans (rewrite, eval) record there, so they must show up in STATS;
+     the assertions below are robust to counts accumulated by other
+     test cases sharing the process *)
+  let service = Service.create ~lru:8 () in
+  let srv = Server.Serve.create service in
+  ignore (Server.Serve.listen_unix srv sock);
+  Server.Serve.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Server.Serve.stop srv);
+      try Unix.unlink sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let conn =
+    match Server.Client.connect ("unix:" ^ sock) with
+    | Result.Ok c -> c
+    | Result.Error e -> Alcotest.fail e
+  in
+  Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+  let ok = function
+    | Result.Ok (Wire.Ok lines) -> lines
+    | Result.Ok (Wire.Err e) -> Alcotest.fail ("unexpected ERR " ^ e)
+    | Result.Ok Wire.Busy -> Alcotest.fail "unexpected BUSY"
+    | Result.Error e -> Alcotest.fail e
+  in
+  ignore
+    (ok
+       (Server.Client.request conn
+          (Wire.Load
+             { session = "loop"; kind = Wire.K_tbox; payload = [ "A [= B" ] })));
+  ignore
+    (ok
+       (Server.Client.request conn
+          (Wire.Load { session = "loop"; kind = Wire.K_abox; payload = [ "A(a)" ] })));
+  Alcotest.(check (list string))
+    "subsumption answer" [ "a" ]
+    (ok
+       (Server.Client.request conn
+          (Wire.Ask { session = "loop"; query = Wire.Inline "x <- B(x)" })));
+  let kv =
+    match Server.Client.stats conn with
+    | Result.Ok kv -> kv
+    | Result.Error e -> Alcotest.fail e
+  in
+  let get k = List.assoc_opt k kv in
+  Alcotest.(check (option (float 0.)))
+    "session facts" (Some 1.0)
+    (get "obda_session_facts{session=loop}");
+  Alcotest.(check (option (float 0.)))
+    "sessions gauge" (Some 1.0) (get "obda_service_sessions");
+  Alcotest.(check bool) "ask latency histogram populated" true
+    (match get "obda_op_seconds_count{op=ask}" with
+     | Some n -> n >= 1.0
+     | None -> false);
+  Alcotest.(check bool) "classify phases present" true
+    (match get "obda_phase_seconds_count{phase=rewrite}" with
+     | Some n -> n >= 1.0
+     | None -> false);
+  match Server.Client.metrics conn with
+  | Result.Ok (first :: rest) ->
+    Alcotest.(check string) "exposition header" "# stats.version 2" first;
+    Alcotest.(check bool) "exposition has TYPE lines" true
+      (List.exists
+         (fun l -> String.length l >= 7 && String.sub l 0 7 = "# TYPE ")
+         rest)
+  | Result.Ok [] -> Alcotest.fail "empty exposition"
+  | Result.Error e -> Alcotest.fail e
+
 (* --------------------- the invalidation property --------------------- *)
 
 (* Random interleavings of updates and (frequently repeated) queries:
@@ -468,6 +580,13 @@ let () =
         ] );
       ( "line-reader",
         [ Alcotest.test_case "crlf" `Quick test_read_line_crlf ] );
+      ( "observability",
+        [
+          Alcotest.test_case "lru registers metrics" `Quick
+            test_lru_obs_registration;
+          Alcotest.test_case "versioned STATS round-trip" `Quick
+            test_loopback_client_stats;
+        ] );
       ( "invalidation-property",
         List.map
           (fun capacity ->
