@@ -8,6 +8,8 @@
      dune exec bench/main.exe closure | unsat | implication | rewrite | approx | scaling | data
      dune exec bench/main.exe closure-par [--scale 0.04] [--jobs 4]
                                                # seq-vs-parallel closure; writes BENCH_closure.json
+     dune exec bench/main.exe serve            # cold-vs-warm service; writes BENCH_serve.json
+     dune exec bench/main.exe recover          # recovery time, WAL vs snapshot; writes BENCH_recover.json
      dune exec bench/main.exe micro            # bechamel microbenches
 
    Experiment ids match DESIGN.md: E1 (Figure 1), E2 (Figure 2),
@@ -759,6 +761,108 @@ let micro () =
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* A11: crash-recovery time — WAL replay vs snapshot replay            *)
+(* ------------------------------------------------------------------ *)
+
+(* Builds a durable session store of n acknowledged mutations, closes
+   it (simulating a crash is unnecessary: recovery takes the same path
+   either way), and times the two recovery components separately —
+   [Store.open_dir] (scan + CRC-check + decode) and [Service.restore]
+   (replay through the normal load path).  The snapshot variant
+   compacts the n-record WAL into per-session state first, which is
+   what bounds recovery time in a long-running server. *)
+let recover_bench () =
+  Printf.printf "== A11: crash recovery time (WAL replay vs snapshot) ==\n";
+  let scratch =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "obda-bench-recover-%d" (Unix.getpid ()))
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+  Unix.mkdir scratch 0o755;
+  let tbox_payload =
+    [ "concept Person"; "concept Student"; "role attends"; "Student [= Person" ]
+  in
+  (* fsync_on_commit off during population: the fsyncs are the *write*
+     path's cost, and here we only care about timing recovery *)
+  let populate dir n ~snapshot =
+    Unix.mkdir dir 0o755;
+    let registry = Obs.Registry.create () in
+    let store, _ =
+      match Durable.Store.open_dir ~registry ~fsync_on_commit:false dir with
+      | Result.Ok p -> p
+      | Result.Error e -> failwith e
+    in
+    let service = Server.Service.create ~lru:64 ~registry () in
+    Server.Service.attach_store service store;
+    let load kind payload =
+      match
+        Server.Service.handle service
+          (Server.Wire.Load { session = "s"; kind; payload })
+      with
+      | Server.Wire.Ok _ -> ()
+      | Server.Wire.Err e -> failwith e
+      | Server.Wire.Busy -> failwith "busy"
+    in
+    load Server.Wire.K_tbox tbox_payload;
+    for i = 1 to n do
+      load Server.Wire.K_facts
+        [ Printf.sprintf "attends(\"p%d\", \"c%d\")" i (i mod 97) ]
+    done;
+    if snapshot then Server.Service.snapshot_now service;
+    Durable.Store.close store
+  in
+  let recover dir =
+    let registry = Obs.Registry.create () in
+    match Durable.Store.open_dir ~registry dir with
+    | Result.Error e -> failwith e
+    | Result.Ok (store, r) ->
+      let service = Server.Service.create ~lru:64 ~registry () in
+      let (), replay_s =
+        timeit (fun () ->
+            match Server.Service.restore service r.Durable.Store.mutations with
+            | Result.Ok _ -> ()
+            | Result.Error e -> failwith e)
+      in
+      Durable.Store.close store;
+      (r, replay_s)
+  in
+  let sizes = [ 100; 1000; 5000 ] in
+  Printf.printf "%-10s %8s %9s %9s %10s %10s %10s\n" "mode" "muts" "snap recs"
+    "wal recs" "open (ms)" "replay(ms)" "total(ms)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun snapshot ->
+          let mode = if snapshot then "snapshot" else "wal" in
+          let dir = Filename.concat scratch (Printf.sprintf "%s-%d" mode n) in
+          populate dir n ~snapshot;
+          let r, replay_s = recover dir in
+          let open_s = r.Durable.Store.seconds in
+          Printf.printf "%-10s %8d %9d %9d %10.2f %10.2f %10.2f\n%!" mode n
+            r.Durable.Store.snapshot_records r.Durable.Store.wal_records
+            (1000. *. open_s) (1000. *. replay_s)
+            (1000. *. (open_s +. replay_s));
+          rows :=
+            Printf.sprintf
+              "    {\"mode\": %S, \"mutations\": %d, \"snapshot_records\": %d, \
+               \"wal_records\": %d, \"open_ms\": %.4f, \"replay_ms\": %.4f, \
+               \"total_ms\": %.4f}"
+              mode n r.Durable.Store.snapshot_records r.Durable.Store.wal_records
+              (1000. *. open_s) (1000. *. replay_s)
+              (1000. *. (open_s +. replay_s))
+            :: !rows)
+        [ false; true ])
+    sizes;
+  let oc = open_out "BENCH_recover.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"recover\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !rows));
+  close_out oc;
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+  Printf.printf "(table written to BENCH_recover.json)\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -780,7 +884,8 @@ let () =
         List.mem a
           [
             "figure1"; "figure2"; "closure"; "closure-par"; "unsat"; "implication";
-            "rewrite"; "approx"; "scaling"; "data"; "serve"; "conformance"; "micro";
+            "rewrite"; "approx"; "scaling"; "data"; "serve"; "recover"; "conformance";
+            "micro";
           ])
       args
   in
@@ -797,6 +902,7 @@ let () =
     | "scaling" -> scaling_ablation ()
     | "data" -> data_ablation ()
     | "serve" -> serve_bench ~lru ~persons ()
+    | "recover" -> recover_bench ()
     | "conformance" -> conformance_report ()
     | "micro" -> micro ()
     | _ -> ()
@@ -815,5 +921,6 @@ let () =
     scaling_ablation ();
     data_ablation ();
     serve_bench ~lru ~persons ();
+    recover_bench ();
     micro ()
   | modes -> List.iter run modes

@@ -1,0 +1,296 @@
+(* Chaos harness for the durable server: spawn a server on a scratch
+   data directory, feed it a randomized mutation script, kill it dead —
+   [kill -9], or a crash failpoint armed in the durable commit path via
+   the FAIL wire verb — then restart on the same directory and check
+   that the recovered state answers exactly like the acknowledged
+   prefix of the script.
+
+   The oracle is the in-process [Server.Service] this binary links: the
+   same wire requests the server acknowledged are replayed into it, and
+   a battery of probe queries must answer identically over the wire and
+   in process.  A crash can land between the WAL fsync and the reply,
+   so the recovered state is allowed to equal either the acknowledged
+   prefix or that prefix plus the single in-flight mutation — anything
+   else is a divergence and the harness exits non-zero.
+
+   This is a test tool: it spawns servers with --chaos and arms real
+   crash failpoints.  Never point it at a data directory you care
+   about. *)
+
+open Cmdliner
+
+module Wire = Server.Wire
+module Client = Server.Client
+module Service = Server.Service
+
+(* ------------------------- mutation scripts -------------------------- *)
+
+let tbox_payloads =
+  [|
+    [ "concept A"; "concept B"; "role r"; "A [= B" ];
+    [ "concept A"; "concept B"; "concept C"; "role r"; "A [= B"; "B [= C" ];
+    [ "concept A"; "concept B"; "role r"; "exists r [= B" ];
+  |]
+
+let fact_payloads =
+  [| [ "src(\"a\", \"1\")" ]; [ "src(\"b\", \"2\")"; "src(\"c\", \"3\")" ] |]
+
+let abox_payloads = [| [ "A(x1)" ]; [ "B(y1)"; "r(y1, y2)" ]; [ "r(p, q)" ] |]
+
+let mapping_payloads = [| [ "map A(x) <- src(x, y)" ] |]
+
+let prepare_pool =
+  [| ("q1", "x <- A(x)"); ("q2", "x <- B(x)"); ("q3", "x, y <- r(x, y)") |]
+
+let pick rng a = a.(Random.State.int rng (Array.length a))
+
+(* every generated request is valid — the first one is always a TBOX,
+   and every payload below parses under any TBOX in the pool.  A
+   refused load is acknowledged but durably a no-op, while the crashed
+   process may have auto-created the session in memory; keeping the
+   script refusal-free keeps "acknowledged prefix" well-defined. *)
+let gen_request rng session =
+  match Random.State.int rng 10 with
+  | 0 | 1 -> Wire.Load { session; kind = Wire.K_tbox; payload = pick rng tbox_payloads }
+  | 2 | 3 -> Wire.Load { session; kind = Wire.K_facts; payload = pick rng fact_payloads }
+  | 4 | 5 | 6 -> Wire.Load { session; kind = Wire.K_abox; payload = pick rng abox_payloads }
+  | 7 -> Wire.Load { session; kind = Wire.K_mappings; payload = pick rng mapping_payloads }
+  | _ ->
+    let name, query = pick rng prepare_pool in
+    Wire.Prepare { session; name; query }
+
+let probes session =
+  List.concat_map
+    (fun q ->
+      [ Wire.Ask { session; query = Wire.Inline q } ])
+    [ "x <- A(x)"; "x <- B(x)"; "x, y <- r(x, y)"; "x <- src(x, \"1\")" ]
+  @ Array.to_list
+      (Array.map
+         (fun (name, _) -> Wire.Ask { session; query = Wire.Named name })
+         prepare_pool)
+
+(* crash sites in the durable commit path; each round arms one with a
+   random skip count, so over many rounds every site is hit at every
+   depth of the script *)
+let crash_sites =
+  [|
+    ("wal.append.before", "crash");
+    ("wal.append.write", "partial:5");
+    ("wal.append.write", "partial:17");
+    ("wal.append.before_fsync", "crash");
+    ("wal.append.after_fsync", "crash");
+    ("snapshot.before_rename", "crash");
+  |]
+
+(* --------------------------- child control --------------------------- *)
+
+let spawn_server ~exe ~sock ~data_dir ~snapshot_every =
+  let args =
+    [
+      exe; "--unix"; sock; "--data-dir"; data_dir; "--chaos";
+      "--snapshot-every"; string_of_int snapshot_every; "--jobs"; "1";
+    ]
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe (Array.of_list args) Unix.stdin null Unix.stderr
+  in
+  Unix.close null;
+  pid
+
+let wait_listening sock =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match Client.connect ("unix:" ^ sock) with
+    | Result.Ok conn -> conn
+    | Result.Error _ when Unix.gettimeofday () < deadline ->
+      Thread.delay 0.05;
+      go ()
+    | Result.Error e -> failwith ("server did not come up: " ^ e)
+  in
+  go ()
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | _, Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+  | _, Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> "already reaped"
+
+let kill_dead pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (reap pid)
+
+let stop_gracefully pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (reap pid)
+
+(* ------------------------------ a round ------------------------------ *)
+
+let string_of_reply = function
+  | Wire.Ok lines -> "OK " ^ String.concat " | " lines
+  | Wire.Err e -> "ERR " ^ e
+  | Wire.Busy -> "BUSY"
+
+let rm_rf dir = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+(* returns the number of divergent probes *)
+let run_round ~exe ~scratch ~snapshot_every rng round =
+  let session = "chaos" in
+  let data_dir = Filename.concat scratch (Printf.sprintf "round%d" round) in
+  rm_rf data_dir;
+  let sock = Filename.concat scratch (Printf.sprintf "sock%d" round) in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let pid = spawn_server ~exe ~sock ~data_dir ~snapshot_every in
+  let conn = wait_listening sock in
+  (* choose the failure: a crash failpoint armed over the wire, or a
+     plain SIGKILL from outside after a random number of mutations *)
+  let script_len = 4 + Random.State.int rng 8 in
+  let sigkill_after =
+    if Random.State.int rng 3 = 0 then Some (Random.State.int rng script_len)
+    else begin
+      let site, spec = pick rng crash_sites in
+      let skip = Random.State.int rng 4 in
+      (match
+         Client.request conn (Wire.Fail { name = site; spec = Printf.sprintf "%s@%d" spec skip })
+       with
+      | Result.Ok (Wire.Ok _) -> ()
+      | r -> failwith ("FAIL verb rejected: " ^
+                       (match r with
+                        | Result.Ok reply -> string_of_reply reply
+                        | Result.Error e -> e)));
+      None
+    end
+  in
+  (* drive the script, tracking what was acknowledged *)
+  let acked = ref [] and in_flight = ref None in
+  (try
+     for i = 0 to script_len - 1 do
+       (match sigkill_after with
+        | Some k when i = k -> kill_dead pid
+        | _ -> ());
+       let req =
+         if i = 0 then
+           Wire.Load
+             { session; kind = Wire.K_tbox; payload = pick rng tbox_payloads }
+         else gen_request rng session
+       in
+       in_flight := Some req;
+       match Client.request conn req with
+       | Result.Ok (Wire.Ok _ | Wire.Err _) ->
+         (* a reply — even a refusal — is an acknowledgement *)
+         acked := req :: !acked;
+         in_flight := None
+       | Result.Ok Wire.Busy -> in_flight := None
+       | Result.Error _ -> raise Exit
+     done
+   with Exit -> ());
+  Client.close conn;
+  (* the server must be dead by now — if the armed failpoint never
+     fired (skip deeper than the script wrote), put it down ourselves
+     and discard the in-flight slot (there is none) *)
+  let died_on_its_own = !in_flight <> None || sigkill_after <> None in
+  kill_dead pid;
+  let acked = List.rev !acked in
+  (* restart clean on the same directory *)
+  let pid2 = spawn_server ~exe ~sock ~data_dir ~snapshot_every in
+  let conn2 = wait_listening sock in
+  (* oracles: acknowledged prefix, and prefix + the in-flight mutation *)
+  let build reqs =
+    let s = Service.create ~registry:(Obs.Registry.create ()) () in
+    List.iter (fun r -> ignore (Service.handle s r)) reqs;
+    s
+  in
+  let oracle = build acked in
+  let oracle_next =
+    match !in_flight with
+    | Some req when died_on_its_own -> Some (build (acked @ [ req ]))
+    | _ -> None
+  in
+  let divergences = ref 0 in
+  List.iter
+    (fun probe ->
+      let wire =
+        match Client.request conn2 probe with
+        | Result.Ok reply -> string_of_reply reply
+        | Result.Error e -> "TRANSPORT " ^ e
+      in
+      let local = string_of_reply (Service.handle oracle probe) in
+      let next = Option.map (fun o -> string_of_reply (Service.handle o probe)) oracle_next in
+      if wire <> local && Some wire <> next then begin
+        incr divergences;
+        Printf.printf "round %d DIVERGED on %s\n  recovered: %s\n  acked:     %s%s\n"
+          round
+          (string_of_reply (Wire.Ok (Wire.encode_request probe)))
+          wire local
+          (match next with
+           | Some n -> "\n  acked+1:   " ^ n
+           | None -> "")
+      end)
+    (probes session);
+  Client.close conn2;
+  stop_gracefully pid2;
+  Printf.printf "round %d: %d/%d acked, %s, %d divergence(s)\n%!" round
+    (List.length acked) script_len
+    (match sigkill_after with
+     | Some k -> Printf.sprintf "sigkill@%d" k
+     | None -> "failpoint crash")
+    !divergences;
+  !divergences
+
+let run exe rounds seed snapshot_every keep =
+  (* writes race the kill -9 by design; a dead peer must surface as
+     EPIPE on the request, not kill the harness *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let scratch =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "obda-chaos-%d" (Unix.getpid ()))
+  in
+  rm_rf scratch;
+  Unix.mkdir scratch 0o755;
+  let rng = Random.State.make [| seed |] in
+  let total = ref 0 in
+  for round = 1 to rounds do
+    total := !total + run_round ~exe ~scratch ~snapshot_every rng round
+  done;
+  if not keep then rm_rf scratch;
+  if !total = 0 then begin
+    Printf.printf "chaos: %d round(s), zero divergences\n" rounds;
+    0
+  end
+  else begin
+    Printf.printf "chaos: %d divergence(s) over %d round(s)%s\n" !total rounds
+      (if keep then "; scratch kept at " ^ scratch else "");
+    1
+  end
+
+let () =
+  let exe_arg =
+    Arg.(value & opt string "_build/default/bin/obda_server.exe"
+         & info [ "server" ] ~docv:"EXE" ~doc:"Path to the obda_server binary.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 10
+         & info [ "rounds" ] ~docv:"N" ~doc:"Crash/recover rounds to run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let snapshot_arg =
+    Arg.(value & opt int 5
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"Snapshot cadence passed to the server under test.")
+  in
+  let keep_arg =
+    Arg.(value & flag
+         & info [ "keep" ] ~doc:"Keep scratch data directories for autopsy.")
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:"Kill-9/restart loop against the durable server; exits non-zero \
+            on any recovery divergence."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(const run $ exe_arg $ rounds_arg $ seed_arg $ snapshot_arg $ keep_arg)))

@@ -497,9 +497,9 @@ let import_owl_cmd =
    parser and prints one aligned `metric{labels} value` row per sample;
    [--metrics] dumps the raw Prometheus-style exposition text. *)
 let query_cmd =
-  let run connect session ontology mappings data abox prepare named stats
-      metrics query_text =
-    match Server.Client.connect connect with
+  let run connect retries session ontology mappings data abox prepare named
+      stats metrics query_text =
+    match Server.Client.connect ~retries connect with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       exit 1
@@ -570,6 +570,13 @@ let query_cmd =
          & info [ "connect" ] ~docv:"ENDPOINT"
              ~doc:"Server endpoint: unix:/path.sock or tcp:HOST:PORT.")
   in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failed or shed request up to N times with \
+                   jittered exponential backoff, reconnecting as needed \
+                   (all wire verbs are idempotent).")
+  in
   let session_arg =
     Arg.(value & opt string "default"
          & info [ "session" ] ~docv:"NAME" ~doc:"Server-side session name.")
@@ -617,9 +624,9 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running obda_server over the wire protocol.")
     Term.(
-      const run $ connect_arg $ session_arg $ ontology_arg $ mappings_opt_arg
-      $ data_arg $ abox_arg $ prepare_arg $ named_arg $ stats_arg $ metrics_arg
-      $ query_arg)
+      const run $ connect_arg $ retries_arg $ session_arg $ ontology_arg
+      $ mappings_opt_arg $ data_arg $ abox_arg $ prepare_arg $ named_arg
+      $ stats_arg $ metrics_arg $ query_arg)
 
 let () =
   let info = Cmd.info "obda_cli" ~doc:"DL-Lite / OBDA toolkit." in

@@ -1,16 +1,30 @@
 (* The OBDA query server: a Service behind TCP and/or Unix-domain
    listeners.  SIGTERM / SIGINT trigger a graceful shutdown — listeners
    close, in-flight requests drain, and the drain count is reported —
-   so process supervisors get clean restarts. *)
+   so process supervisors get clean restarts.
+
+   With --data-dir the server is durable: session mutations are written
+   to a checksummed WAL (fsync before acknowledge) with periodic
+   snapshot compaction, and on startup the directory is recovered —
+   snapshot plus surviving WAL tail — before any listener opens.
+   --chaos additionally accepts the FAIL wire verb, letting a test
+   harness arm named failpoints in the durable commit path; the
+   OBDA_FAILPOINTS environment variable arms the same failpoints
+   without any wire access. *)
 
 open Cmdliner
 
 let run unix_path tcp_port host workers queue timeout lru presto algorithm
-    classify_jobs slow_log =
+    classify_jobs slow_log data_dir snapshot_every chaos =
   if unix_path = None && tcp_port = None then begin
     prerr_endline "error: need at least one of --unix PATH / --tcp PORT";
     exit 2
   end;
+  (match Durable.Failpoint.arm_from_env () with
+   | Result.Ok () -> ()
+   | Result.Error e ->
+     Printf.eprintf "error: OBDA_FAILPOINTS: %s\n" e;
+     exit 2);
   let algorithm =
     match algorithm with
     | None -> None
@@ -29,8 +43,33 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
   ignore (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
   let mode = if presto then Obda.Engine.Presto else Obda.Engine.Perfect_ref in
   let service =
-    Server.Service.create ~mode ~lru ?algorithm ?jobs:classify_jobs ()
+    Server.Service.create ~mode ~lru ?algorithm ?jobs:classify_jobs ~chaos ()
   in
+  Option.iter
+    (fun dir ->
+      (try
+         if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+       with Unix.Unix_error (e, _, _) ->
+         Printf.eprintf "error: --data-dir %s: %s\n" dir (Unix.error_message e);
+         exit 2);
+      match Durable.Store.open_dir ?snapshot_every dir with
+      | Result.Error e ->
+        Printf.eprintf "error: cannot recover %s: %s\n" dir e;
+        exit 1
+      | Result.Ok (store, r) ->
+        (match Server.Service.restore service r.Durable.Store.mutations with
+         | Result.Error e ->
+           Printf.eprintf "error: replay of %s failed: %s\n" dir e;
+           exit 1
+         | Result.Ok replayed ->
+           Server.Service.attach_store service store;
+           Printf.printf
+             "recovered %s: %d mutation(s) (%d snapshot + %d wal), %d torn \
+              byte(s) dropped, %.3fs\n%!"
+             dir replayed r.Durable.Store.snapshot_records
+             r.Durable.Store.wal_records r.Durable.Store.truncated_bytes
+             r.Durable.Store.seconds))
+    data_dir;
   let config =
     {
       Server.Serve.default_config with
@@ -117,6 +156,25 @@ let () =
              ~doc:"Warn-log any operation or trace span slower than this \
                    threshold (default: disabled).")
   in
+  let data_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Durable session store: WAL + snapshots live here; on \
+                   startup the directory is recovered before listening. \
+                   Without it the server is in-memory only.")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"Write a compacting snapshot after every N WAL appends \
+                   (requires --data-dir).")
+  in
+  let chaos_arg =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Accept the FAIL wire verb for arming failpoints. Test \
+                   harnesses only — never in production.")
+  in
   let info =
     Cmd.info "obda_server"
       ~doc:"Caching OBDA query server (LOAD/CLASSIFY/PREPARE/ASK/STATS wire protocol)."
@@ -127,4 +185,5 @@ let () =
           Term.(
             const run $ unix_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
             $ timeout_arg $ lru_arg $ presto_arg $ algorithm_arg
-            $ classify_jobs_arg $ slow_log_arg)))
+            $ classify_jobs_arg $ slow_log_arg $ data_dir_arg
+            $ snapshot_every_arg $ chaos_arg)))

@@ -1,0 +1,228 @@
+(** Named failpoints: deterministic fault injection for the durable I/O
+    paths and the serve request path.
+
+    A failpoint is a named site in the code ([wal.append.before_fsync],
+    [snapshot.before_rename], [serve.request], ...).  Arming one attaches
+    an action:
+
+    - [error] — raise {!Injected} at the site (the caller surfaces it as
+      an I/O failure);
+    - [partial:K] — at a write site, persist only the first [K] bytes of
+      the in-flight write and then die as if [kill -9]ed: the canonical
+      torn-write producer;
+    - [crash] — die immediately ([Unix._exit 137], no [at_exit], no
+      buffer flushing — indistinguishable from [kill -9] for everything
+      durability cares about);
+    - [delay:S] — sleep [S] seconds and continue (races / timeout
+      injection).
+
+    A spec may carry an [@N] suffix: skip the first [N] hits and fire
+    from hit [N+1] on — chaos harnesses use it to place a crash at a
+    random depth in a mutation sequence.  Once firing, [error] and
+    [delay] stay armed until [off]; [crash] and [partial] never return.
+
+    Arming sources: the {!arm} API (tests, the chaos harness), the
+    [OBDA_FAILPOINTS] environment variable
+    ([name=spec,name=spec] — see {!arm_from_env}), and the [FAIL] wire
+    verb when the server runs with [--chaos].
+
+    The un-armed fast path is one atomic load, so production code can
+    leave [hit] calls compiled in. *)
+
+exception Injected of string
+
+type action =
+  | Inject_error     (** raise {!Injected} at the site *)
+  | Partial of int   (** persist K bytes of the current write, then crash *)
+  | Crash
+  | Delay of float
+
+type armed = { action : action; mutable skip : int }
+
+let mutex = Mutex.create ()
+let table : (string, armed) Hashtbl.t = Hashtbl.create 8
+let armed_count = Atomic.make 0
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let valid_name s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-' || c = '.')
+       s
+
+let arm name ?(after = 0) action =
+  locked (fun () ->
+      if not (Hashtbl.mem table name) then Atomic.incr armed_count;
+      Hashtbl.replace table name { action; skip = after })
+
+let disarm name =
+  locked (fun () ->
+      if Hashtbl.mem table name then begin
+        Hashtbl.remove table name;
+        Atomic.decr armed_count
+      end)
+
+let disarm_all () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Atomic.set armed_count 0)
+
+let string_of_action = function
+  | Inject_error -> "error"
+  | Partial k -> Printf.sprintf "partial:%d" k
+  | Crash -> "crash"
+  | Delay s -> Printf.sprintf "delay:%g" s
+
+(** [armed_list ()] — the currently armed failpoints, for diagnostics. *)
+let armed_list () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name a acc -> (name, string_of_action a.action) :: acc)
+        table [])
+  |> List.sort compare
+
+(* ------------------------------ specs -------------------------------- *)
+
+(* "crash" | "error" | "off" | "partial:K" | "delay:S", each with an
+   optional "@N" skip-count suffix *)
+let parse_spec spec =
+  let body, after =
+    match String.index_opt spec '@' with
+    | None -> (spec, Result.Ok 0)
+    | Some i ->
+      let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+      ( String.sub spec 0 i,
+        match int_of_string_opt n with
+        | Some k when k >= 0 -> Result.Ok k
+        | _ -> Result.Error (Printf.sprintf "bad skip count %S" n) )
+  in
+  match after with
+  | Result.Error e -> Result.Error e
+  | Result.Ok after -> (
+    let param prefix =
+      let p = String.length prefix in
+      if String.length body > p && String.sub body 0 p = prefix then
+        Some (String.sub body p (String.length body - p))
+      else None
+    in
+    match body with
+    | "error" -> Result.Ok (Some (Inject_error, after))
+    | "crash" -> Result.Ok (Some (Crash, after))
+    | "off" -> Result.Ok None
+    | _ -> (
+      match param "partial:" with
+      | Some k -> (
+        match int_of_string_opt k with
+        | Some k when k >= 0 -> Result.Ok (Some (Partial k, after))
+        | _ -> Result.Error (Printf.sprintf "bad partial byte count %S" k))
+      | None -> (
+        match param "delay:" with
+        | Some s -> (
+          match float_of_string_opt s with
+          | Some s when s >= 0.0 -> Result.Ok (Some (Delay s, after))
+          | _ -> Result.Error (Printf.sprintf "bad delay %S" s))
+        | None ->
+          Result.Error
+            (Printf.sprintf
+               "unknown failpoint action %S (want error | crash | partial:K \
+                | delay:S | off)"
+               body))))
+
+(** [arm_spec name spec] — arm (or, with ["off"], disarm) from a textual
+    spec; the grammar the [FAIL] verb and [OBDA_FAILPOINTS] share. *)
+let arm_spec name spec =
+  if not (valid_name name) then
+    Result.Error (Printf.sprintf "bad failpoint name %S" name)
+  else
+    match parse_spec spec with
+    | Result.Error _ as e -> e
+    | Result.Ok None ->
+      disarm name;
+      Result.Ok ()
+    | Result.Ok (Some (action, after)) ->
+      arm name ~after action;
+      Result.Ok ()
+
+(** [arm_from_env ()] arms every [name=spec] pair in [OBDA_FAILPOINTS]
+    (comma-separated).  An unset or empty variable is fine; a malformed
+    one is an error — silently ignoring a typo'd failpoint would make a
+    chaos run vacuous. *)
+let arm_from_env () =
+  match Sys.getenv_opt "OBDA_FAILPOINTS" with
+  | None | Some "" -> Ok ()
+  | Some v ->
+    let rec go = function
+      | [] -> Ok ()
+      | entry :: rest -> (
+        match String.index_opt entry '=' with
+        | None ->
+          Result.Error
+            (Printf.sprintf "OBDA_FAILPOINTS: %S is not name=spec" entry)
+        | Some i -> (
+          let name = String.trim (String.sub entry 0 i) in
+          let spec =
+            String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+          in
+          match arm_spec name spec with
+          | Ok () -> go rest
+          | Result.Error e ->
+            Result.Error (Printf.sprintf "OBDA_FAILPOINTS: %s: %s" name e)))
+    in
+    go (String.split_on_char ',' v |> List.filter (fun s -> String.trim s <> ""))
+
+(* ------------------------------ firing ------------------------------- *)
+
+let crash name =
+  (* no Printf, no channels: nothing that might buffer past the _exit *)
+  let msg =
+    Printf.sprintf "failpoint %s: crashing (simulated kill -9)\n" name
+  in
+  (try ignore (Unix.write_substring Unix.stderr msg 0 (String.length msg))
+   with Unix.Unix_error _ -> ());
+  Unix._exit 137
+
+let fired name =
+  Obs.Counter.incr
+    (Obs.counter ~labels:[ ("name", name) ] "obda_failpoint_hits_total")
+
+(** [hit name] — the instrumented site.  Returns [None] to proceed
+    normally, or [Some k] when an armed [partial:K] asks the (write)
+    site to persist only [k] bytes and then crash.  [error] raises
+    {!Injected}; [crash] does not return; [delay] sleeps then
+    proceeds. *)
+let hit name =
+  if Atomic.get armed_count = 0 then None
+  else
+    let fire =
+      locked (fun () ->
+          match Hashtbl.find_opt table name with
+          | None -> None
+          | Some a ->
+            if a.skip > 0 then begin
+              a.skip <- a.skip - 1;
+              None
+            end
+            else Some a.action)
+    in
+    match fire with
+    | None -> None
+    | Some action -> (
+      fired name;
+      match action with
+      | Inject_error -> raise (Injected name)
+      | Crash -> crash name
+      | Delay s ->
+        Unix.sleepf s;
+        None
+      | Partial k -> Some k)
+
+(** [check name] — a non-write site: [partial] makes no sense here and
+    degrades to an immediate crash (the armed intent was "die here"). *)
+let check name = match hit name with None -> () | Some _ -> crash name

@@ -1,0 +1,122 @@
+(** EINTR-retrying, partial-write-completing file-descriptor I/O,
+    shared by the WAL, the snapshot writer and the server's connection
+    handling.
+
+    [Unix.write] may write fewer bytes than asked and both read and
+    write may fail with [EINTR] when a signal lands mid-syscall; a naive
+    single-shot call turns either into a spurious error on an otherwise
+    healthy connection.  Every loop here retries [EINTR] and completes
+    partial writes.
+
+    Write sites may name a {!Failpoint}: an armed [partial:K] then
+    persists exactly [K] bytes of the in-flight write before crashing —
+    the deterministic torn-write producer the recovery tests rely on. *)
+
+let rec retry f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry f
+
+let write_all_plain fd bytes ~pos ~len =
+  let off = ref pos and remaining = ref len in
+  while !remaining > 0 do
+    let n = retry (fun () -> Unix.write fd bytes !off !remaining) in
+    off := !off + n;
+    remaining := !remaining - n
+  done
+
+(** [write_all ?failpoint fd bytes ~pos ~len] writes the whole range,
+    retrying [EINTR] and short writes.  With an armed [partial:K]
+    failpoint, writes [min K len] bytes and crashes. *)
+let write_all ?failpoint fd bytes ~pos ~len =
+  match failpoint with
+  | None -> write_all_plain fd bytes ~pos ~len
+  | Some name -> (
+    match Failpoint.hit name with
+    | None -> write_all_plain fd bytes ~pos ~len
+    | Some k ->
+      write_all_plain fd bytes ~pos ~len:(min k len);
+      (* make the torn prefix durable before dying, so the recovery
+         test sees exactly K bytes, not 0-or-K depending on the page
+         cache *)
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix._exit 137)
+
+let write_string ?failpoint fd s =
+  write_all ?failpoint fd (Bytes.unsafe_of_string s) ~pos:0
+    ~len:(String.length s)
+
+(** [fsync ?failpoint fd] — [check]s the failpoint (a [crash] armed
+    here dies {e before} the data is known durable), then syncs. *)
+let fsync ?failpoint fd =
+  Option.iter Failpoint.check failpoint;
+  retry (fun () -> Unix.fsync fd)
+
+(** [read_all fd] — the whole remaining content of [fd], EINTR-safe.
+    Recovery reads WAL and snapshot files through this. *)
+let read_all fd =
+  let chunk = 65536 in
+  let buf = Buffer.create chunk in
+  let bytes = Bytes.create chunk in
+  let rec go () =
+    let n = retry (fun () -> Unix.read fd bytes 0 chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf bytes 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.to_bytes buf
+
+(* --------------------------- buffered reader -------------------------- *)
+
+(** A buffered line reader over a raw descriptor — the connection-side
+    replacement for [in_channel], with [EINTR] handled in the refill
+    loop instead of surfacing as [Sys_error]. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable lo : int;  (** next unconsumed byte *)
+  mutable hi : int;  (** end of valid data *)
+  mutable eof : bool;
+}
+
+let reader ?(buf_size = 65536) fd =
+  { fd; buf = Bytes.create buf_size; lo = 0; hi = 0; eof = false }
+
+let refill r =
+  if not r.eof then begin
+    let n = retry (fun () -> Unix.read r.fd r.buf 0 (Bytes.length r.buf)) in
+    r.lo <- 0;
+    r.hi <- n;
+    if n = 0 then r.eof <- true
+  end
+
+(** [read_line r ~max_line] — the next ['\n']-terminated line, without
+    its terminator; a CR directly before the newline is stripped (CRLF
+    clients), any other CR is content.  A line longer than [max_line]
+    is consumed to its newline but truncated to [max_line + 1] bytes —
+    enough for the wire decoder's length check to report it.  [None] at
+    end of stream (a final unterminated line is returned first). *)
+let read_line r ~max_line =
+  let acc = Buffer.create 128 in
+  let add c = if Buffer.length acc <= max_line then Buffer.add_char acc c in
+  let rec go ~pending_cr =
+    if r.lo >= r.hi then refill r;
+    if r.lo >= r.hi then begin
+      (* EOF *)
+      if pending_cr then add '\r';
+      if Buffer.length acc = 0 then None else Some (Buffer.contents acc)
+    end
+    else
+      let c = Bytes.get r.buf r.lo in
+      r.lo <- r.lo + 1;
+      match c with
+      | '\n' -> Some (Buffer.contents acc)
+      | '\r' ->
+        if pending_cr then add '\r';
+        go ~pending_cr:true
+      | c ->
+        if pending_cr then add '\r';
+        add c;
+        go ~pending_cr:false
+  in
+  go ~pending_cr:false

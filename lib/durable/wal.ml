@@ -1,0 +1,181 @@
+(** The write-ahead log: checksummed, length-prefixed records with
+    fsync-on-commit.
+
+    On-disk framing, per record:
+
+    {v
+      +--------+--------+--------+----------------+
+      | len u32| seq u64| crc u32| payload (len B)|
+      +--------+--------+--------+----------------+
+    v}
+
+    All integers big-endian; [crc] is CRC-32 over the seq field and the
+    payload, so neither a torn payload nor a corrupted sequence number
+    can pass.  [len] is {e not} covered — it doesn't need to be: a
+    corrupted length either points past the end of the file (scanned as
+    a torn tail) or frames a region whose CRC fails.
+
+    Recovery semantics ({!scan}):
+
+    - a record that doesn't fit in the remaining bytes, or whose CRC
+      fails {e at the very tail} of the file, is a {e torn tail} — the
+      incomplete leftover of a crashed append.  It and everything after
+      it (there is nothing after it) are dropped; the appender then
+      truncates the file back to the last good record;
+    - a CRC failure with more bytes {e after} the framed record is
+      {e mid-log corruption}: bits rotted under an fsync'd prefix.
+      That's not a crash artifact, and silently dropping acknowledged
+      records would serve divergent answers — so {!scan} refuses loudly
+      with {!Corrupt}. *)
+
+type entry = { seq : int; payload : string }
+
+exception Corrupt of string
+
+type scan = {
+  entries : entry list;
+  valid_bytes : int;  (** offset of the first non-replayable byte *)
+  torn_bytes : int;   (** trailing bytes dropped as a torn tail; 0 = clean *)
+}
+
+let header_size = 16
+
+(* ---------------------------- en/decoding ---------------------------- *)
+
+let u32_at bytes off = Int32.to_int (Bytes.get_int32_be bytes off) land 0xFFFFFFFF
+
+let encode ~seq payload =
+  let len = String.length payload in
+  let record = Bytes.create (header_size + len) in
+  Bytes.set_int32_be record 0 (Int32.of_int len);
+  Bytes.set_int64_be record 4 (Int64.of_int seq);
+  Bytes.blit_string payload 0 record header_size len;
+  (* over seq + payload, skipping the crc field between them — must
+     mirror [crc_of_region] exactly *)
+  let crc =
+    Crc32.update (Crc32.update 0 record ~pos:4 ~len:8) record ~pos:header_size
+      ~len
+  in
+  Bytes.set_int32_be record 12 (Int32.of_int crc);
+  record
+
+(* crc over seq+payload, skipping the crc field between them *)
+let crc_of_region bytes off len =
+  let c = Crc32.update 0 bytes ~pos:(off + 4) ~len:8 in
+  Crc32.update c bytes ~pos:(off + header_size) ~len
+
+let scan bytes =
+  let size = Bytes.length bytes in
+  let torn off acc =
+    { entries = List.rev acc; valid_bytes = off; torn_bytes = size - off }
+  in
+  let rec go off acc =
+    if off = size then
+      { entries = List.rev acc; valid_bytes = off; torn_bytes = 0 }
+    else if size - off < header_size then torn off acc
+    else
+      let len = u32_at bytes off in
+      if len > size - off - header_size then torn off acc
+      else begin
+        let seq = Int64.to_int (Bytes.get_int64_be bytes (off + 4)) in
+        let stored = u32_at bytes (off + 12) in
+        let actual = crc_of_region bytes off len in
+        if stored <> actual then
+          if off + header_size + len = size then torn off acc
+          else
+            raise
+              (Corrupt
+                 (Printf.sprintf
+                    "bad CRC at offset %d (framed seq %d, %d bytes follow): \
+                     mid-log corruption, refusing to replay"
+                    off seq
+                    (size - off - header_size - len)))
+        else
+          let payload = Bytes.sub_string bytes (off + header_size) len in
+          go (off + header_size + len) ({ seq; payload } :: acc)
+      end
+  in
+  go 0 []
+
+(** [scan_file path] — {!scan} of the file's contents; a missing file is
+    an empty log.  @raise Corrupt on mid-log corruption. *)
+let scan_file path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+    { entries = []; valid_bytes = 0; torn_bytes = 0 }
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> scan (Io.read_all fd))
+
+(* ------------------------------ appender ----------------------------- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fsync_on_commit : bool;
+  m_appends : Obs.Counter.t;
+  m_fsyncs : Obs.Counter.t;
+  m_bytes : Obs.Counter.t;
+}
+
+(** [open_append ~registry ~path ~valid_bytes ()] opens the log for
+    appending, first truncating it to [valid_bytes] — recovery's way of
+    physically dropping a torn tail so it can never resurface. *)
+let open_append ?(fsync_on_commit = true) ~registry ~path ~valid_bytes () =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Unix.ftruncate fd valid_bytes;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  {
+    path;
+    fd;
+    fsync_on_commit;
+    m_appends = Obs.Registry.counter registry "obda_wal_appends_total";
+    m_fsyncs = Obs.Registry.counter registry "obda_wal_fsyncs_total";
+    m_bytes = Obs.Registry.counter registry "obda_wal_bytes_written_total";
+  }
+
+(** [append t ~seq payload] — write one record and (by default) fsync
+    before returning: once [append] returns, the record survives
+    [kill -9].  Failpoints, in order: [wal.append.before] (nothing
+    written), [wal.append.write] (partial-write site),
+    [wal.append.before_fsync] (record written, durability not yet
+    guaranteed), [wal.append.after_fsync] (durable, not yet
+    acknowledged). *)
+let append t ~seq payload =
+  Failpoint.check "wal.append.before";
+  let record = encode ~seq payload in
+  Io.write_all ~failpoint:"wal.append.write" t.fd record ~pos:0
+    ~len:(Bytes.length record);
+  Obs.Counter.incr t.m_appends;
+  Obs.Counter.incr ~by:(Bytes.length record) t.m_bytes;
+  if t.fsync_on_commit then begin
+    Io.fsync ~failpoint:"wal.append.before_fsync" t.fd;
+    Obs.Counter.incr t.m_fsyncs
+  end;
+  Failpoint.check "wal.append.after_fsync"
+
+(** [reset t] empties the log — called once a snapshot has made its
+    records redundant.  The truncation is fsync'd: a crash right after
+    must not resurrect pre-snapshot records with stale sequence
+    numbers. *)
+let reset t =
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  Io.fsync t.fd;
+  Obs.Counter.incr t.m_fsyncs
+
+(** [truncate_to t len] — cut the log back to [len] bytes and reposition
+    the append offset there: the failed-append repair, run before the
+    next append so torn bytes never end up under a good record. *)
+let truncate_to t len =
+  Unix.ftruncate t.fd len;
+  ignore (Unix.lseek t.fd len Unix.SEEK_SET)
+
+let sync t =
+  Io.fsync t.fd;
+  Obs.Counter.incr t.m_fsyncs
+
+let close t =
+  (try sync t with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,12 +1,34 @@
 (** A blocking wire-protocol client, shared by [obda_cli query
-    --connect], the serve benchmark's closed loop and the transcript
-    test.  One request in flight per connection — the protocol has no
-    multiplexing, by design. *)
+    --connect], the serve benchmark's closed loop, the transcript tests
+    and the chaos harness.  One request in flight per connection — the
+    protocol has no multiplexing, by design.
+
+    Resilience: [connect ~retries:n] turns {!request} into a retrying
+    call — a dead connection (refused dial, mid-request hangup,
+    truncated reply) or a [BUSY] shed is retried up to [n] times with
+    jittered exponential backoff, re-establishing the connection as
+    needed.  Every wire verb is idempotent (loads are set-semantics
+    inserts or whole-value swaps, PREPARE is a replace, reads are
+    reads), so a request whose first attempt was applied but whose
+    reply was lost re-applies to the same state.  The default
+    [retries = 0] is the historical single-attempt behaviour.  Retries
+    and reconnections are counted as [obda_client_retries_total] /
+    [obda_client_reconnects_total]. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Durable.Io.reader;
+}
 
 type t = {
-  fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
+  endpoint : string;
+  retries : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;        (** relative: 0.25 = +/-25% of the delay *)
+  m_retries : Obs.Counter.t;
+  m_reconnects : Obs.Counter.t;
+  mutable conn : conn option;
 }
 
 (** Endpoint syntax accepted by [connect]:
@@ -40,36 +62,75 @@ let parse_endpoint spec =
     else if String.contains spec '/' then Result.Ok (Unix.ADDR_UNIX spec)
     else host_port spec)
 
-let connect spec =
+let dial spec =
   match parse_endpoint spec with
   | Result.Error _ as e -> e
   | Result.Ok addr -> (
     let domain = Unix.domain_of_sockaddr addr in
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
-    | () ->
-      Result.Ok
-        { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | () -> Result.Ok { fd; reader = Durable.Io.reader fd }
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Result.Error
         (Printf.sprintf "connect %s: %s" spec (Unix.error_message e)))
 
-let close t =
-  try Unix.close t.fd with Unix.Unix_error _ -> ()
+let connect ?(retries = 0) ?(base_delay = 0.05) ?(max_delay = 2.0)
+    ?(jitter = 0.25) ?(registry = Obs.default) spec =
+  match dial spec with
+  | Result.Error _ as e -> e
+  | Result.Ok conn ->
+    Result.Ok
+      {
+        endpoint = spec;
+        retries;
+        base_delay;
+        max_delay;
+        jitter;
+        m_retries = Obs.Registry.counter registry "obda_client_retries_total";
+        m_reconnects =
+          Obs.Registry.counter registry "obda_client_reconnects_total";
+        conn = Some conn;
+      }
 
-let send_lines t lines =
-  List.iter
-    (fun line ->
-      output_string t.oc line;
-      output_char t.oc '\n')
-    lines;
-  flush t.oc
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    t.conn <- None
 
-let read_reply t =
-  match input_line t.ic with
-  | exception End_of_file -> Result.Error "connection closed by server"
-  | header -> (
+let close t = drop_conn t
+
+(* re-establish after a drop; counted — the initial dial is not *)
+let ensure_conn t =
+  match t.conn with
+  | Some c -> Result.Ok c
+  | None -> (
+    match dial t.endpoint with
+    | Result.Error _ as e -> e
+    | Result.Ok c ->
+      Obs.Counter.incr t.m_reconnects;
+      t.conn <- Some c;
+      Result.Ok c)
+
+(* -------------------------- one raw exchange ------------------------- *)
+
+let send_conn conn lines =
+  let text = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  match Durable.Io.write_string conn.fd text with
+  | () -> Result.Ok ()
+  | exception Unix.Unix_error (e, fn, _) ->
+    Result.Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let max_reply_line = 1 lsl 20
+
+let read_reply_conn conn =
+  match Durable.Io.read_line conn.reader ~max_line:max_reply_line with
+  | None -> Result.Error "connection closed by server"
+  | exception Unix.Unix_error (e, fn, _) ->
+    Result.Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | Some header -> (
     match Wire.parse_reply_header header with
     | Result.Error _ as e -> e
     | Result.Ok `Busy -> Result.Ok Wire.Busy
@@ -78,17 +139,65 @@ let read_reply t =
       let rec collect k acc =
         if k = 0 then Result.Ok (Wire.Ok (List.rev acc))
         else
-          match input_line t.ic with
-          | exception End_of_file -> Result.Error "truncated reply payload"
-          | line -> collect (k - 1) (line :: acc)
+          match Durable.Io.read_line conn.reader ~max_line:max_reply_line with
+          | None -> Result.Error "truncated reply payload"
+          | Some line -> collect (k - 1) (line :: acc)
       in
       collect n []))
 
-(** [request t req] — send one request, read one reply. *)
+(* raw access on the current connection (no retry) — the transcript
+   tests speak malformed protocol through these on purpose *)
+
+let send_lines t lines =
+  match ensure_conn t with
+  | Result.Error e -> raise (Sys_error e)
+  | Result.Ok conn -> (
+    match send_conn conn lines with
+    | Result.Ok () -> ()
+    | Result.Error e -> raise (Sys_error e))
+
+let read_reply t =
+  match t.conn with
+  | None -> Result.Error "not connected"
+  | Some conn -> read_reply_conn conn
+
+(* ------------------------------ retries ------------------------------ *)
+
+let backoff_delay t attempt =
+  let d = Float.min t.max_delay (t.base_delay *. (2. ** float_of_int attempt)) in
+  let r = (Random.float 2.0 -. 1.0) *. t.jitter in
+  Float.max 0.0 (d *. (1. +. r))
+
+(** [request t req] — send one request, read one reply; with
+    [retries > 0], transparently retries transport failures and [BUSY]
+    sheds, reconnecting as needed. *)
 let request t req =
-  match send_lines t (Wire.encode_request req) with
-  | () -> read_reply t
-  | exception Sys_error e -> Result.Error e
+  let lines = Wire.encode_request req in
+  let rec attempt n =
+    let outcome =
+      match ensure_conn t with
+      | Result.Error _ as e -> e
+      | Result.Ok conn -> (
+        match send_conn conn lines with
+        | Result.Error _ as e -> e
+        | Result.Ok () -> read_reply_conn conn)
+    in
+    let retry () =
+      Obs.Counter.incr t.m_retries;
+      Thread.delay (backoff_delay t n);
+      attempt (n + 1)
+    in
+    match outcome with
+    | Result.Ok Wire.Busy when n < t.retries ->
+      (* shed by admission control: the connection is fine, just wait *)
+      retry ()
+    | Result.Ok _ as reply -> reply
+    | Result.Error _ when n < t.retries ->
+      drop_conn t;
+      retry ()
+    | Result.Error _ as e -> e
+  in
+  attempt 0
 
 (* ------------------------- typed stats access ------------------------ *)
 

@@ -24,7 +24,15 @@
     [stop] makes shutdown graceful: listeners close (no new
     connections), the executor stops admitting and drains in-flight
     requests, then remaining connections are shut down.  It returns the
-    number of requests that were in flight when the drain began. *)
+    number of requests that were in flight when the drain began; those
+    are also counted as [obda_requests_total{result="drained"}], and a
+    store attached to the service is sync'd and closed — the last
+    acknowledged mutation is on disk before the process exits.
+
+    Connection I/O goes through {!Durable.Io} (EINTR-retried reads,
+    partial-write-completing writes) — the same helpers the WAL uses —
+    so a signal landing mid-syscall can no longer masquerade as a dead
+    connection. *)
 
 type config = {
   workers : int;           (** executor worker domains *)
@@ -49,6 +57,7 @@ type req_metrics = {
   m_err : Obs.Counter.t;
   m_busy : Obs.Counter.t;
   m_timeout : Obs.Counter.t;
+  m_drained : Obs.Counter.t;    (** in flight when a graceful stop began *)
   m_seconds : Obs.Histogram.t;  (** full lifecycle: dispatch to reply *)
 }
 
@@ -82,6 +91,7 @@ let create ?(config = default_config) service =
         m_err = result_counter "err";
         m_busy = result_counter "busy";
         m_timeout = result_counter "timeout";
+        m_drained = result_counter "drained";
         m_seconds = Obs.Registry.histogram registry "obda_request_seconds";
       };
     mutex = Mutex.create ();
@@ -122,33 +132,6 @@ let listen_tcp t ~host ~port =
   | Unix.ADDR_INET (_, bound) -> bound
   | _ -> port
 
-(* --------------------------- line reading --------------------------- *)
-
-(* Bounded line reader: never buffers more than [max_line + 1] bytes of
-   a single line.  An over-long line is truncated (the tail up to the
-   newline is consumed and discarded) and handed to the decoder, whose
-   length check reports it — one error path for both transports.  Only
-   a CR immediately preceding the newline is stripped (CRLF clients);
-   a CR anywhere else is payload content and passes through. *)
-let read_line_bounded ic ~max_line =
-  let buf = Buffer.create 128 in
-  let add c = if Buffer.length buf <= max_line then Buffer.add_char buf c in
-  let rec go ~pending_cr =
-    match input_char ic with
-    | '\n' -> Some (Buffer.contents buf)
-    | c ->
-      if pending_cr then add '\r';
-      if c = '\r' then go ~pending_cr:true
-      else begin
-        add c;
-        go ~pending_cr:false
-      end
-    | exception End_of_file ->
-      if pending_cr then add '\r';
-      if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
-  in
-  go ~pending_cr:false
-
 (* ------------------------- request dispatch ------------------------- *)
 
 type cell = { cm : Mutex.t; mutable result : Wire.reply option }
@@ -160,6 +143,10 @@ let dispatch t request =
     Obs.Counter.incr counter;
     reply
   in
+  match Durable.Failpoint.check "serve.request" with
+  | exception Durable.Failpoint.Injected name ->
+    finish t.rm.m_err (Wire.Err ("injected fault at " ^ name))
+  | () ->
   let cell = { cm = Mutex.create (); result = None } in
   let task () =
     let reply =
@@ -196,13 +183,12 @@ let dispatch t request =
 
 (* --------------------------- connections ---------------------------- *)
 
-let send_reply oc reply =
-  List.iter
-    (fun line ->
-      output_string oc line;
-      output_char oc '\n')
-    (Wire.encode_reply reply);
-  flush oc
+let send_reply fd reply =
+  let text =
+    String.concat ""
+      (List.map (fun line -> line ^ "\n") (Wire.encode_reply reply))
+  in
+  Durable.Io.write_string fd text
 
 let forget_conn t fd =
   Mutex.lock t.mutex;
@@ -210,21 +196,22 @@ let forget_conn t fd =
   Mutex.unlock t.mutex
 
 let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let reader = Durable.Io.reader fd in
   let decoder = Wire.decoder ~limits:t.config.limits () in
   let rec loop () =
-    match read_line_bounded ic ~max_line:t.config.limits.Wire.max_line with
+    match
+      Durable.Io.read_line reader ~max_line:t.config.limits.Wire.max_line
+    with
     | None -> ()
     | Some line -> (
       match Wire.feed decoder line with
       | Wire.More -> loop ()
       | Wire.Error e ->
-        send_reply oc (Wire.Err e);
+        send_reply fd (Wire.Err e);
         loop ()
-      | Wire.Request Wire.Quit -> send_reply oc (Wire.Ok [])
+      | Wire.Request Wire.Quit -> send_reply fd (Wire.Ok [])
       | Wire.Request request ->
-        send_reply oc (dispatch t request);
+        send_reply fd (dispatch t request);
         loop ())
   in
   (try loop () with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
@@ -283,4 +270,10 @@ let stop t =
   List.iter Thread.join t.accept_threads;
   t.accept_threads <- [];
   Parallel.Executor.shutdown t.exec;
+  Obs.Counter.incr ~by:in_flight t.rm.m_drained;
+  (* sync and close an attached store: the drain's last acknowledged
+     mutation is on disk before the process exits *)
+  (match Service.attached_store t.service with
+   | Some store -> Durable.Store.close store
+   | None -> ());
   in_flight

@@ -33,7 +33,20 @@
     order: session before cache/stats; the registry lock is never held
     across an operation).  Cached values shared between sessions
     (classifications, compiled UCQs) are immutable, so concurrent reads
-    need no lock. *)
+    need no lock.
+
+    Durability: with a {!Durable.Store.t} attached, every mutation
+    (LOAD, PREPARE and their typed equivalents) is validated, then
+    appended to the write-ahead log and fsync'd, and only then applied
+    and acknowledged — so an acknowledged mutation is always on disk,
+    and a WAL refusal (injected or real I/O failure) turns into an
+    [ERR] with the in-memory state untouched.  {!restore} replays a
+    recovered mutation list through the exact same handlers;
+    classifications and rewritings are then re-derived on demand and
+    re-hit the fingerprint-keyed caches naturally.  Periodic snapshots
+    compact the whole service into a few records per session, written
+    stop-the-world under every session lock in the session → store
+    order that mutating operations also follow. *)
 
 open Dllite
 
@@ -49,11 +62,23 @@ type session = {
   mutable map_fp : string;
   prepared : (string, string) Hashtbl.t;  (** name -> raw query text *)
   answers : (string, string list list) Lru.t;
+  (* durable replay sources: the payload text that rebuilds the current
+     TBox, and — because mapping text parses against the signature in
+     force when it was loaded — the (tbox text, mappings text) pair from
+     the last mappings load.  Snapshots are compacted from these plus a
+     dump of the database. *)
+  mutable d_tbox_text : string list;
+  mutable d_map : (string list * string list) option;
 }
 
 type t = {
   registry_mutex : Mutex.t;  (** guards [sessions]; never held across an op *)
   cache_mutex : Mutex.t;     (** guards [rewrites] and [classifications] *)
+  snap_mutex : Mutex.t;      (** at most one snapshot writer at a time *)
+  mutable store : Durable.Store.t option;
+      (** attached via {!attach_store} after {!restore}; [None] = no
+          durability *)
+  chaos : bool;  (** honour the [FAIL] wire verb *)
   mode : Obda.Engine.rewriting_mode;
   lru_capacity : int;
   registry : Obs.registry;   (** every metric of this service lives here *)
@@ -71,10 +96,13 @@ type t = {
     select the closure algorithm for classifications triggered by any
     session. *)
 let create ?(mode = Obda.Engine.Perfect_ref) ?(lru = 256)
-    ?(registry = Obs.default) ?algorithm ?jobs () =
+    ?(registry = Obs.default) ?algorithm ?jobs ?(chaos = false) () =
   {
     registry_mutex = Mutex.create ();
     cache_mutex = Mutex.create ();
+    snap_mutex = Mutex.create ();
+    store = None;
+    chaos;
     mode;
     lru_capacity = lru;
     registry;
@@ -125,6 +153,99 @@ let fp_mappings mappings =
     mappings;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* --------------------------- replay renderers ----------------------- *)
+(* Renderers producing the text logged to the WAL and written into
+   snapshots.  Each output re-parses through the same front door the
+   original request came through ([Parser.tbox_of_string],
+   [Qparse.parse_mappings], [Qparse.parse_facts]), so recovery is the
+   normal load path — not a second deserializer that could drift.       *)
+
+let quote v = "\"" ^ v ^ "\""
+
+(* always-quoted arguments: [parse_facts] strips the quotes back off, so
+   values that happen to look like syntax round-trip *)
+let fact_line rel row =
+  Printf.sprintf "%s(%s)" rel (String.concat ", " (List.map quote row))
+
+(* [Tbox.to_string] prints axioms only; replay also needs the declared
+   vocabulary (classification reports axiom-free names, and mapping /
+   ABox loads validate against it), so emit explicit declarations *)
+let tbox_payload tbox =
+  let sg = Tbox.signature tbox in
+  List.map (fun c -> "concept " ^ c) (Signature.concepts sg)
+  @ List.map (fun r -> "role " ^ r) (Signature.roles sg)
+  @ List.map (fun a -> "attr " ^ a) (Signature.attributes sg)
+  @ List.map Syntax.axiom_to_string (Tbox.axioms tbox)
+
+let term_text = function
+  | Obda.Cq.Var v -> v
+  | Obda.Cq.Const c -> quote c
+
+(* body atoms print untagged when the sort tag came from [signature] —
+   the replay parse against the same signature re-tags them identically;
+   a predicate that merely looks tagged is left alone and rides through
+   as a raw database relation, exactly as it parsed originally *)
+let atom_text signature { Obda.Cq.pred; args } =
+  let pred =
+    if String.length pred > 2 && pred.[1] = '$' then begin
+      let base = String.sub pred 2 (String.length pred - 2) in
+      match pred.[0] with
+      | 'c' when Signature.mem_concept base signature -> base
+      | 'r' when Signature.mem_role base signature -> base
+      | 'a' when Signature.mem_attribute base signature -> base
+      | _ -> pred
+    end
+    else pred
+  in
+  Printf.sprintf "%s(%s)" pred (String.concat ", " (List.map term_text args))
+
+let head_text = function
+  | Obda.Mapping.Concept_head (a, t) -> Printf.sprintf "%s(%s)" a (term_text t)
+  | Obda.Mapping.Role_head (p, t1, t2) ->
+    Printf.sprintf "%s(%s, %s)" p (term_text t1) (term_text t2)
+  | Obda.Mapping.Attr_head (u, t, v) ->
+    Printf.sprintf "%s(%s, %s)" u (term_text t) (term_text v)
+
+let mappings_payload signature mappings =
+  List.map
+    (fun m ->
+      Printf.sprintf "map %s <- %s"
+        (head_text m.Obda.Mapping.target)
+        (String.concat ", "
+           (List.map (atom_text signature) m.Obda.Mapping.source.Obda.Cq.body)))
+    mappings
+
+(* ------------------------- log before apply ------------------------- *)
+
+(** Raised by the typed write API when the WAL refuses a mutation (an
+    injected failpoint or a real I/O error); nothing was applied. *)
+exception Durability of string
+
+let log_mutation t m =
+  match t.store with
+  | None -> Result.Ok ()
+  | Some store -> (
+    try
+      Durable.Store.append store m;
+      Result.Ok ()
+    with
+    | Durable.Failpoint.Injected name ->
+      Result.Error (Printf.sprintf "wal: injected fault at %s" name)
+    | Unix.Unix_error (e, fn, _) ->
+      Result.Error (Printf.sprintf "wal: %s: %s" fn (Unix.error_message e))
+    | Sys_error e -> Result.Error ("wal: " ^ e))
+
+let log_load t s kind payload =
+  log_mutation t
+    (Durable.Store.Load
+       { session = s.sname; kind = Wire.string_of_kind kind; payload })
+
+(* the typed-API flavour: refusal is an exception, not a reply *)
+let logged t s kind payload =
+  match log_load t s kind payload with
+  | Result.Ok () -> ()
+  | Result.Error e -> raise (Durability e)
+
 (* ------------------------------ sessions ---------------------------- *)
 
 let rebuild_engine t s =
@@ -154,6 +275,8 @@ let fresh_session t name =
       Lru.create
         ~metrics:(t.registry, [ ("cache", "answers"); ("session", name) ])
         ~capacity:t.lru_capacity ();
+    d_tbox_text = [];
+    d_map = None;
   }
 
 (* Registry lookups hold only the (leaf-duration) registry mutex; the
@@ -180,13 +303,26 @@ let session_names t =
 (* All [op_*] functions assume the session's mutex is held; the shared
    caches they touch are guarded internally by [cache_mutex].           *)
 
-let op_set_tbox t s tbox =
+(* [?source] is the payload text the mutation arrived as (wire LOADs);
+   typed calls render an equivalent one — either way the session keeps
+   the replay text its current state can be rebuilt from *)
+let op_set_tbox t s ?source tbox =
   s.tbox <- tbox;
   s.tbox_fp <- Tbox.fingerprint tbox;
+  s.d_tbox_text <-
+    (match source with Some p -> p | None -> tbox_payload tbox);
   rebuild_engine t s;
   bump s
 
-let op_set_mappings t s mappings =
+let op_set_mappings t s ?source mappings =
+  let text =
+    match source with
+    | Some p -> p
+    | None -> mappings_payload (Tbox.signature s.tbox) mappings
+  in
+  (* mapping text parses against the signature in force *now*: remember
+     the TBox text it was loaded under, for snapshot compaction *)
+  s.d_map <- Some (s.d_tbox_text, text);
   s.mappings <- mappings;
   s.map_fp <- fp_mappings mappings;
   rebuild_engine t s;
@@ -247,6 +383,78 @@ let op_ask t s q =
     Lru.put s.answers akey tuples;
     tuples
 
+(* ------------------------------ snapshots --------------------------- *)
+
+(* The compact mutation list a session's state replays from (caller
+   holds [s.smutex]): the TBox text — preceded, when the mappings were
+   loaded under a different TBox, by that TBox so the mapping text
+   parses against the right signature — then one FACTS dump of the
+   database (materialized ABox assertions ride along as their tagged
+   relations), then the prepared queries.  Facts and prepared names are
+   sorted so snapshots of equal states are byte-identical. *)
+let dump_session_records s =
+  let load kind payload =
+    Durable.Store.Load { session = s.sname; kind; payload }
+  in
+  let intensional =
+    match s.d_map with
+    | None -> [ load "TBOX" s.d_tbox_text ]
+    | Some (tt, mp) when tt = s.d_tbox_text ->
+      [ load "TBOX" tt; load "MAPPINGS" mp ]
+    | Some (tt, mp) ->
+      [ load "TBOX" tt; load "MAPPINGS" mp; load "TBOX" s.d_tbox_text ]
+  in
+  let facts =
+    List.concat_map
+      (fun rel -> List.map (fact_line rel) (Obda.Database.rows s.database rel))
+      (Obda.Database.relation_names s.database)
+    |> List.sort compare
+  in
+  let prepared =
+    Hashtbl.fold (fun name query acc -> (name, query) :: acc) s.prepared []
+    |> List.sort compare
+    |> List.map (fun (name, query) ->
+           Durable.Store.Prepare { session = s.sname; name; query })
+  in
+  intensional
+  @ (if facts = [] then [] else [ load "FACTS" facts ])
+  @ prepared
+
+(** [snapshot_now t] compacts the whole service state into a snapshot
+    (no-op without an attached store).  Stop-the-world: every session
+    lock is taken (in sorted-name order) before the store is touched —
+    the same session → store order every mutating operation follows, so
+    the fenced sequence number cannot race a concurrent append.  A
+    failed write is logged and dropped; the WAL still has everything. *)
+let snapshot_now t =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    if Mutex.try_lock t.snap_mutex then
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.snap_mutex)
+        (fun () ->
+          let sessions = List.filter_map (find_session t) (session_names t) in
+          List.iter (fun s -> Mutex.lock s.smutex) sessions;
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter (fun s -> Mutex.unlock s.smutex) (List.rev sessions))
+            (fun () ->
+              let records = List.concat_map dump_session_records sessions in
+              try Durable.Store.write_snapshot store records with
+              | Durable.Failpoint.Injected name ->
+                Logs.warn (fun m ->
+                    m "snapshot refused: injected fault at %s" name)
+              | Unix.Unix_error (e, fn, _) ->
+                Logs.warn (fun m ->
+                    m "snapshot failed: %s: %s" fn (Unix.error_message e))))
+
+(* called after every mutating operation, outside the session lock *)
+let maybe_snapshot t =
+  match t.store with
+  | Some store when Durable.Store.want_snapshot store -> snapshot_now t
+  | _ -> ()
+
 (* ------------------------- typed (embedded) API --------------------- *)
 (* The API the conformance subject, the QCheck properties and the serve
    benchmark drive directly; the wire layer below maps onto the same
@@ -259,24 +467,52 @@ exception Unknown_session of string
    mask the caller's error *)
 let write_op t name op f =
   let s = get_or_create_session t name in
-  locked s.smutex (fun () -> timed t op (fun () -> f s))
+  let result = locked s.smutex (fun () -> timed t op (fun () -> f s)) in
+  maybe_snapshot t;
+  result
 
 let read_op t name op f =
   match find_session t name with
   | None -> raise (Unknown_session name)
   | Some s -> locked s.smutex (fun () -> timed t op (fun () -> f s))
 
+(* each write renders its replay text and logs it before applying;
+   @raise Durability when the WAL refuses (nothing applied) *)
+
 let set_tbox t ~session:name tbox =
-  write_op t name "load" (fun s -> op_set_tbox t s tbox)
+  write_op t name "load" (fun s ->
+      let payload = tbox_payload tbox in
+      logged t s Wire.K_tbox payload;
+      op_set_tbox t s ~source:payload tbox)
 
 let set_mappings t ~session:name mappings =
-  write_op t name "load" (fun s -> op_set_mappings t s mappings)
+  write_op t name "load" (fun s ->
+      let payload = mappings_payload (Tbox.signature s.tbox) mappings in
+      logged t s Wire.K_mappings payload;
+      op_set_mappings t s ~source:payload mappings)
 
 let add_abox t ~session:name abox =
-  write_op t name "load" (fun s -> op_add_abox t s abox)
+  write_op t name "load" (fun s ->
+      (* ABox assertions materialize as their tagged relations, so they
+         log (and replay) as plain FACTS lines *)
+      let lines =
+        List.map
+          (function
+            | Abox.Concept_assert (a, c) ->
+              fact_line (Obda.Vabox.concept_pred a) [ c ]
+            | Abox.Role_assert (p, c1, c2) ->
+              fact_line (Obda.Vabox.role_pred p) [ c1; c2 ]
+            | Abox.Attr_assert (u, c, v) ->
+              fact_line (Obda.Vabox.attr_pred u) [ c; v ])
+          (Abox.assertions abox)
+      in
+      logged t s Wire.K_facts lines;
+      op_add_abox t s abox)
 
 let insert_fact t ~session:name rel row =
-  write_op t name "load" (fun s -> op_insert_fact t s rel row)
+  write_op t name "load" (fun s ->
+      logged t s Wire.K_facts [ fact_line rel row ];
+      op_insert_fact t s rel row)
 
 (** [ask t ~session q] — cached certain answers, canonical order.
     @raise Unknown_session when no such session was ever loaded. *)
@@ -456,24 +692,27 @@ let render_tuple = function
 
 let handle_load t s kind payload =
   let text = String.concat "\n" payload in
+  (* validate fully, then WAL, then apply: a malformed payload is never
+     logged, and a refused append is an ERR with nothing applied *)
+  let commit apply =
+    match log_load t s kind payload with
+    | Result.Error e -> Wire.Err e
+    | Result.Ok () ->
+      apply ();
+      Wire.Ok []
+  in
   match kind with
   | Wire.K_tbox -> (
     match Parser.tbox_of_string text with
-    | Result.Ok tbox ->
-      op_set_tbox t s tbox;
-      Wire.Ok []
+    | Result.Ok tbox -> commit (fun () -> op_set_tbox t s ~source:payload tbox)
     | Result.Error e -> Wire.Err ("ontology: " ^ e))
   | Wire.K_mappings -> (
     match Obda.Qparse.parse_mappings ~signature:(Tbox.signature s.tbox) text with
-    | mappings ->
-      op_set_mappings t s mappings;
-      Wire.Ok []
+    | mappings -> commit (fun () -> op_set_mappings t s ~source:payload mappings)
     | exception Obda.Qparse.Parse_error e -> Wire.Err ("mappings: " ^ e))
   | Wire.K_abox -> (
     match parse_abox_lines (Tbox.signature s.tbox) payload with
-    | assertions ->
-      op_add_abox t s (Abox.of_list assertions);
-      Wire.Ok []
+    | assertions -> commit (fun () -> op_add_abox t s (Abox.of_list assertions))
     | exception Bad_line e -> Wire.Err ("abox: " ^ e))
   | Wire.K_facts -> (
     (* parse fully before the first insert: a malformed line must leave
@@ -481,9 +720,11 @@ let handle_load t s kind payload =
        serving pre-load answers from the cache over a half-loaded KB *)
     match Obda.Qparse.parse_facts text with
     | rows ->
-      List.iter (fun (rel, row) -> Obda.Database.insert s.database rel row) rows;
-      bump s;
-      Wire.Ok []
+      commit (fun () ->
+          List.iter
+            (fun (rel, row) -> Obda.Database.insert s.database rel row)
+            rows;
+          bump s)
     | exception Obda.Qparse.Parse_error e -> Wire.Err ("facts: " ^ e))
 
 let parse_query s text =
@@ -518,8 +759,12 @@ let handle t request =
   match request with
   | Wire.Load { session = name; kind; payload } ->
     let s = get_or_create_session t name in
-    locked s.smutex (fun () ->
-        timed t "load" (fun () -> handle_load t s kind payload))
+    let reply =
+      locked s.smutex (fun () ->
+          timed t "load" (fun () -> handle_load t s kind payload))
+    in
+    maybe_snapshot t;
+    reply
   | Wire.Classify { session = name } -> (
     match find_session t name with
     | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
@@ -536,16 +781,27 @@ let handle t request =
               Wire.Ok lines)))
   | Wire.Prepare { session = name; name = qname; query } ->
     let s = get_or_create_session t name in
-    locked s.smutex (fun () ->
-        timed t "prepare" (fun () ->
-            match parse_query s query with
-            | Result.Error e -> Wire.Err ("query: " ^ e)
-            | Result.Ok _ ->
-              (* stored as text and re-parsed per ASK: a later TBox swap
-                 may re-sort predicate names, which must affect the
-                 parse, not silently reuse a stale one *)
-              Hashtbl.replace s.prepared qname query;
-              Wire.Ok []))
+    let reply =
+      locked s.smutex (fun () ->
+          timed t "prepare" (fun () ->
+              match parse_query s query with
+              | Result.Error e -> Wire.Err ("query: " ^ e)
+              | Result.Ok _ -> (
+                match
+                  log_mutation t
+                    (Durable.Store.Prepare
+                       { session = name; name = qname; query })
+                with
+                | Result.Error e -> Wire.Err e
+                | Result.Ok () ->
+                  (* stored as text and re-parsed per ASK: a later TBox
+                     swap may re-sort predicate names, which must affect
+                     the parse, not silently reuse a stale one *)
+                  Hashtbl.replace s.prepared qname query;
+                  Wire.Ok [])))
+    in
+    maybe_snapshot t;
+    reply
   | Wire.Ask { session = name; query } -> (
     match find_session t name with
     | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
@@ -554,4 +810,50 @@ let handle t request =
   | Wire.Stats filter ->
     timed t "stats" (fun () -> Wire.Ok (stats_lines ?session:filter t))
   | Wire.Metrics -> timed t "metrics" (fun () -> Wire.Ok (metrics_lines t))
+  | Wire.Fail { name; spec } ->
+    timed t "fail" (fun () ->
+        if not t.chaos then
+          Wire.Err "FAIL requires a server started with --chaos"
+        else
+          match Durable.Failpoint.arm_spec name spec with
+          | Result.Ok () -> Wire.Ok []
+          | Result.Error e -> Wire.Err ("failpoint: " ^ e))
   | Wire.Quit -> Wire.Ok []
+
+(* ------------------------------ recovery ---------------------------- *)
+
+(** [restore t mutations] replays a recovered mutation list
+    ([Durable.Store.recovery]) through the ordinary handlers — recovery
+    is the normal load path, not a second interpreter.  Must run before
+    {!attach_store}, so the replay is not logged again.  Returns the
+    count applied, or the first replay failure: a mutation that was
+    acknowledged once cannot legally fail, so an error here means the
+    log and the code disagree, and refusing to serve beats serving
+    divergent answers. *)
+let restore t mutations =
+  let replay m =
+    match m with
+    | Durable.Store.Load { session; kind; payload } -> (
+      match Wire.kind_of_string kind with
+      | Some kind -> handle t (Wire.Load { session; kind; payload })
+      | None -> Wire.Err (Printf.sprintf "unknown load kind %s" kind))
+    | Durable.Store.Prepare { session; name; query } ->
+      handle t (Wire.Prepare { session; name; query })
+  in
+  let rec go i = function
+    | [] -> Result.Ok i
+    | m :: rest -> (
+      match replay m with
+      | Wire.Ok _ -> go (i + 1) rest
+      | Wire.Err e -> Result.Error (Printf.sprintf "mutation %d: %s" (i + 1) e)
+      | Wire.Busy -> Result.Error (Printf.sprintf "mutation %d: busy" (i + 1)))
+  in
+  go 0 mutations
+
+(** [attach_store t store] switches mutation logging on: every later
+    acknowledged mutation is on disk before it is applied. *)
+let attach_store t store = t.store <- Some store
+
+(** The attached store, if any — the server's drain path syncs and
+    closes it. *)
+let attached_store t = t.store

@@ -11,8 +11,13 @@
       ASK <session> ? <query text ...>
       STATS [<session>]
       METRICS
+      FAIL <failpoint> <spec>
       QUIT
     v}
+
+    [FAIL] arms (or, with spec [off], disarms) a named failpoint in the
+    durable I/O or request path — chaos tooling only, and the service
+    refuses it unless the server runs with [--chaos].
 
     [STATS] replies are versioned and machine-parsable since schema
     version 2: the first payload line is [stats.version 2], each
@@ -66,6 +71,8 @@ type request =
   | Ask of { session : string; query : query_ref }
   | Stats of string option
   | Metrics  (** Prometheus-style text exposition *)
+  | Fail of { name : string; spec : string }
+      (** arm/disarm a failpoint; honoured only under [--chaos] *)
   | Quit
 
 type reply =
@@ -101,6 +108,7 @@ let encode_request = function
   | Stats None -> [ "STATS" ]
   | Stats (Some session) -> [ "STATS " ^ session ]
   | Metrics -> [ "METRICS" ]
+  | Fail { name; spec } -> [ Printf.sprintf "FAIL %s %s" name spec ]
   | Quit -> [ "QUIT" ]
 
 let encode_reply = function
@@ -185,6 +193,7 @@ let parse_header d line =
   | [ "STATS" ] -> Request (Stats None)
   | [ "STATS"; session ] when valid_name session -> Request (Stats (Some session))
   | [ "METRICS" ] -> Request Metrics
+  | [ "FAIL"; name; spec ] when valid_name name -> Request (Fail { name; spec })
   | [ "QUIT" ] -> Request Quit
   | [] -> More  (* blank lines between requests are tolerated *)
   | verb :: _ ->

@@ -1,0 +1,163 @@
+(* Golden-transcript test of crash recovery: a scripted session runs in
+   a forked child against a durable store, the child is killed by a
+   crash failpoint inside the WAL commit path (the moral equivalent of
+   [kill -9] landing there), and the parent recovers the directory and
+   checks — via the printed transcript — that ASK and the durable
+   session stats match the state the child had acknowledged.
+
+   Two crash sites:
+
+   - between the WAL append and its fsync.  The in-flight mutation is
+     deliberately a duplicate FACTS insert, so the recovered state is
+     byte-identical to the acknowledged one whether or not that record
+     survived (process death, unlike power loss, preserves written but
+     unfsynced bytes — the transcript records it replaying);
+   - mid-record, via a partial write of 5 bytes.  Recovery must drop
+     the torn tail, count it in [obda_wal_truncations_total], and
+     replay exactly the acknowledged prefix.
+
+   Determinism: fresh per-phase registries, wall-clock values redacted,
+   scratch paths never printed, child stderr (the failpoint's crash
+   notice) discarded. *)
+
+module Wire = Server.Wire
+module Service = Server.Service
+module Store = Durable.Store
+module Failpoint = Durable.Failpoint
+
+let scratch =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "obda-recovery-transcript-%d" (Unix.getpid ()))
+
+let show_reply = function
+  | Wire.Busy -> [ "BUSY" ]
+  | Wire.Err e -> [ "ERR " ^ e ]
+  | Wire.Ok lines -> Printf.sprintf "OK %d" (List.length lines) :: lines
+
+let step service request =
+  List.iter (Printf.printf ">>> %s\n%!") (Wire.encode_request request);
+  List.iter (Printf.printf "<<< %s\n%!") (show_reply (Service.handle service request))
+
+(* the child's scripted, acknowledged session *)
+let script session =
+  [
+    Wire.Load
+      {
+        session;
+        kind = Wire.K_tbox;
+        payload = [ "role worksFor"; "Manager [= Employee"; "Employee [= Person" ];
+      };
+    Wire.Load
+      { session; kind = Wire.K_abox; payload = [ "Manager(ada)"; "Employee(bob)" ] };
+    Wire.Load { session; kind = Wire.K_facts; payload = [ "dept(\"ada\", \"hq\")" ] };
+    Wire.Prepare { session; name = "people"; query = "x <- Person(x)" };
+  ]
+
+(* what the recovered state is interrogated with *)
+let probes session =
+  [
+    Wire.Ask { session; query = Wire.Named "people" };
+    Wire.Ask { session; query = Wire.Inline "x <- Manager(x)" };
+    Wire.Ask { session; query = Wire.Inline "x <- dept(x, \"hq\")" };
+  ]
+
+(* in-flight when the crash fires; duplicates the earlier FACTS load so
+   acknowledged state and acknowledged+1 state coincide *)
+let in_flight session =
+  Wire.Load { session; kind = Wire.K_facts; payload = [ "dept(\"ada\", \"hq\")" ] }
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* print durable + session samples from a registry, wall-clock redacted *)
+let print_selected_samples registry =
+  List.iter
+    (fun s ->
+      let name = s.Obs.name in
+      let keep =
+        contains name "obda_wal_" || contains name "obda_recovery_"
+        || contains name "obda_snapshots_" || contains name "obda_session_"
+      in
+      if keep then
+        let labels =
+          match s.Obs.labels with
+          | [] -> "-"
+          | l -> String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+        in
+        let value =
+          if contains name "seconds" && not (String.ends_with ~suffix:"_count" name)
+          then "*"
+          else Obs.string_of_value s.Obs.value
+        in
+        Printf.printf "... %s %s %s\n" name labels value)
+    (Obs.Registry.samples registry)
+
+let child_session dir ~crash_site ~action =
+  (* the crash notice goes to stderr; the golden file only owns stdout *)
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 null Unix.stderr;
+  Unix.close null;
+  let registry = Obs.Registry.create () in
+  let store, _ =
+    match Store.open_dir ~registry dir with
+    | Result.Ok p -> p
+    | Result.Error e -> failwith e
+  in
+  let service = Service.create ~lru:16 ~registry () in
+  Service.attach_store service store;
+  List.iter (step service) (script "s");
+  Printf.printf "--- arming %s, then sending the duplicate FACTS load\n%!" crash_site;
+  Failpoint.arm crash_site action;
+  List.iter (Printf.printf ">>> %s\n%!") (Wire.encode_request (in_flight "s"));
+  ignore (Service.handle service (in_flight "s"));
+  (* unreachable: the failpoint kills the process *)
+  Printf.printf "!!! child survived the armed crash\n%!";
+  Unix._exit 1
+
+let recover_and_probe dir =
+  let registry = Obs.Registry.create () in
+  match Store.open_dir ~registry dir with
+  | Result.Error e -> Printf.printf "!!! recovery refused: %s\n" e
+  | Result.Ok (store, r) ->
+    Printf.printf
+      "--- recovered: %d mutation(s) (%d snapshot + %d wal), %d torn byte(s)\n"
+      (List.length r.Store.mutations)
+      r.Store.snapshot_records r.Store.wal_records r.Store.truncated_bytes;
+    let service = Service.create ~lru:16 ~registry () in
+    (match Service.restore service r.Store.mutations with
+     | Result.Ok n -> Printf.printf "--- replayed %d mutation(s)\n" n
+     | Result.Error e -> Printf.printf "!!! replay failed: %s\n" e);
+    Service.attach_store service store;
+    List.iter (step service) (probes "s");
+    print_selected_samples registry;
+    Store.close store
+
+let run_phase ~title ~crash_site ~action dir =
+  Printf.printf "=== %s\n%!" title;
+  (match Unix.fork () with
+   | 0 -> child_session dir ~crash_site ~action
+   | pid -> (
+     match Unix.waitpid [] pid with
+     | _, Unix.WEXITED n -> Printf.printf "--- child exited with code %d\n" n
+     | _, Unix.WSIGNALED _ -> Printf.printf "--- child killed by signal\n"
+     | _, Unix.WSTOPPED _ -> Printf.printf "--- child stopped\n"));
+  recover_and_probe dir
+
+let () =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+  Unix.mkdir scratch 0o755;
+  let dir name =
+    let d = Filename.concat scratch name in
+    Unix.mkdir d 0o755;
+    d
+  in
+  run_phase
+    ~title:"crash between WAL append and fsync (record written, unfsynced)"
+    ~crash_site:"wal.append.before_fsync" ~action:Failpoint.Crash (dir "fsync");
+  run_phase
+    ~title:"crash mid-record: 5 bytes of a torn append"
+    ~crash_site:"wal.append.write" ~action:(Failpoint.Partial 5) (dir "torn");
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)))

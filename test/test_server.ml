@@ -345,19 +345,22 @@ let test_service_unknown_session_typed () =
 
 (* --------------------------- line reading ---------------------------- *)
 
+(* the server's connection reader is [Durable.Io.read_line] over a raw
+   descriptor; exercise it through a file *)
 let read_lines_of_string content =
   let path = Filename.temp_file "server_test" ".txt" in
   let oc = open_out_bin path in
   output_string oc content;
   close_out oc;
-  let ic = open_in_bin path in
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let reader = Durable.Io.reader fd in
   let rec go acc =
-    match Server.Serve.read_line_bounded ic ~max_line:1024 with
+    match Durable.Io.read_line reader ~max_line:1024 with
     | Some line -> go (line :: acc)
     | None -> List.rev acc
   in
   let lines = go [] in
-  close_in ic;
+  Unix.close fd;
   Sys.remove path;
   lines
 
