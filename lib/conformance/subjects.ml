@@ -4,8 +4,10 @@
     Four classification subjects (the digraph classifier, the naive
     saturation baseline, the consequence-based simulation, the ALCHI
     tableau oracle), two KB-consistency subjects (rewritten violation
-    queries vs. the chase) and three certain-answer subjects
-    (PerfectRef and Presto compiled to SQL, vs. the bounded chase).
+    queries vs. the chase) and six certain-answer subjects (PerfectRef
+    and Presto compiled to SQL, the bounded chase, the naive and
+    cost-based/indexed Cq evaluators over the same rewriting, and the
+    cached serving path).
 
     Every subject answers with a three-valued {!verdict}: resource
     exhaustion (tableau budget, chase overflow) and *documented*
@@ -216,6 +218,35 @@ let chase_answers =
         with Obda.Chase.Overflow -> A_unknown "chase: overflow");
   }
 
+(* The two Cq evaluators over the same PerfectRef rewriting: the
+   original backtracking scan ([Cq.Naive], the oracle) against the
+   cost-based executor (selectivity-ordered plans + adaptive joins over
+   the database's persistent pattern indexes).  Because both share the
+   rewriting, any disagreement between them is an execution bug, not a
+   rewriting one — this is the lockdown for the indexed path. *)
+let naive_answers =
+  {
+    a_name = "perfectref-naive";
+    answers =
+      (fun tbox abox q ->
+        let rewritten, _stats = Obda.Rewrite.perfect_ref tbox [ q ] in
+        let db = database_of_abox abox in
+        Tuples
+          (canon (Obda.Cq.Naive.evaluate_ucq ~facts:(Obda.Database.facts db) rewritten)));
+  }
+
+let indexed_answers =
+  {
+    a_name = "indexed";
+    answers =
+      (fun tbox abox q ->
+        let rewritten, _stats = Obda.Rewrite.perfect_ref tbox [ q ] in
+        let db = database_of_abox abox in
+        Tuples
+          (canon
+             (Obda.Cq.evaluate_ucq_src ~source:(Obda.Database.source db) rewritten)));
+  }
+
 (* The served path: one process-wide Service shared across fuzz cases,
    so the fingerprint-keyed rewrite cache carries entries from case to
    case — exactly the reuse whose soundness is under test.  Every case
@@ -238,4 +269,8 @@ let service_answers =
         Tuples (Server.Service.ask t ~session q));
   }
 
-let answer_subjects = [ perfectref_sql; presto_sql; chase_answers; service_answers ]
+let answer_subjects =
+  [
+    perfectref_sql; presto_sql; chase_answers; naive_answers; indexed_answers;
+    service_answers;
+  ]

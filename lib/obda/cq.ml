@@ -210,85 +210,579 @@ let minimize_ucq ucq =
 (* Evaluation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** [evaluate ~facts q] computes the answer tuples of [q] over the fact
-    source [facts : pred -> string list list] by backtracking joins.
-    When an atom has an argument already bound (a constant, or a join
-    variable bound by an earlier atom), candidate rows come from a
-    lazily built hash index on that column instead of a full relation
-    scan — the difference between quadratic and near-linear joins on
-    OBDA-sized data.  Duplicate answers are removed; tuple order is
-    unspecified. *)
-let evaluate ~facts q =
-  let results = Hashtbl.create 16 in
-  (* (pred, column) -> value -> rows; built on first use *)
+(** The reference evaluator: the original backtracking scan, kept
+    verbatim as the oracle the cost-based executor below is
+    differentially tested against (the [indexed] conformance subject,
+    the qcheck equivalence properties, and the planner regression
+    tests all compare against this module). *)
+module Naive = struct
+  (** [evaluate ~facts q] computes the answer tuples of [q] over the fact
+      source [facts : pred -> string list list] by backtracking joins.
+      When an atom has an argument already bound (a constant, or a join
+      variable bound by an earlier atom), candidate rows come from a
+      lazily built hash index on that column instead of a full relation
+      scan.  Duplicate answers are removed; tuple order is
+      unspecified. *)
+  let evaluate ~facts q =
+    let results = Hashtbl.create 16 in
+    (* (pred, column) -> value -> rows; built on first use *)
+    let indexes = Hashtbl.create 8 in
+    let column_index pred i =
+      match Hashtbl.find_opt indexes (pred, i) with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun row ->
+            match List.nth_opt row i with
+            | Some key ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+              Hashtbl.replace tbl key (row :: prev)
+            | None -> ())
+          (facts pred);
+        Hashtbl.add indexes (pred, i) tbl;
+        tbl
+    in
+    let candidates subst a =
+      let rec first_bound i = function
+        | [] -> None
+        | t :: rest -> (
+          match apply_term subst t with
+          | Const c -> Some (i, c)
+          | Var _ -> first_bound (i + 1) rest)
+      in
+      match first_bound 0 a.args with
+      | None -> facts a.pred
+      | Some (i, c) ->
+        Option.value ~default:[] (Hashtbl.find_opt (column_index a.pred i) c)
+    in
+    let rec go subst = function
+      | [] ->
+        let tuple =
+          List.map
+            (fun v ->
+              match Subst.find_opt v subst with
+              | Some (Const c) -> c
+              | Some (Var _) | None ->
+                invalid_arg "Cq.evaluate: unbound answer variable")
+            q.answer_vars
+        in
+        Hashtbl.replace results tuple ()
+      | a :: rest ->
+        List.iter
+          (fun row ->
+            if List.length row = List.length a.args then
+              let matched =
+                List.fold_left2
+                  (fun acc t v ->
+                    match acc with
+                    | None -> None
+                    | Some s -> match_term s t (Const v))
+                  (Some subst) a.args row
+              in
+              match matched with Some s -> go s rest | None -> ())
+          (candidates subst a)
+    in
+    go Subst.empty q.body;
+    Hashtbl.fold (fun tuple () acc -> tuple :: acc) results []
+
+  (** [evaluate_ucq ~facts ucq] is the deduplicated union of the
+      disjunct answers. *)
+  let evaluate_ucq ~facts ucq =
+    let results = Hashtbl.create 16 in
+    List.iter
+      (fun q -> List.iter (fun t -> Hashtbl.replace results t ()) (evaluate ~facts q))
+      ucq;
+    Hashtbl.fold (fun t () acc -> t :: acc) results []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fact sources                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A fact source the cost-based executor can plan against.  Beyond the
+    plain scan of the [facts]-function interface it exposes hash-index
+    probes on bound-position patterns and the two statistics the
+    planner's selectivity estimate needs.  [Database.source] backs this
+    with persistent, incrementally maintained indexes; {!source_of_facts}
+    wraps any [facts] function with per-call lazily built ones. *)
+type source = {
+  all : string -> string list list;
+      (** every row of a relation (set semantics: order unspecified) *)
+  cardinality : string -> int;  (** row count of a relation *)
+  probe : string -> (int * string) list -> string list list;
+      (** [probe pred [(i, v); ...]] — the rows whose column [i] holds
+          [v] for every pair; pairs must be sorted by strictly
+          increasing position *)
+  distinct_keys : string -> int list -> int;
+      (** number of distinct keys in the index on the given (strictly
+          increasing) position pattern — the planner divides by this to
+          estimate the rows one probe returns *)
+}
+
+(* the key a row contributes to the index on [positions]; [None] when
+   the row is too short to have all of them (it then can't match any
+   atom probing that pattern either) *)
+let key_of_row positions row =
+  let rec go positions i row acc =
+    match positions with
+    | [] -> Some (List.rev acc)
+    | p :: ps -> (
+      match row with
+      | [] -> None
+      | v :: rest ->
+        if p = i then go ps (i + 1) rest (v :: acc)
+        else go positions (i + 1) rest acc)
+  in
+  go positions 0 row []
+
+(** [source_of_facts facts] — a {!source} over a plain fact function,
+    with indexes built lazily per pattern and memoized for the lifetime
+    of the source (one [evaluate] call, or one UCQ when created by
+    {!evaluate_ucq}, shares them across disjuncts). *)
+let source_of_facts facts =
+  let rows_memo = Hashtbl.create 8 in
+  let all pred =
+    match Hashtbl.find_opt rows_memo pred with
+    | Some rows -> rows
+    | None ->
+      let rows = facts pred in
+      Hashtbl.add rows_memo pred rows;
+      rows
+  in
   let indexes = Hashtbl.create 8 in
-  let column_index pred i =
-    match Hashtbl.find_opt indexes (pred, i) with
+  let index pred positions =
+    match Hashtbl.find_opt indexes (pred, positions) with
     | Some tbl -> tbl
     | None ->
       let tbl = Hashtbl.create 64 in
       List.iter
         (fun row ->
-          match List.nth_opt row i with
+          match key_of_row positions row with
           | Some key ->
             let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
             Hashtbl.replace tbl key (row :: prev)
           | None -> ())
-        (facts pred);
-      Hashtbl.add indexes (pred, i) tbl;
+        (all pred);
+      Hashtbl.add indexes (pred, positions) tbl;
       tbl
   in
-  let candidates subst a =
-    let rec first_bound i = function
-      | [] -> None
-      | t :: rest -> (
-        match apply_term subst t with
-        | Const c -> Some (i, c)
-        | Var _ -> first_bound (i + 1) rest)
-    in
-    match first_bound 0 a.args with
-    | None -> facts a.pred
-    | Some (i, c) ->
-      Option.value ~default:[] (Hashtbl.find_opt (column_index a.pred i) c)
+  {
+    all;
+    cardinality = (fun pred -> List.length (all pred));
+    probe =
+      (fun pred bound ->
+        let tbl = index pred (List.map fst bound) in
+        Option.value ~default:[] (Hashtbl.find_opt tbl (List.map snd bound)));
+    distinct_keys = (fun pred positions -> Hashtbl.length (index pred positions));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based execution: selectivity-ordered plans, adaptive joins      *)
+(* ------------------------------------------------------------------ *)
+
+(* eager module-level registration: no lazy forcing races across domains *)
+let m_nested_loop =
+  Obs.counter ~labels:[ ("strategy", "nested_loop") ] "obda_join_strategy_total"
+let m_hash = Obs.counter ~labels:[ ("strategy", "hash") ] "obda_join_strategy_total"
+let m_probes = Obs.counter "obda_index_probes_total"
+
+(** Intermediate-binding cardinality at which a join step switches from
+    scan-and-filter nested loops to index-probe hash joins.  Below it,
+    scanning a relation once per binding is cheaper than touching (and
+    possibly building) the pattern index; above it, the per-binding
+    probe amortizes the build.  Override per call with
+    [?join_threshold]: [0] forces hash everywhere, [max_int] forces
+    nested loops everywhere (both are exercised by the equivalence
+    properties in the test suite). *)
+let default_join_threshold = 32
+
+module VarSet = Set.Make (String)
+
+let atom_vars a =
+  List.fold_left
+    (fun acc -> function Var v -> VarSet.add v acc | Const _ -> acc)
+    VarSet.empty a.args
+
+(* the argument positions of [a] that are bound given [bound_vars]:
+   constants, and variables every binding of the current intermediate
+   set assigns (all bindings share one domain, so boundness is a
+   property of the step, not of the individual binding) *)
+let bound_positions bound_vars a =
+  let rec go i = function
+    | [] -> []
+    | Const c :: rest -> (i, `Const c) :: go (i + 1) rest
+    | Var v :: rest ->
+      if VarSet.mem v bound_vars then (i, `Var v) :: go (i + 1) rest
+      else go (i + 1) rest
   in
-  let rec go subst = function
-    | [] ->
-      let tuple =
-        List.map
-          (fun v ->
-            match Subst.find_opt v subst with
-            | Some (Const c) -> c
-            | Some (Var _) | None ->
-              invalid_arg "Cq.evaluate: unbound answer variable")
-          q.answer_vars
+  go 0 a.args
+
+(* estimated rows one binding retrieves from [a]: the index cardinality
+   under the current binding set.  All-constant patterns probe the real
+   index (exact); patterns with bound variables use rows / distinct-keys
+   (the average bucket size); unconstrained atoms cost a full scan. *)
+let estimate source bound_vars a =
+  let bp = bound_positions bound_vars a in
+  if bp = [] then float_of_int (source.cardinality a.pred)
+  else if List.for_all (fun (_, k) -> match k with `Const _ -> true | `Var _ -> false) bp
+  then
+    float_of_int
+      (List.length
+         (source.probe a.pred
+            (List.map (fun (i, k) -> (i, match k with `Const c -> c | `Var _ -> assert false)) bp)))
+  else
+    let d = source.distinct_keys a.pred (List.map fst bp) in
+    if d = 0 then 0.0
+    else float_of_int (source.cardinality a.pred) /. float_of_int d
+
+(** [plan source q] orders the body greedily by estimated selectivity:
+    repeatedly pick the cheapest atom under the variables bound so far
+    (ties keep body order), then mark its variables bound.  Cheap atoms
+    shrink the intermediate binding set before expensive ones multiply
+    it — the classic greedy join order, using live index statistics as
+    the cost model. *)
+let plan source q =
+  let rec go bound_vars remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let best, _ =
+        List.fold_left
+          (fun (best, best_cost) a ->
+            let cost = estimate source bound_vars a in
+            match best with
+            | None -> (Some a, cost)
+            | Some _ when cost < best_cost -> (Some a, cost)
+            | Some _ -> (best, best_cost))
+          (None, infinity) remaining
       in
-      Hashtbl.replace results tuple ()
-    | a :: rest ->
+      let a = Option.get best in
+      go
+        (VarSet.union bound_vars (atom_vars a))
+        (List.filter (fun b -> b != a) remaining)
+        (a :: acc)
+  in
+  go VarSet.empty q.body []
+
+(* --- compiled positional form ------------------------------------- *)
+
+(* The executor does not run on [Subst] maps: a planned query is
+   compiled once into positional form — every variable gets a slot in a
+   string array, and each atom's argument list becomes a per-position
+   check/write spec.  Extending a binding is then an array copy plus a
+   few string equalities instead of a chain of map insertions, which is
+   where the bulk of the join time goes on large intermediate sets. *)
+
+(* sentinel for an unassigned slot, tested by physical equality only —
+   row values come from the fact source and can never be this block *)
+let unbound : string = Sys.opaque_identity (String.make 1 '\255')
+
+type pos_spec =
+  | P_const of string  (* position must hold this constant *)
+  | P_eq of int        (* slot is already assigned: must hold its value *)
+  | P_set of int       (* first occurrence of the variable: assign slot *)
+
+(* match a row against a compiled spec, extending [binding].  The copy
+   is lazy: filter-only atoms (no [P_set]) hand back the original array,
+   which is safe to share because every later write copies first. *)
+let match_row_c spec arity binding row =
+  if List.compare_length_with row arity <> 0 then None
+  else begin
+    let b = ref binding and copied = ref false in
+    let rec go spec row =
+      match (spec, row) with
+      | [], [] -> Some !b
+      | P_const c :: sp, v :: vs -> if String.equal c v then go sp vs else None
+      | P_eq s :: sp, v :: vs -> if String.equal !b.(s) v then go sp vs else None
+      | P_set s :: sp, v :: vs ->
+        if not !copied then begin
+          b := Array.copy binding;
+          copied := true
+        end;
+        !b.(s) <- v;
+        go sp vs
+      | _ -> None
+    in
+    go spec row
+  end
+
+(* match a row against a compiled spec in a caller-owned scratch array:
+   [binding] is blitted in, then checks read and [P_set] writes go to
+   [scratch].  Used by the fused final step, where the extended binding
+   is only ever projected, never kept — no per-row allocation at all. *)
+let match_row_scratch spec arity scratch binding row =
+  if List.compare_length_with row arity <> 0 then false
+  else begin
+    Array.blit binding 0 scratch 0 (Array.length binding);
+    let rec go spec row =
+      match (spec, row) with
+      | [], [] -> true
+      | P_const c :: sp, v :: vs -> String.equal c v && go sp vs
+      | P_eq s :: sp, v :: vs -> String.equal scratch.(s) v && go sp vs
+      | P_set s :: sp, v :: vs ->
+        scratch.(s) <- v;
+        go sp vs
+      | _ -> false
+    in
+    go spec row
+  end
+
+(* Dedicated dedup sink for answer tuples.  Profiling the 100k-tuple
+   sweep shows the single biggest cost of a large answer set is not the
+   join but materializing its deduplicated tuples: a [Hashtbl] that
+   starts small pays a full rehash at every doubling, and the stdlib
+   offers no way to pre-size an existing table.  This sink is a plain
+   power-of-two bucket table with an explicit [reserve] — the executor
+   reserves the exact candidate count right before the final join step,
+   so bulk insertion never rehashes — shared across the disjuncts of a
+   UCQ so the union is deduplicated exactly once. *)
+module Tuple_sink = struct
+  type t = {
+    mutable buckets : string list list array;
+    mutable count : int;  (* distinct tuples stored *)
+  }
+
+  (* hand-specialized hash and equality: the generic [Hashtbl.hash] /
+     polymorphic compare pair costs ~25% more per insert on a
+     100k-answer set than folding [String.hash] over the tuple and a
+     [String.equal] loop *)
+  let hash_tuple tuple = List.fold_left (fun h s -> (h * 31) + String.hash s) 17 tuple
+
+  let rec eq_tuple a b =
+    match (a, b) with
+    | [], [] -> true
+    | x :: xs, y :: ys -> String.equal x y && eq_tuple xs ys
+    | _ -> false
+
+  let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+  (* bucket arrays beyond this are past any plausible answer set; a
+     reserve above it degrades to longer chains, never to failure *)
+  let max_buckets = 1 lsl 22
+
+  let create n = { buckets = Array.make (pow2_at_least (max 16 n) 16) []; count = 0 }
+
+  let rehash t size =
+    let old = t.buckets in
+    t.buckets <- Array.make size [];
+    let mask = size - 1 in
+    Array.iter
+      (List.iter (fun tuple ->
+           let i = hash_tuple tuple land mask in
+           t.buckets.(i) <- tuple :: t.buckets.(i)))
+      old
+
+  (** [reserve t n] sizes the table for [n] total tuples (a load factor
+      of ~1) without moving anything when already big enough. *)
+  let reserve t n =
+    let size = pow2_at_least (min n max_buckets) 16 in
+    if size > Array.length t.buckets then rehash t size
+
+  let add t tuple =
+    let i = hash_tuple tuple land (Array.length t.buckets - 1) in
+    let bucket = t.buckets.(i) in
+    let rec mem = function
+      | [] -> false
+      | u :: rest -> eq_tuple u tuple || mem rest
+    in
+    if not (mem bucket) then begin
+      t.buckets.(i) <- tuple :: bucket;
+      t.count <- t.count + 1;
+      if t.count > 2 * Array.length t.buckets && Array.length t.buckets < max_buckets
+      then rehash t (2 * Array.length t.buckets)
+    end
+
+  let to_list t = Array.fold_left (fun acc b -> List.rev_append b acc) [] t.buckets
+end
+
+(* one join step: extend every binding through the compiled atom.
+   Strategy is adaptive on the intermediate cardinality: small binding
+   sets scan-and-filter (nested loop — no index touched), large ones
+   probe the pattern hash index once per binding (hash join).  Atoms
+   with no bound position can only scan. *)
+let step_c source join_threshold bindings (a, spec, arity, bp) =
+  let use_hash = bp <> [] && List.compare_length_with bindings join_threshold >= 0 in
+  let candidates =
+    if use_hash then begin
+      Obs.Counter.incr m_hash;
+      fun binding ->
+        let key =
+          List.map
+            (fun (i, k) ->
+              match k with `Const c -> (i, c) | `Slot s -> (i, binding.(s)))
+            bp
+        in
+        Obs.Counter.incr m_probes;
+        source.probe a.pred key
+    end
+    else begin
+      Obs.Counter.incr m_nested_loop;
+      let rows = source.all a.pred in
+      fun _ -> rows
+    end
+  in
+  let out = ref [] in
+  List.iter
+    (fun binding ->
       List.iter
         (fun row ->
-          if List.length row = List.length a.args then
-            let matched =
-              List.fold_left2
-                (fun acc t v ->
-                  match acc with
-                  | None -> None
-                  | Some s -> match_term s t (Const v))
-                (Some subst) a.args row
-            in
-            match matched with Some s -> go s rest | None -> ())
-        (candidates subst a)
+          match match_row_c spec arity binding row with
+          | Some b -> out := b :: !out
+          | None -> ())
+        (candidates binding))
+    bindings;
+  !out
+
+(* project a (fully extended) binding onto the answer slots; [-1] marks
+   an answer variable absent from the body *)
+let project_binding proj binding =
+  List.map
+    (fun s ->
+      if s < 0 then invalid_arg "Cq.evaluate: unbound answer variable"
+      else
+        let v = binding.(s) in
+        if v == unbound then invalid_arg "Cq.evaluate: unbound answer variable"
+        else v)
+    proj
+
+(* the core executor: plan, compile to positional form, run every step
+   but the last through [step_c], then fuse the last step with
+   projection and deduplication — candidate rows are counted first so
+   the sink can [reserve] exactly, and each extension lives only in a
+   reusable scratch array. *)
+let evaluate_into ~sink ~join_threshold ~source q =
+  let ordered = plan source q in
+  (* variable -> slot *)
+  let slots = Hashtbl.create 8 in
+  let nslots = ref 0 in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some s -> s
+    | None ->
+      let s = !nslots in
+      incr nslots;
+      Hashtbl.add slots v s;
+      s
   in
-  go Subst.empty q.body;
-  Hashtbl.fold (fun tuple () acc -> tuple :: acc) results []
+  let compiled =
+    let bound = ref VarSet.empty in
+    List.map
+      (fun a ->
+        let bp =
+          List.map
+            (fun (i, k) ->
+              (i, match k with `Const c -> `Const c | `Var v -> `Slot (slot_of v)))
+            (bound_positions !bound a)
+        in
+        let seen = Hashtbl.create 4 in
+        let spec =
+          List.map
+            (function
+              | Const c -> P_const c
+              | Var v ->
+                let s = slot_of v in
+                if VarSet.mem v !bound || Hashtbl.mem seen v then P_eq s
+                else begin
+                  Hashtbl.add seen v ();
+                  P_set s
+                end)
+            a.args
+        in
+        bound := VarSet.union !bound (atom_vars a);
+        (a, spec, List.length a.args, bp))
+      ordered
+  in
+  let proj =
+    List.map
+      (fun v -> match Hashtbl.find_opt slots v with Some s -> s | None -> -1)
+      q.answer_vars
+  in
+  match List.rev compiled with
+  | [] ->
+    (* empty body: one empty binding, projected as-is *)
+    Tuple_sink.add sink (project_binding proj (Array.make !nslots unbound))
+  | last :: rev_init ->
+    let bindings =
+      List.fold_left
+        (step_c source join_threshold)
+        [ Array.make !nslots unbound ]
+        (List.rev rev_init)
+    in
+    let a, spec, arity, bp = last in
+    let use_hash =
+      bp <> [] && List.compare_length_with bindings join_threshold >= 0
+    in
+    (* pair every binding with its candidate rows up front: the total
+       candidate count (an upper bound on new tuples) drives the sink's
+       reserve, and each index is probed exactly once per binding *)
+    let candidates =
+      if use_hash then begin
+        Obs.Counter.incr m_hash;
+        List.map
+          (fun binding ->
+            let key =
+              List.map
+                (fun (i, k) ->
+                  match k with `Const c -> (i, c) | `Slot s -> (i, binding.(s)))
+                bp
+            in
+            Obs.Counter.incr m_probes;
+            (binding, source.probe a.pred key))
+          bindings
+      end
+      else begin
+        Obs.Counter.incr m_nested_loop;
+        let rows = source.all a.pred in
+        List.map (fun binding -> (binding, rows)) bindings
+      end
+    in
+    let total =
+      List.fold_left (fun acc (_, rows) -> acc + List.length rows) 0 candidates
+    in
+    Tuple_sink.reserve sink (sink.Tuple_sink.count + total);
+    let scratch = Array.make !nslots unbound in
+    List.iter
+      (fun (binding, rows) ->
+        List.iter
+          (fun row ->
+            if match_row_scratch spec arity scratch binding row then
+              Tuple_sink.add sink (project_binding proj scratch))
+          rows)
+      candidates
+
+(** [evaluate_src ?join_threshold ~source q] — the cost-based executor:
+    order the atoms by {!plan}, compile the plan to positional form
+    (variable slots in a string array instead of substitution maps),
+    then pipe an intermediate binding set through one adaptive join
+    {!step_c} per atom; the final step is fused with projection and
+    deduplication.  Same answers as {!Naive.evaluate} (set semantics;
+    duplicate answers removed, tuple order unspecified), differentially
+    enforced by the test suite. *)
+let evaluate_src ?(join_threshold = default_join_threshold) ~source q =
+  let sink = Tuple_sink.create 16 in
+  evaluate_into ~sink ~join_threshold ~source q;
+  Tuple_sink.to_list sink
+
+(** [evaluate_ucq_src ?join_threshold ~source ucq] is the deduplicated
+    union of the disjunct answers, sharing [source] (and hence its
+    indexes) across disjuncts — and sharing one dedup sink, so the
+    union costs no second pass over the tuples. *)
+let evaluate_ucq_src ?(join_threshold = default_join_threshold) ~source ucq =
+  let sink = Tuple_sink.create 16 in
+  List.iter (fun q -> evaluate_into ~sink ~join_threshold ~source q) ucq;
+  Tuple_sink.to_list sink
+
+(** [evaluate ~facts q] — the cost-based executor over a plain fact
+    function (indexes are built lazily and live for this call).
+    Answers are a set: duplicates removed, order unspecified. *)
+let evaluate ?join_threshold ~facts q =
+  evaluate_src ?join_threshold ~source:(source_of_facts facts) q
 
 (** [evaluate_ucq ~facts ucq] is the deduplicated union of the disjunct
-    answers. *)
-let evaluate_ucq ~facts ucq =
-  let results = Hashtbl.create 16 in
-  List.iter
-    (fun q -> List.iter (fun t -> Hashtbl.replace results t ()) (evaluate ~facts q))
-    ucq;
-  Hashtbl.fold (fun t () acc -> t :: acc) results []
+    answers; all disjuncts share one lazily indexed source. *)
+let evaluate_ucq ?join_threshold ~facts ucq =
+  evaluate_ucq_src ?join_threshold ~source:(source_of_facts facts) ucq
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

@@ -120,10 +120,14 @@ let compile t ucq =
   end
 
 (** [evaluate_compiled t ucq] — the data-dependent half: evaluate a
-    compiled UCQ over the current database contents. *)
+    compiled UCQ over the current database contents with the cost-based
+    executor, planning against the database's persistent pattern
+    indexes (built lazily on first probe, maintained incrementally by
+    [Database.insert] — so cold evaluations after a data update pay no
+    index rebuild). *)
 let evaluate_compiled t ucq =
   Obs.span "eval" (fun () ->
-      Cq.evaluate_ucq ~facts:(Database.facts t.database) ucq)
+      Cq.evaluate_ucq_src ~source:(Database.source t.database) ucq)
 
 (** [certain_answers t q] — the full pipeline.  With mappings installed
     the rewriting is *unfolded* and evaluated over the raw database;

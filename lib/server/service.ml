@@ -357,7 +357,15 @@ let op_classification t s =
 (* the cached certain-answers pipeline; answers are canonicalized
    (sorted, deduplicated) before caching so every consumer — wire
    replies, the conformance subject, the QCheck property — sees one
-   deterministic byte representation *)
+   deterministic byte representation.  This is the single rendering
+   point the [Database] ordering contract leans on: the cost-based
+   executor underneath returns tuples in plan-dependent order (its
+   selectivity-ordered plan is chosen fresh per evaluation against the
+   live index statistics, so even the same compiled UCQ may execute in
+   a different atom order after a data update), and the sort here makes
+   that invisible.  The answer cache stays sound unchanged: plans
+   depend on data only through the current database, and the
+   [(version, query)] key already bumps on every data update *)
 let op_ask t s q =
   let qkey = Obda.Cq.show q in
   let akey = Printf.sprintf "%d|%s" s.version qkey in

@@ -89,6 +89,120 @@ let test_database () =
     (Invalid_argument "Database.insert: emp arity mismatch") (fun () ->
       Database.insert db "emp" [ "x" ])
 
+(* [Database.rows]/[facts] promise set semantics only: tuple order is
+   unspecified and may differ between the naive and indexed evaluation
+   paths.  This test pins the contract down: consumers may rely on the
+   sorted view being stable, never on the raw order (everything
+   user-visible sorts at render time — the serving layer's [op_ask] and
+   the CLI's answer printer). *)
+let test_database_ordering_contract () =
+  let rows = [ [ "c"; "3" ]; [ "a"; "1" ]; [ "b"; "2" ] ] in
+  let db1 = Database.create () in
+  List.iter (Database.insert db1 "r") rows;
+  let db2 = Database.create () in
+  List.iter (Database.insert db2 "r") (List.rev rows);
+  Alcotest.check answers_t "same set whatever the insertion order"
+    (sorted_answers (Database.rows db1 "r"))
+    (sorted_answers (Database.rows db2 "r"));
+  Alcotest.check answers_t "sorted view is canonical"
+    (sorted_answers rows)
+    (sorted_answers (Database.rows db1 "r"))
+
+let test_database_probe () =
+  let db = Database.create () in
+  Database.insert db "p" [ "a"; "b" ];
+  Database.insert db "p" [ "a"; "c" ];
+  Database.insert db "p" [ "b"; "c" ];
+  Alcotest.check answers_t "probe col 0"
+    [ [ "a"; "b" ]; [ "a"; "c" ] ]
+    (sorted_answers (Database.probe db "p" [ (0, "a") ]));
+  (* the index on column 0 now exists; an insert must maintain it *)
+  Database.insert db "p" [ "a"; "d" ];
+  Alcotest.check answers_t "probe sees the new row"
+    [ [ "a"; "b" ]; [ "a"; "c" ]; [ "a"; "d" ] ]
+    (sorted_answers (Database.probe db "p" [ (0, "a") ]));
+  Alcotest.check answers_t "two-column pattern"
+    [ [ "a"; "c" ] ]
+    (Database.probe db "p" [ (0, "a"); (1, "c") ]);
+  Alcotest.check answers_t "miss" [] (Database.probe db "p" [ (0, "z") ]);
+  Alcotest.check answers_t "unknown relation" [] (Database.probe db "q" [ (0, "a") ]);
+  Alcotest.check answers_t "position beyond arity" []
+    (Database.probe db "p" [ (5, "a") ]);
+  Alcotest.(check int) "cardinality" 4 (Database.cardinality db "p");
+  Alcotest.(check int) "distinct keys col 0" 2 (Database.distinct_keys db "p" [ 0 ])
+
+(* -------------------- cost-based executor vs naive ------------------- *)
+
+(* Every threshold setting must produce the same answer set: 0 forces
+   hash joins everywhere, max_int forces nested loops everywhere, and
+   the small values exercise the adaptive switch mid-query. *)
+let thresholds = [ 0; 1; 2; Obda.Cq.default_join_threshold; max_int ]
+
+let check_indexed_vs_naive msg db q =
+  let expected = sorted_answers (Obda.Cq.Naive.evaluate ~facts:(Database.facts db) q) in
+  List.iter
+    (fun join_threshold ->
+      check_answers
+        (Printf.sprintf "%s (threshold %d)" msg join_threshold)
+        expected
+        (Obda.Cq.evaluate_src ~join_threshold ~source:(Database.source db) q))
+    thresholds
+
+let executor_db () =
+  let db = Database.create () in
+  Database.insert_all db "p"
+    [ [ "a"; "b" ]; [ "b"; "c" ]; [ "a"; "d" ]; [ "c"; "c" ]; [ "d"; "d" ] ];
+  Database.insert_all db "q" [ [ "b"; "a" ]; [ "c"; "b" ] ];
+  Database.insert_all db "A" [ [ "a" ]; [ "b" ] ];
+  Database.insert_all db "B" [ [ "c" ] ];
+  Database.declare db "empty" ~arity:1;
+  db
+
+(* cross-products: atoms sharing no variables — the old backtracking
+   scan handled these implicitly; the planner must not assume a join
+   variable exists *)
+let test_exec_cross_product () =
+  let db = executor_db () in
+  check_indexed_vs_naive "binary cross product" db
+    (Cq.make [ "x"; "y" ] [ Cq.atom "A" [ v "x" ]; Cq.atom "B" [ v "y" ] ]);
+  check_indexed_vs_naive "cross product then join" db
+    (Cq.make [ "x"; "y" ]
+       [ Cq.atom "A" [ v "x" ]; Cq.atom "B" [ v "z" ]; Cq.atom "p" [ v "x"; v "y" ] ])
+
+(* atoms with all-constant arguments act as boolean guards *)
+let test_exec_all_constant_atoms () =
+  let db = executor_db () in
+  check_indexed_vs_naive "guard present" db
+    (Cq.make [ "x" ] [ Cq.atom "A" [ v "x" ]; Cq.atom "p" [ c "a"; c "b" ] ]);
+  check_indexed_vs_naive "guard absent" db
+    (Cq.make [ "x" ] [ Cq.atom "A" [ v "x" ]; Cq.atom "p" [ c "z"; c "z" ] ]);
+  check_indexed_vs_naive "constant selection" db
+    (Cq.make [ "y" ] [ Cq.atom "p" [ c "a"; v "y" ] ])
+
+(* repeated variables within one atom: p(x,x) constrains the row to be
+   reflexive even before x is bound anywhere else *)
+let test_exec_repeated_vars () =
+  let db = executor_db () in
+  check_indexed_vs_naive "reflexive atom" db
+    (Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "x" ] ]);
+  check_indexed_vs_naive "reflexive join" db
+    (Cq.make [ "x"; "y" ]
+       [ Cq.atom "p" [ v "x"; v "x" ]; Cq.atom "p" [ v "y"; v "x" ] ]);
+  check_indexed_vs_naive "repeated var with constant" db
+    (Cq.make [ "x" ] [ Cq.atom "p" [ v "x"; v "x" ]; Cq.atom "B" [ v "x" ] ])
+
+(* empty relations (declared-empty and never-declared) must kill the
+   disjunct wherever they land in the plan *)
+let test_exec_empty_relations () =
+  let db = executor_db () in
+  check_indexed_vs_naive "declared empty" db
+    (Cq.make [ "x" ] [ Cq.atom "A" [ v "x" ]; Cq.atom "empty" [ v "x" ] ]);
+  check_indexed_vs_naive "undeclared" db
+    (Cq.make [ "x" ] [ Cq.atom "nosuch" [ v "x" ] ]);
+  check_indexed_vs_naive "empty first in a join chain" db
+    (Cq.make [ "x"; "y" ]
+       [ Cq.atom "empty" [ v "x" ]; Cq.atom "p" [ v "x"; v "y" ] ])
+
 (* ------------------------------ rewriting ---------------------------- *)
 
 let test_rewrite_atomic_hierarchy () =
@@ -365,6 +479,133 @@ let test_engine_abox_mode () =
   let q2 = Cq.make [ "x" ] [ Cq.atom (Vabox.concept_pred "Organization") [ v "x" ] ] in
   check_answers "range inferred" [ [ "acme" ] ] (Engine.certain_answers sys q2)
 
+(* ----------- properties: indexed executor vs naive oracle ------------ *)
+
+(* A fixed little schema keeps arities consistent across random inserts
+   and random query atoms: two binary and two unary relations over a
+   four-value pool — small enough that joins, collisions, duplicates
+   and empty probes all happen constantly. *)
+let exec_schema = [ ("p", 2); ("q", 2); ("A", 1); ("B", 1) ]
+let exec_values = [ "a"; "b"; "c"; "d" ]
+
+let gen_exec_row arity =
+  QCheck.Gen.(list_repeat arity (oneofl exec_values))
+
+let gen_exec_insert =
+  QCheck.Gen.(
+    let* name, arity = oneofl exec_schema in
+    let* row = gen_exec_row arity in
+    return (name, row))
+
+let gen_exec_db = QCheck.Gen.(list_size (int_bound 25) gen_exec_insert)
+
+let db_of_inserts inserts =
+  let db = Database.create () in
+  List.iter (fun (name, row) -> Database.insert db name row) inserts;
+  db
+
+(* random CQs over the schema: variables repeat across and within
+   atoms, constants appear in any position, and the answer tuple is a
+   prefix of the occurring variables (possibly empty: boolean query) *)
+let gen_exec_query =
+  QCheck.Gen.(
+    let term = frequency [ (3, map (fun x -> Cq.Var x) (oneofl [ "x"; "y"; "z" ]));
+                           (1, map (fun x -> Cq.Const x) (oneofl exec_values)) ] in
+    let atom =
+      let* name, arity = oneofl exec_schema in
+      let* args = list_repeat arity term in
+      return (Cq.atom name args)
+    in
+    let* body = list_size (int_range 1 4) atom in
+    let occurring =
+      List.concat_map
+        (fun a -> List.filter_map (function Cq.Var v -> Some v | _ -> None) a.Cq.args)
+        body
+      |> List.sort_uniq compare
+    in
+    let* keep = int_bound (List.length occurring) in
+    return { Cq.answer_vars = List.filteri (fun i _ -> i < keep) occurring; body })
+
+let arbitrary_db_and_query =
+  QCheck.make
+    ~print:(fun (inserts, q) ->
+      Printf.sprintf "inserts: %s\nquery: %s"
+        (String.concat "; "
+           (List.map (fun (n, row) -> n ^ "(" ^ String.concat "," row ^ ")") inserts))
+        (Cq.to_string q))
+    QCheck.Gen.(pair gen_exec_db gen_exec_query)
+
+let prop_indexed_matches_naive =
+  QCheck.Test.make ~count:300
+    ~name:"indexed answers = naive answers at every join threshold"
+    arbitrary_db_and_query
+    (fun (inserts, q) ->
+      let db = db_of_inserts inserts in
+      let expected =
+        sorted_answers (Obda.Cq.Naive.evaluate ~facts:(Database.facts db) q)
+      in
+      List.for_all
+        (fun join_threshold ->
+          sorted_answers
+            (Obda.Cq.evaluate_src ~join_threshold ~source:(Database.source db) q)
+          = expected)
+        [ 0; 1; 4; max_int ])
+
+(* index consistency: at any point of an arbitrary insert/probe
+   interleaving, a pattern-index probe returns exactly the rows a
+   filtered full scan does.  Probes mid-stream force lazy builds, so
+   later inserts exercise the incremental maintenance path. *)
+let gen_exec_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> `Insert i) gen_exec_insert);
+        ( 1,
+          let* name, arity = oneofl exec_schema in
+          let* v0 = oneofl exec_values in
+          let* v1 = oneofl exec_values in
+          let* bound =
+            if arity = 1 then return [ (0, v0) ]
+            else oneofl [ [ (0, v0) ]; [ (1, v1) ]; [ (0, v0); (1, v1) ] ]
+          in
+          return (`Probe (name, bound)) );
+      ])
+
+let arbitrary_op_sequence =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | `Insert (n, row) -> n ^ "(" ^ String.concat "," row ^ ")"
+             | `Probe (n, bound) ->
+               Printf.sprintf "probe %s [%s]" n
+                 (String.concat ";"
+                    (List.map (fun (i, x) -> Printf.sprintf "%d=%s" i x) bound)))
+           ops))
+    QCheck.Gen.(list_size (int_bound 40) gen_exec_op)
+
+let prop_index_consistency =
+  QCheck.Test.make ~count:300
+    ~name:"index probe = filtered full scan under interleaved inserts"
+    arbitrary_op_sequence
+    (fun ops ->
+      let db = Database.create () in
+      List.for_all
+        (function
+          | `Insert (name, row) ->
+            Database.insert db name row;
+            true
+          | `Probe (name, bound) ->
+            let scan =
+              List.filter
+                (fun row ->
+                  List.for_all (fun (i, x) -> List.nth_opt row i = Some x) bound)
+                (Database.rows db name)
+            in
+            sorted_answers (Database.probe db name bound) = sorted_answers scan)
+        ops)
+
 (* -------------------- property: rewriting vs chase ------------------- *)
 
 (* Random ABoxes over the small pools. *)
@@ -479,7 +720,21 @@ let () =
           Alcotest.test_case "containment" `Quick test_cq_containment;
           Alcotest.test_case "ucq minimization" `Quick test_cq_minimize;
         ] );
-      ("database", [ Alcotest.test_case "store" `Quick test_database ]);
+      ( "database",
+        [
+          Alcotest.test_case "store" `Quick test_database;
+          Alcotest.test_case "ordering contract" `Quick
+            test_database_ordering_contract;
+          Alcotest.test_case "pattern-index probes" `Quick test_database_probe;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "cross products" `Quick test_exec_cross_product;
+          Alcotest.test_case "all-constant atoms" `Quick
+            test_exec_all_constant_atoms;
+          Alcotest.test_case "repeated variables" `Quick test_exec_repeated_vars;
+          Alcotest.test_case "empty relations" `Quick test_exec_empty_relations;
+        ] );
       ( "rewrite",
         [
           Alcotest.test_case "atomic hierarchy" `Quick test_rewrite_atomic_hierarchy;
@@ -515,5 +770,7 @@ let () =
             prop_rewriting_matches_chase;
             prop_presto_matches_chase;
             prop_consistency_matches_chase;
+            prop_indexed_matches_naive;
+            prop_index_consistency;
           ] );
     ]
