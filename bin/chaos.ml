@@ -84,12 +84,14 @@ let crash_sites =
 
 (* --------------------------- child control --------------------------- *)
 
-let spawn_server ~exe ~sock ~data_dir ~snapshot_every =
+let spawn_server ?(group_commit = false) ~exe ~sock ~data_dir
+    ~snapshot_every () =
   let args =
     [
       exe; "--unix"; sock; "--data-dir"; data_dir; "--chaos";
       "--snapshot-every"; string_of_int snapshot_every; "--jobs"; "1";
     ]
+    @ (if group_commit then [ "--group-commit" ] else [])
   in
   let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
   let pid =
@@ -134,6 +136,38 @@ let string_of_reply = function
 
 let rm_rf dir = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
 
+(* recovered server vs oracle(s): every probe must answer identically
+   over the wire and in process; returns the divergence count *)
+let probe_divergences ~round conn2 oracle oracle_next plist =
+  let divergences = ref 0 in
+  List.iter
+    (fun probe ->
+      let wire =
+        match Client.request conn2 probe with
+        | Result.Ok reply -> string_of_reply reply
+        | Result.Error e -> "TRANSPORT " ^ e
+      in
+      let local = string_of_reply (Service.handle oracle probe) in
+      let next = Option.map (fun o -> string_of_reply (Service.handle o probe)) oracle_next in
+      if wire <> local && Some wire <> next then begin
+        incr divergences;
+        Printf.printf "round %d DIVERGED on %s\n  recovered: %s\n  acked:     %s%s\n"
+          round
+          (string_of_reply (Wire.Ok (Wire.encode_request probe)))
+          wire local
+          (match next with
+           | Some n -> "\n  acked+1:   " ^ n
+           | None -> "")
+      end)
+    plist;
+  !divergences
+
+(* replay acknowledged wire requests into an in-process Service *)
+let build_oracle reqs =
+  let s = Service.create ~registry:(Obs.Registry.create ()) () in
+  List.iter (fun r -> ignore (Service.handle s r)) reqs;
+  s
+
 (* returns the number of divergent probes *)
 let run_round ~exe ~scratch ~snapshot_every rng round =
   let session = "chaos" in
@@ -141,7 +175,7 @@ let run_round ~exe ~scratch ~snapshot_every rng round =
   rm_rf data_dir;
   let sock = Filename.concat scratch (Printf.sprintf "sock%d" round) in
   (try Sys.remove sock with Sys_error _ -> ());
-  let pid = spawn_server ~exe ~sock ~data_dir ~snapshot_every in
+  let pid = spawn_server ~exe ~sock ~data_dir ~snapshot_every () in
   let conn = wait_listening sock in
   (* choose the failure: a crash failpoint armed over the wire, or a
      plain SIGKILL from outside after a random number of mutations *)
@@ -193,41 +227,18 @@ let run_round ~exe ~scratch ~snapshot_every rng round =
   kill_dead pid;
   let acked = List.rev !acked in
   (* restart clean on the same directory *)
-  let pid2 = spawn_server ~exe ~sock ~data_dir ~snapshot_every in
+  let pid2 = spawn_server ~exe ~sock ~data_dir ~snapshot_every () in
   let conn2 = wait_listening sock in
   (* oracles: acknowledged prefix, and prefix + the in-flight mutation *)
-  let build reqs =
-    let s = Service.create ~registry:(Obs.Registry.create ()) () in
-    List.iter (fun r -> ignore (Service.handle s r)) reqs;
-    s
-  in
-  let oracle = build acked in
+  let oracle = build_oracle acked in
   let oracle_next =
     match !in_flight with
-    | Some req when died_on_its_own -> Some (build (acked @ [ req ]))
+    | Some req when died_on_its_own -> Some (build_oracle (acked @ [ req ]))
     | _ -> None
   in
-  let divergences = ref 0 in
-  List.iter
-    (fun probe ->
-      let wire =
-        match Client.request conn2 probe with
-        | Result.Ok reply -> string_of_reply reply
-        | Result.Error e -> "TRANSPORT " ^ e
-      in
-      let local = string_of_reply (Service.handle oracle probe) in
-      let next = Option.map (fun o -> string_of_reply (Service.handle o probe)) oracle_next in
-      if wire <> local && Some wire <> next then begin
-        incr divergences;
-        Printf.printf "round %d DIVERGED on %s\n  recovered: %s\n  acked:     %s%s\n"
-          round
-          (string_of_reply (Wire.Ok (Wire.encode_request probe)))
-          wire local
-          (match next with
-           | Some n -> "\n  acked+1:   " ^ n
-           | None -> "")
-      end)
-    (probes session);
+  let divergences =
+    probe_divergences ~round conn2 oracle oracle_next (probes session)
+  in
   Client.close conn2;
   stop_gracefully pid2;
   Printf.printf "round %d: %d/%d acked, %s, %d divergence(s)\n%!" round
@@ -235,10 +246,115 @@ let run_round ~exe ~scratch ~snapshot_every rng round =
     (match sigkill_after with
      | Some k -> Printf.sprintf "sigkill@%d" k
      | None -> "failpoint crash")
-    !divergences;
-  !divergences
+    divergences;
+  divergences
 
-let run exe rounds seed snapshot_every keep =
+(* ---------------------- a mid-bulk-stream round ---------------------- *)
+
+(* the script is a protocol-v2 BULK stream killed mid-flight (kill -9
+   from outside, or a crash failpoint in the WAL append path, so torn
+   chunk tails are exercised too).  Atomicity is per chunk: the
+   recovered server must answer exactly like the acknowledged chunk
+   prefix, or that prefix plus the single in-flight chunk.  The server
+   runs with --group-commit so the batched fsync path is the one under
+   fire. *)
+let run_bulk_round ~exe ~scratch ~snapshot_every rng round =
+  let session = "chaos" in
+  let data_dir = Filename.concat scratch (Printf.sprintf "bulk%d" round) in
+  rm_rf data_dir;
+  let sock = Filename.concat scratch (Printf.sprintf "bsock%d" round) in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let pid =
+    spawn_server ~group_commit:true ~exe ~sock ~data_dir ~snapshot_every ()
+  in
+  let conn = wait_listening sock in
+  (match Client.hello conn with
+  | Result.Ok (v, _) when v >= 2 -> ()
+  | Result.Ok (v, _) -> failwith (Printf.sprintf "server granted v%d, need v2" v)
+  | Result.Error e -> failwith ("HELLO failed: " ^ e));
+  let tbox =
+    Wire.Load { session; kind = Wire.K_tbox; payload = tbox_payloads.(0) }
+  in
+  (match Client.request conn tbox with
+  | Result.Ok (Wire.Ok _) -> ()
+  | Result.Ok reply -> failwith ("TBOX load failed: " ^ string_of_reply reply)
+  | Result.Error e -> failwith ("TBOX load failed: " ^ e));
+  (* every chunk lands facts the src probe sees, so a lost or phantom
+     chunk shows up as a divergent answer set *)
+  let n_chunks = 4 + Random.State.int rng 8 in
+  let chunk i =
+    List.init
+      (1 + Random.State.int rng 3)
+      (fun j -> Printf.sprintf "src(\"r%dc%df%d\", \"1\")" round i j)
+  in
+  let sigkill_after =
+    if Random.State.int rng 2 = 0 then Some (Random.State.int rng n_chunks)
+    else begin
+      let site, spec = pick rng crash_sites in
+      let skip = Random.State.int rng 4 in
+      (match
+         Client.request conn
+           (Wire.Fail { name = site; spec = Printf.sprintf "%s@%d" spec skip })
+       with
+      | Result.Ok (Wire.Ok _) -> ()
+      | r ->
+        failwith
+          ("FAIL verb rejected: "
+          ^ (match r with
+            | Result.Ok reply -> string_of_reply reply
+            | Result.Error e -> e)));
+      None
+    end
+  in
+  let acked = ref [] and in_flight = ref None in
+  (try
+     for i = 0 to n_chunks - 1 do
+       (match sigkill_after with
+       | Some k when i = k -> kill_dead pid
+       | _ -> ());
+       let req = Wire.Bulk_chunk { session; payload = chunk i } in
+       in_flight := Some req;
+       match Client.request conn req with
+       | Result.Ok (Wire.Ok _ | Wire.Err _) ->
+         acked := req :: !acked;
+         in_flight := None
+       | Result.Ok Wire.Busy -> in_flight := None
+       | Result.Error _ -> raise Exit
+     done
+   with Exit -> ());
+  Client.close conn;
+  let died_on_its_own = !in_flight <> None || sigkill_after <> None in
+  kill_dead pid;
+  let acked_chunks = List.length !acked in
+  (* the stream never ENDed: the oracle replays the acked chunks and
+     then ABORTs, which keeps the applied chunks (per-chunk atomicity)
+     and closes the stream, matching the recovered server where the
+     stream died with its connection *)
+  let acked = List.rev !acked in
+  let script prefix = (tbox :: prefix) @ [ Wire.Bulk_abort { session } ] in
+  let pid2 = spawn_server ~exe ~sock ~data_dir ~snapshot_every () in
+  let conn2 = wait_listening sock in
+  let oracle = build_oracle (script acked) in
+  let oracle_next =
+    match !in_flight with
+    | Some req when died_on_its_own ->
+      Some (build_oracle (script (acked @ [ req ])))
+    | _ -> None
+  in
+  let divergences =
+    probe_divergences ~round conn2 oracle oracle_next (probes session)
+  in
+  Client.close conn2;
+  stop_gracefully pid2;
+  Printf.printf "bulk round %d: %d/%d chunks acked, %s, %d divergence(s)\n%!"
+    round acked_chunks n_chunks
+    (match sigkill_after with
+    | Some k -> Printf.sprintf "sigkill@%d" k
+    | None -> "failpoint crash")
+    divergences;
+  divergences
+
+let run exe rounds seed snapshot_every bulk keep =
   (* writes race the kill -9 by design; a dead peer must surface as
      EPIPE on the request, not kill the harness *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -250,8 +366,9 @@ let run exe rounds seed snapshot_every keep =
   Unix.mkdir scratch 0o755;
   let rng = Random.State.make [| seed |] in
   let total = ref 0 in
+  let round_fn = if bulk then run_bulk_round else run_round in
   for round = 1 to rounds do
-    total := !total + run_round ~exe ~scratch ~snapshot_every rng round
+    total := !total + round_fn ~exe ~scratch ~snapshot_every rng round
   done;
   if not keep then rm_rf scratch;
   if !total = 0 then begin
@@ -281,6 +398,12 @@ let () =
          & info [ "snapshot-every" ] ~docv:"N"
              ~doc:"Snapshot cadence passed to the server under test.")
   in
+  let bulk_arg =
+    Arg.(value & flag
+         & info [ "bulk" ]
+             ~doc:"Kill the server mid-BULK-stream (protocol v2, group \
+                   commit) instead of running the mixed mutation script.")
+  in
   let keep_arg =
     Arg.(value & flag
          & info [ "keep" ] ~doc:"Keep scratch data directories for autopsy.")
@@ -293,4 +416,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.v info
-          Term.(const run $ exe_arg $ rounds_arg $ seed_arg $ snapshot_arg $ keep_arg)))
+          Term.(
+            const run $ exe_arg $ rounds_arg $ seed_arg $ snapshot_arg
+            $ bulk_arg $ keep_arg)))

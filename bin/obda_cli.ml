@@ -497,8 +497,8 @@ let import_owl_cmd =
    parser and prints one aligned `metric{labels} value` row per sample;
    [--metrics] dumps the raw Prometheus-style exposition text. *)
 let query_cmd =
-  let run connect retries session ontology mappings data abox prepare named
-      stats metrics query_text =
+  let run connect retries session ontology mappings data abox bulk chunk
+      prepare named stats metrics query_text =
     match Server.Client.connect ~retries connect with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -531,6 +531,39 @@ let query_cmd =
       Option.iter (load Server.Wire.K_mappings) mappings;
       Option.iter (load Server.Wire.K_abox) abox;
       Option.iter (load Server.Wire.K_facts) data;
+      Option.iter
+        (fun path ->
+          (* streaming ingestion: negotiate protocol v2, then feed the
+             file to the server chunk by chunk — the file is never
+             materialized in memory on either side *)
+          (match Server.Client.hello conn with
+           | Error e ->
+             Printf.eprintf "error: HELLO: %s\n" e;
+             exit 4
+           | Ok (v, _) when v < 2 ->
+             Printf.eprintf
+               "server error: bulk load needs protocol v2; server granted v%d\n"
+               v;
+             exit 4
+           | Ok _ -> ());
+          let ic = open_in path in
+          let rec lines () =
+            match input_line ic with
+            | line -> Seq.Cons (line, lines)
+            | exception End_of_file -> Seq.Nil
+          in
+          let facts = Seq.filter (fun l -> String.trim l <> "") lines in
+          (match
+             Server.Client.bulk_load conn ~session ~chunk_lines:chunk facts
+           with
+           | Error e ->
+             close_in_noerr ic;
+             Printf.eprintf "server error: %s\n" e;
+             exit 4
+           | Ok (chunks, nfacts) ->
+             close_in_noerr ic;
+             Printf.printf "bulk: %d chunk(s), %d fact(s)\n%!" chunks nfacts))
+        bulk;
       Option.iter
         (fun (name, text) ->
           ignore (rpc (Server.Wire.Prepare { session; name; query = text })))
@@ -597,6 +630,19 @@ let query_cmd =
     Arg.(value & opt (some file) None
          & info [ "abox"; "a" ] ~doc:"Load ontology-level facts into the session.")
   in
+  let bulk_arg =
+    Arg.(value & opt (some file) None
+         & info [ "bulk" ] ~docv:"FILE"
+             ~doc:"Stream raw database facts from FILE via the v2 LOAD BULK \
+                   verb: the file is sent in atomic chunks (see --chunk) \
+                   without being held in memory.")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 1000
+         & info [ "chunk" ] ~docv:"N"
+             ~doc:"Lines per BULK chunk (with --bulk); each chunk is \
+                   validated, logged and applied atomically.")
+  in
   let prepare_arg =
     Arg.(value & opt (some (pair ~sep:'=' string string)) None
          & info [ "prepare" ] ~docv:"NAME=QUERY"
@@ -625,8 +671,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Query a running obda_server over the wire protocol.")
     Term.(
       const run $ connect_arg $ retries_arg $ session_arg $ ontology_arg
-      $ mappings_opt_arg $ data_arg $ abox_arg $ prepare_arg $ named_arg
-      $ stats_arg $ metrics_arg $ query_arg)
+      $ mappings_opt_arg $ data_arg $ abox_arg $ bulk_arg $ chunk_arg
+      $ prepare_arg $ named_arg $ stats_arg $ metrics_arg $ query_arg)
 
 let () =
   let info = Cmd.info "obda_cli" ~doc:"DL-Lite / OBDA toolkit." in

@@ -15,7 +15,8 @@
 open Cmdliner
 
 let run unix_path tcp_port host workers queue timeout lru presto algorithm
-    classify_jobs slow_log data_dir snapshot_every chaos =
+    classify_jobs join_threshold slow_log data_dir snapshot_every snapshot_bytes
+    group_commit chaos =
   if unix_path = None && tcp_port = None then begin
     prerr_endline "error: need at least one of --unix PATH / --tcp PORT";
     exit 2
@@ -41,10 +42,22 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
   (* block before spawning anything: domains and threads inherit the
      mask, making the wait_signal below the one delivery point *)
   ignore (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
-  let mode = if presto then Obda.Engine.Presto else Obda.Engine.Perfect_ref in
-  let service =
-    Server.Service.create ~mode ~lru ?algorithm ?jobs:classify_jobs ~chaos ()
+  (* every service-level knob funnels into one Config record here — the
+     only place flags and Service wiring meet *)
+  let service_config =
+    {
+      Server.Service.Config.mode =
+        (if presto then Obda.Engine.Presto else Obda.Engine.Perfect_ref);
+      lru;
+      algorithm;
+      jobs = classify_jobs;
+      join_threshold;
+      slow_log_s = (match slow_log with Some s -> s | None -> infinity);
+      chaos;
+    }
   in
+  let service = Server.Service.create ~config:service_config () in
+  let snapshot_exec = ref None in
   Option.iter
     (fun dir ->
       (try
@@ -52,7 +65,11 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
        with Unix.Unix_error (e, _, _) ->
          Printf.eprintf "error: --data-dir %s: %s\n" dir (Unix.error_message e);
          exit 2);
-      match Durable.Store.open_dir ?snapshot_every dir with
+      match
+        Durable.Store.open_dir
+          ~registry:(Server.Service.registry service)
+          ~group_commit ?snapshot_every ?snapshot_bytes dir
+      with
       | Result.Error e ->
         Printf.eprintf "error: cannot recover %s: %s\n" dir e;
         exit 1
@@ -63,12 +80,23 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
            exit 1
          | Result.Ok replayed ->
            Server.Service.attach_store service store;
+           (* snapshot compaction runs off the request path, on its own
+              single-worker executor: a byte- or count-triggered
+              snapshot no longer stalls the mutation that tripped it *)
+           let exec =
+             Parallel.Executor.create
+               ~registry:(Server.Service.registry service) ~workers:1
+               ~queue_capacity:1 ()
+           in
+           snapshot_exec := Some exec;
+           Server.Service.set_snapshot_executor service exec;
            Printf.printf
              "recovered %s: %d mutation(s) (%d snapshot + %d wal), %d torn \
-              byte(s) dropped, %.3fs\n%!"
+              byte(s) dropped, %.3fs%s\n%!"
              dir replayed r.Durable.Store.snapshot_records
              r.Durable.Store.wal_records r.Durable.Store.truncated_bytes
-             r.Durable.Store.seconds))
+             r.Durable.Store.seconds
+             (if group_commit then " [group commit]" else "")))
     data_dir;
   let config =
     {
@@ -76,7 +104,6 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
       workers;
       queue_capacity = queue;
       request_timeout_s = timeout;
-      slow_log_s = (match slow_log with Some s -> s | None -> infinity);
     }
   in
   let srv = Server.Serve.create ~config service in
@@ -90,14 +117,25 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
       let bound = Server.Serve.listen_tcp srv ~host ~port in
       Printf.printf "listening on tcp:%s:%d\n%!" host bound)
     tcp_port;
-  Printf.printf "workers=%d queue=%d timeout=%.1fs lru=%d mode=%s\n%!" workers
-    queue timeout lru
-    (Obda.Engine.string_of_mode mode);
+  Printf.printf "workers=%d queue=%d timeout=%.1fs lru=%d mode=%s proto=v%d\n%!"
+    workers queue timeout lru
+    (Obda.Engine.string_of_mode service_config.Server.Service.Config.mode)
+    Server.Wire.max_version;
   Server.Serve.start srv;
   (* all worker domains / handler threads inherit the blocked mask set
      below, so TERM and INT are delivered to exactly this sigwait *)
   ignore (Thread.wait_signal [ Sys.sigterm; Sys.sigint ]);
   print_endline "shutting down: draining in-flight requests...";
+  (* retire the snapshot executor first: any in-flight compaction
+     finishes while the store is still open; snapshots requested during
+     the request drain are shed (the next boot compacts instead) *)
+  (match !snapshot_exec with
+   | Some exec ->
+     ignore (Parallel.Executor.close exec);
+     Parallel.Executor.resume exec;
+     Parallel.Executor.drain exec;
+     Parallel.Executor.shutdown exec
+   | None -> ());
   let in_flight = Server.Serve.stop srv in
   Printf.printf "drained %d in-flight request(s); bye\n%!" in_flight;
   Option.iter
@@ -150,6 +188,12 @@ let () =
              ~doc:"Domain-pool width for the parallel classification \
                    algorithms.")
   in
+  let join_threshold_arg =
+    Arg.(value & opt (some int) None
+         & info [ "join-threshold" ] ~docv:"N"
+             ~doc:"Binding-count pivot between nested-loop and hash joins in \
+                   the query executor (default: the executor's built-in).")
+  in
   let slow_log_arg =
     Arg.(value & opt (some float) None
          & info [ "slow-log" ] ~docv:"SECONDS"
@@ -169,6 +213,28 @@ let () =
              ~doc:"Write a compacting snapshot after every N WAL appends \
                    (requires --data-dir).")
   in
+  let snapshot_bytes_arg =
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-bytes" ] ~docv:"BYTES"
+             ~doc:"Write a compacting snapshot once this many WAL bytes have \
+                   accumulated since the last one (requires --data-dir; \
+                   composes with --snapshot-every).")
+  in
+  let group_commit_arg =
+    Arg.(value
+         & vflag false
+             [
+               ( true,
+                 info [ "group-commit" ]
+                   ~doc:"Batch concurrent WAL appends into one fsync \
+                         (higher write throughput; durability unchanged — \
+                         a mutation is still acknowledged only after its \
+                         batch is on disk)." );
+               ( false,
+                 info [ "no-group-commit" ]
+                   ~doc:"Fsync every mutation individually (the default)." );
+             ])
+  in
   let chaos_arg =
     Arg.(value & flag
          & info [ "chaos" ]
@@ -185,5 +251,6 @@ let () =
           Term.(
             const run $ unix_arg $ tcp_arg $ host_arg $ workers_arg $ queue_arg
             $ timeout_arg $ lru_arg $ presto_arg $ algorithm_arg
-            $ classify_jobs_arg $ slow_log_arg $ data_dir_arg
-            $ snapshot_every_arg $ chaos_arg)))
+            $ classify_jobs_arg $ join_threshold_arg $ slow_log_arg
+            $ data_dir_arg $ snapshot_every_arg $ snapshot_bytes_arg
+            $ group_commit_arg $ chaos_arg)))

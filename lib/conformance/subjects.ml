@@ -255,7 +255,7 @@ let indexed_answers =
    per-domain (the fuzz driver runs cases on a domain pool) and reset
    per case; the service's own mutex handles the rest. *)
 let service_answers =
-  let service = lazy (Server.Service.create ~lru:64 ()) in
+  let service = lazy (Server.Service.create ~config:{ Server.Service.Config.default with lru = 64 } ()) in
   {
     a_name = "service";
     answers =

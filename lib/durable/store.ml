@@ -76,11 +76,18 @@ type t = {
   dir : string;
   mu : Mutex.t;  (** guards the WAL appender and the counters below *)
   wal : Wal.t;
+  group : Wal.Group.group option;
+      (** when set, appends go through the group committer: sequence
+          numbers are assigned and records enqueued under [mu], but the
+          write+fsync happens on the committer thread, batched with
+          whatever other sessions were appending concurrently *)
   snapshot_every : int option;
+  snapshot_bytes : int option;
   mutable next_seq : int;
   mutable good_bytes : int;  (** WAL offset after the last committed append *)
   mutable dirty : bool;      (** a failed append may have left torn bytes *)
   mutable since_snapshot : int;
+  mutable since_snapshot_bytes : int;
   mutable snapshotting : bool;
   registry : Obs.registry;
   m_truncations : Obs.Counter.t;
@@ -144,14 +151,20 @@ let read_snapshot path =
         in
         decode [] records)
 
-(** [open_dir ?registry ?fsync_on_commit ?snapshot_every dir] — create
-    or recover the store.  On success, returns the opened store (WAL
-    truncated past any torn tail, ready to append) and the recovery
-    record whose [mutations] the caller must replay, in order, into a
-    fresh service {e before} attaching the store.  [snapshot_every]
-    arms {!want_snapshot} after that many WAL appends. *)
+(** [open_dir ?registry ?fsync_on_commit ?group_commit ?snapshot_every
+    ?snapshot_bytes dir] — create or recover the store.  On success,
+    returns the opened store (WAL truncated past any torn tail, ready
+    to append) and the recovery record whose [mutations] the caller
+    must replay, in order, into a fresh service {e before} attaching
+    the store.  [snapshot_every] arms {!want_snapshot} after that many
+    WAL appends; [snapshot_bytes] arms it after that many WAL bytes
+    (whichever trigger fires first wins).  [group_commit] routes
+    appends through a dedicated {!Wal.Group} committer that batches
+    concurrent appends under one fsync — same durability guarantee
+    (nothing is acknowledged before its batch is fsync'd), amortized
+    cost. *)
 let open_dir ?(registry = Obs.default) ?(fsync_on_commit = true)
-    ?snapshot_every dir =
+    ?(group_commit = false) ?snapshot_every ?snapshot_bytes dir =
   let t0 = Unix.gettimeofday () in
   match
     (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with
@@ -205,6 +218,11 @@ let open_dir ?(registry = Obs.default) ?(fsync_on_commit = true)
             Wal.open_append ~fsync_on_commit ~registry ~path:(wal_path dir)
               ~valid_bytes ()
           in
+          let group =
+            if group_commit then
+              Some (Wal.Group.start ~registry ~committed:valid_bytes wal)
+            else None
+          in
           let mutations = snap_mutations @ wal_mutations in
           Obs.Counter.incr ~by:(List.length mutations) m_replayed;
           let seconds = Unix.gettimeofday () -. t0 in
@@ -216,11 +234,14 @@ let open_dir ?(registry = Obs.default) ?(fsync_on_commit = true)
               dir;
               mu = Mutex.create ();
               wal;
+              group;
               snapshot_every;
+              snapshot_bytes;
               next_seq = last_wal_seq + 1;
               good_bytes = valid_bytes;
               dirty = false;
               since_snapshot = List.length wal_mutations;
+              since_snapshot_bytes = valid_bytes;
               snapshotting = false;
               registry;
               m_truncations;
@@ -257,24 +278,53 @@ let repair_locked t =
     must then be rejected, not applied. *)
 let append t m =
   let payload = encode_mutation m in
-  locked t (fun () ->
-      repair_locked t;
-      let seq = t.next_seq in
-      (try Wal.append t.wal ~seq payload
-       with e ->
-         t.dirty <- true;
-         raise e);
-      t.next_seq <- seq + 1;
-      t.good_bytes <- t.good_bytes + Wal.header_size + String.length payload;
-      t.since_snapshot <- t.since_snapshot + 1)
+  match t.group with
+  | Some g ->
+    (* group path: assign the sequence number and enqueue atomically
+       under the store lock (so file order matches sequence order),
+       then wait for the batch fsync OUTSIDE the lock — that release
+       is what lets concurrent sessions share one fsync.  Failed
+       batches leave sequence-number gaps, which recovery tolerates
+       (it filters on [seq > fence], never on density). *)
+    let ticket =
+      locked t (fun () ->
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          t.since_snapshot <- t.since_snapshot + 1;
+          t.since_snapshot_bytes <-
+            t.since_snapshot_bytes + Wal.header_size + String.length payload;
+          Wal.Group.enqueue g ~seq payload)
+    in
+    Wal.Group.await g ticket
+  | None ->
+    locked t (fun () ->
+        repair_locked t;
+        let seq = t.next_seq in
+        (try Wal.append t.wal ~seq payload
+         with e ->
+           t.dirty <- true;
+           raise e);
+        t.next_seq <- seq + 1;
+        t.good_bytes <- t.good_bytes + Wal.header_size + String.length payload;
+        t.since_snapshot <- t.since_snapshot + 1;
+        t.since_snapshot_bytes <-
+          t.since_snapshot_bytes + Wal.header_size + String.length payload)
 
-(** [want_snapshot t] — true once [snapshot_every] appends have landed
-    since the last snapshot and none is currently being written. *)
+(** [want_snapshot t] — true once either compaction trigger has fired
+    ([snapshot_every] appends, or [snapshot_bytes] WAL bytes, since the
+    last snapshot) and none is currently being written. *)
 let want_snapshot t =
-  match t.snapshot_every with
-  | None -> false
-  | Some every ->
-    locked t (fun () -> (not t.snapshotting) && t.since_snapshot >= every)
+  match (t.snapshot_every, t.snapshot_bytes) with
+  | None, None -> false
+  | every, bytes ->
+    locked t (fun () ->
+        (not t.snapshotting)
+        && ((match every with
+             | Some every -> t.since_snapshot >= every
+             | None -> false)
+            || match bytes with
+               | Some limit -> t.since_snapshot_bytes >= limit
+               | None -> false))
 
 (** [write_snapshot t mutations] — install [mutations] (a compacted
     replay of the {e entire} current state, typically produced under
@@ -288,6 +338,14 @@ let write_snapshot t mutations =
       Fun.protect
         ~finally:(fun () -> t.snapshotting <- false)
         (fun () ->
+          (* quiesce the group committer before fencing: with the store
+             lock held no new record can be enqueued, and [flush] waits
+             out the in-flight batch — so every sequence number below
+             the fence is either durably in the WAL or failed, and the
+             [Wal.reset] below cannot race a batch write *)
+          (match t.group with
+           | Some g -> Wal.Group.flush g
+           | None -> ());
           Failpoint.check "snapshot.before_write";
           let fence = t.next_seq - 1 in
           let buf = Buffer.create 4096 in
@@ -314,14 +372,24 @@ let write_snapshot t mutations =
           fsync_dir t.dir;
           Failpoint.check "snapshot.after_rename";
           Wal.reset t.wal;
+          (match t.group with
+           | Some g -> Wal.Group.note_reset g
+           | None -> ());
           t.good_bytes <- 0;
           t.dirty <- false;
           t.since_snapshot <- 0;
+          t.since_snapshot_bytes <- 0;
           Obs.Counter.incr t.m_snapshots;
           Log.info (fun m ->
               m "snapshot: %d record(s) at fence seq %d, wal reset"
                 (List.length mutations) fence)))
 
-(** [close t] — fsync and close the WAL (the graceful-shutdown path:
-    SIGTERM drains, then closes the log cleanly). *)
-let close t = locked t (fun () -> Wal.close t.wal)
+(** [close t] — drain the group committer (if any), then fsync and
+    close the WAL (the graceful-shutdown path: SIGTERM drains, then
+    closes the log cleanly). *)
+let close t =
+  locked t (fun () ->
+      (match t.group with
+       | Some g -> Wal.Group.stop g
+       | None -> ());
+      Wal.close t.wal)

@@ -242,3 +242,72 @@ let stats ?session t =
 
 (** [metrics t] — the Prometheus-style text exposition, as lines. *)
 let metrics t = ok_payload (request t Wire.Metrics)
+
+(* --------------------------- protocol v2 ----------------------------- *)
+
+(** [hello ?version t] — negotiate the connection's protocol version.
+    Returns [(granted, capabilities)]; the server grants
+    [min version its-max].  Bulk ingestion requires a granted version
+    ≥ 2 (capability ["bulk"]). *)
+let hello ?(version = Wire.max_version) t =
+  match ok_payload (request t (Wire.Hello version)) with
+  | Result.Error _ as e -> e
+  | Result.Ok [ line ] -> (
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | v :: caps
+      when String.length v >= 2
+           && v.[0] = 'v'
+           && int_of_string_opt (String.sub v 1 (String.length v - 1)) <> None
+      ->
+      Result.Ok
+        (int_of_string (String.sub v 1 (String.length v - 1)), caps)
+    | _ -> Result.Error ("malformed HELLO reply: " ^ line))
+  | Result.Ok _ -> Result.Error "malformed HELLO reply"
+
+(** [bulk_load t ~session ?chunk_lines lines] — stream a fact load in
+    atomic chunks of [chunk_lines] without materializing the whole
+    payload, then close the stream with [BULK END].  The input is
+    consumed lazily, so a file can be streamed line by line.  Returns
+    [(chunks, facts)] as acknowledged by END.  On a rejected chunk the
+    stream is ABORTed and the error reports how many chunks were
+    already acked — those are durable and stay (atomicity is per
+    chunk).  Chunk requests are set-semantics inserts, so the
+    connection's retry policy applies to them safely. *)
+let bulk_load t ~session ?(chunk_lines = 1000) (lines : string Seq.t) =
+  let chunk_lines = max 1 chunk_lines in
+  let send_chunk chunk =
+    ok_payload (request t (Wire.Bulk_chunk { session; payload = chunk }))
+  in
+  let abort () = ignore (request t (Wire.Bulk_abort { session })) in
+  let rec take k acc seq =
+    if k = 0 then (List.rev acc, seq)
+    else
+      match Seq.uncons seq with
+      | None -> (List.rev acc, Seq.empty)
+      | Some (line, rest) -> take (k - 1) (line :: acc) rest
+  in
+  let rec stream acked seq =
+    match take chunk_lines [] seq with
+    | [], _ -> (
+      match ok_payload (request t (Wire.Bulk_end { session })) with
+      | Result.Error _ as e -> e
+      | Result.Ok [ summary ] -> (
+        match
+          String.split_on_char ' ' summary |> List.filter (fun s -> s <> "")
+        with
+        | [ "chunks"; c; "facts"; f ] -> (
+          match (int_of_string_opt c, int_of_string_opt f) with
+          | Some c, Some f -> Result.Ok (c, f)
+          | _ -> Result.Error ("malformed END summary: " ^ summary))
+        | _ -> Result.Error ("malformed END summary: " ^ summary))
+      | Result.Ok _ -> Result.Error "malformed END reply")
+    | chunk, rest -> (
+      match send_chunk chunk with
+      | Result.Ok _ -> stream (acked + 1) rest
+      | Result.Error e ->
+        abort ();
+        Result.Error
+          (Printf.sprintf "chunk %d rejected (%d chunk(s) acked): %s"
+             (acked + 1) acked e))
+  in
+  stream 0 lines

@@ -52,17 +52,6 @@ type ('k, 'v) t = {
   mutable insertions : int;
 }
 
-(** @deprecated A point-in-time counter snapshot, kept for one PR as a
-    migration shim — the [Obs] registry is the counters' home now. *)
-type stats = {
-  hits : int;
-  misses : int;
-  evictions : int;
-  insertions : int;
-  size : int;
-  capacity : int;
-}
-
 let metric_names =
   [
     "obda_cache_hits_total";
@@ -125,17 +114,6 @@ let unregister t =
     List.iter
       (fun name -> Obs.Registry.remove o.o_registry ~labels:o.o_labels name)
       metric_names
-
-(** @deprecated Use the [Obs] registry the cache was created with. *)
-let stats (t : ('k, 'v) t) =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    insertions = t.insertions;
-    size = length t;
-    capacity = t.capacity;
-  }
 
 (** [hit_rate t] ∈ [0, 1]; 0 when no lookups happened yet. *)
 let hit_rate (t : ('k, 'v) t) =

@@ -38,16 +38,17 @@ type config = {
   workers : int;           (** executor worker domains *)
   queue_capacity : int;    (** admission queue bound; excess sheds BUSY *)
   request_timeout_s : float;
-  slow_log_s : float;      (** slow-log threshold; [infinity] disables *)
   limits : Wire.limits;
 }
+(* service-level knobs (slow log, caches, engine) live in
+   [Service.Config]; this record is purely the connection/dispatch
+   layer *)
 
 let default_config =
   {
     workers = 2;
     queue_capacity = 64;
     request_timeout_s = 30.0;
-    slow_log_s = infinity;
     limits = Wire.default_limits;
   }
 
@@ -75,7 +76,6 @@ type t = {
 
 let create ?(config = default_config) service =
   let registry = Service.registry service in
-  Obs.set_slow_log_threshold config.slow_log_s;
   let result_counter r =
     Obs.Registry.counter registry ~labels:[ ("result", r) ] "obda_requests_total"
   in
@@ -198,6 +198,12 @@ let forget_conn t fd =
 let handle_connection t fd =
   let reader = Durable.Io.reader fd in
   let decoder = Wire.decoder ~limits:t.config.limits () in
+  (* the negotiated protocol version is per-connection state: bare
+     clients that never send HELLO stay on v1 and keep the PR-6 verb
+     set; v2-only verbs are refused with a pointed ERR instead of a
+     parse failure, so an old server and a missing handshake are
+     distinguishable from a typo *)
+  let proto = ref 1 in
   let rec loop () =
     match
       Durable.Io.read_line reader ~max_line:t.config.limits.Wire.max_line
@@ -210,6 +216,15 @@ let handle_connection t fd =
         send_reply fd (Wire.Err e);
         loop ()
       | Wire.Request Wire.Quit -> send_reply fd (Wire.Ok [])
+      | Wire.Request (Wire.Hello v) ->
+        let granted = min v Wire.max_version in
+        proto := granted;
+        send_reply fd (Wire.Ok [ Wire.hello_reply granted ]);
+        loop ()
+      | Wire.Request request when !proto < 2 && Wire.requires_v2 request ->
+        send_reply fd
+          (Wire.Err "BULK requires protocol v2: send HELLO 2 first");
+        loop ()
       | Wire.Request request ->
         send_reply fd (dispatch t request);
         loop ())

@@ -50,6 +50,42 @@
 
 open Dllite
 
+(* ------------------------------- config ----------------------------- *)
+
+(** Every service-level knob in one record, built in one place (the
+    server's flag parser) instead of threaded as parallel optional-arg
+    chains through [Engine] / [Service] / [Serve] / [obda_server].
+    [default] is a working embedded configuration; override fields with
+    [{ Config.default with lru = 8 }]. *)
+module Config = struct
+  type t = {
+    mode : Obda.Engine.rewriting_mode;  (** rewriting algorithm *)
+    lru : int;  (** capacity of the rewrite and per-session answer caches *)
+    algorithm : Graphlib.Closure.algorithm option;
+        (** closure algorithm for classification; [None] = library default *)
+    jobs : int option;  (** domain-pool width for parallel closure *)
+    join_threshold : int option;
+        (** executor's nested-loop/hash pivot; [None] = [Cq] default *)
+    slow_log_s : float;
+        (** spans and ops slower than this are logged; [infinity] disables *)
+    chaos : bool;  (** honour the [FAIL] wire verb *)
+  }
+
+  let default =
+    {
+      mode = Obda.Engine.Perfect_ref;
+      lru = 256;
+      algorithm = None;
+      jobs = None;
+      join_threshold = None;
+      slow_log_s = infinity;
+      chaos = false;
+    }
+end
+
+(* one atomic chunk-stream in progress on a session (the BULK verb) *)
+type bulk_state = { mutable chunks : int; mutable facts : int }
+
 type session = {
   sname : string;
   smutex : Mutex.t;  (** held for the duration of any operation on the session *)
@@ -69,6 +105,9 @@ type session = {
      dump of the database. *)
   mutable d_tbox_text : string list;
   mutable d_map : (string list * string list) option;
+  mutable bulk : bulk_state option;
+      (** active BULK stream: chunks apply without a version bump, asks
+          bypass the answer cache, END bumps once *)
 }
 
 type t = {
@@ -78,45 +117,40 @@ type t = {
   mutable store : Durable.Store.t option;
       (** attached via {!attach_store} after {!restore}; [None] = no
           durability *)
-  chaos : bool;  (** honour the [FAIL] wire verb *)
-  mode : Obda.Engine.rewriting_mode;
-  lru_capacity : int;
+  config : Config.t;
   registry : Obs.registry;   (** every metric of this service lives here *)
-  algorithm : Graphlib.Closure.algorithm option;
-  jobs : int option;         (** domain-pool width for parallel closure *)
+  mutable snapshot_exec : Parallel.Executor.t option;
+      (** when set, triggered snapshots run as a background task instead
+          of on the request path *)
   sessions : (string, session) Hashtbl.t;
   rewrites : (string, Obda.Cq.ucq) Lru.t;
   classifications : (string, Quonto.Classify.t) Lru.t;
 }
 
-(** [create ?mode ?lru ?registry ?algorithm ?jobs ()] — [registry]
-    defaults to {!Obs.default}, which is what a server process wants
-    (library-level spans record there too); embedders that need
-    isolated counters (tests) pass their own.  [algorithm] / [jobs]
-    select the closure algorithm for classifications triggered by any
-    session. *)
-let create ?(mode = Obda.Engine.Perfect_ref) ?(lru = 256)
-    ?(registry = Obs.default) ?algorithm ?jobs ?(chaos = false) () =
+(** [create ?config ?registry ()] — all service knobs arrive through
+    {!Config}.  [registry] defaults to {!Obs.default}, which is what a
+    server process wants (library-level spans record there too);
+    embedders that need isolated counters (tests) pass their own.
+    [config.slow_log_s] installs the process-wide slow-span threshold. *)
+let create ?(config = Config.default) ?(registry = Obs.default) () =
+  Obs.set_slow_log_threshold config.Config.slow_log_s;
   {
     registry_mutex = Mutex.create ();
     cache_mutex = Mutex.create ();
     snap_mutex = Mutex.create ();
     store = None;
-    chaos;
-    mode;
-    lru_capacity = lru;
+    config;
     registry;
-    algorithm;
-    jobs;
+    snapshot_exec = None;
     sessions = Hashtbl.create 8;
     rewrites =
       Lru.create
         ~metrics:(registry, [ ("cache", "rewrite") ])
-        ~capacity:lru ();
+        ~capacity:config.Config.lru ();
     classifications =
       Lru.create
         ~metrics:(registry, [ ("cache", "classify") ])
-        ~capacity:(max 1 (min lru 16))
+        ~capacity:(max 1 (min config.Config.lru 16))
         ();
   }
 
@@ -250,8 +284,10 @@ let logged t s kind payload =
 
 let rebuild_engine t s =
   s.engine <-
-    Obda.Engine.create ~mode:t.mode ?algorithm:t.algorithm ?jobs:t.jobs
-      ~tbox:s.tbox ~mappings:s.mappings ~database:s.database ()
+    Obda.Engine.create ~mode:t.config.Config.mode
+      ?algorithm:t.config.Config.algorithm ?jobs:t.config.Config.jobs
+      ?join_threshold:t.config.Config.join_threshold ~tbox:s.tbox
+      ~mappings:s.mappings ~database:s.database ()
 
 let bump s = s.version <- s.version + 1
 
@@ -265,8 +301,10 @@ let fresh_session t name =
     mappings = [];
     database;
     engine =
-      Obda.Engine.create ~mode:t.mode ?algorithm:t.algorithm ?jobs:t.jobs ~tbox
-        ~mappings:[] ~database ();
+      Obda.Engine.create ~mode:t.config.Config.mode
+        ?algorithm:t.config.Config.algorithm ?jobs:t.config.Config.jobs
+        ?join_threshold:t.config.Config.join_threshold ~tbox ~mappings:[]
+        ~database ();
     version = 0;
     tbox_fp = Tbox.fingerprint tbox;
     map_fp = fp_mappings [];
@@ -274,9 +312,10 @@ let fresh_session t name =
     answers =
       Lru.create
         ~metrics:(t.registry, [ ("cache", "answers"); ("session", name) ])
-        ~capacity:t.lru_capacity ();
+        ~capacity:t.config.Config.lru ();
     d_tbox_text = [];
     d_map = None;
+    bulk = None;
   }
 
 (* Registry lookups hold only the (leaf-duration) registry mutex; the
@@ -369,12 +408,18 @@ let op_classification t s =
 let op_ask t s q =
   let qkey = Obda.Cq.show q in
   let akey = Printf.sprintf "%d|%s" s.version qkey in
-  match Lru.find s.answers akey with
+  (* during an active BULK stream the version is deliberately not
+     bumped per chunk, so the answer cache is bypassed in both
+     directions: a hit would serve pre-bulk answers as if current, and
+     a miss computed over half-streamed data must not be cached under a
+     key that outlives the stream *)
+  let bulk_active = s.bulk <> None in
+  match (if bulk_active then None else Lru.find s.answers akey) with
   | Some tuples -> tuples
   | None ->
     let rkey =
       Printf.sprintf "%s|%s|%s|%s" s.tbox_fp s.map_fp
-        (Obda.Engine.string_of_mode t.mode)
+        (Obda.Engine.string_of_mode t.config.Config.mode)
         qkey
     in
     let compiled =
@@ -388,7 +433,7 @@ let op_ask t s q =
     let tuples =
       List.sort_uniq compare (Obda.Engine.evaluate_compiled s.engine compiled)
     in
-    Lru.put s.answers akey tuples;
+    if not bulk_active then Lru.put s.answers akey tuples;
     tuples
 
 (* ------------------------------ snapshots --------------------------- *)
@@ -457,11 +502,25 @@ let snapshot_now t =
                 Logs.warn (fun m ->
                     m "snapshot failed: %s: %s" fn (Unix.error_message e))))
 
-(* called after every mutating operation, outside the session lock *)
+(* called after every mutating operation, outside the session lock;
+   with a snapshot executor installed the compaction runs as a
+   background task instead of stalling the request that tripped the
+   trigger (a full queue just postpones it to the next trigger, and
+   [snapshot_now]'s try-lock collapses duplicate submissions) *)
 let maybe_snapshot t =
   match t.store with
-  | Some store when Durable.Store.want_snapshot store -> snapshot_now t
+  | Some store when Durable.Store.want_snapshot store -> (
+    match t.snapshot_exec with
+    | Some exec ->
+      ignore (Parallel.Executor.try_submit exec (fun () -> snapshot_now t))
+    | None -> snapshot_now t)
   | _ -> ()
+
+(** [set_snapshot_executor t exec] — run triggered snapshots on [exec]
+    (a dedicated executor, typically one worker / queue one) instead of
+    on the request path.  Explicit {!snapshot_now} calls still run
+    inline. *)
+let set_snapshot_executor t exec = t.snapshot_exec <- Some exec
 
 (* ------------------------- typed (embedded) API --------------------- *)
 (* The API the conformance subject, the QCheck properties and the serve
@@ -570,9 +629,9 @@ let scrape_samples ?session:filter t =
       sample "obda_service_sessions" []
         (float_of_int
            (locked t.registry_mutex (fun () -> Hashtbl.length t.sessions)));
-      sample "obda_service_lru_capacity" [] (float_of_int t.lru_capacity);
+      sample "obda_service_lru_capacity" [] (float_of_int t.config.Config.lru);
       sample "obda_service_info"
-        [ ("mode", Obda.Engine.string_of_mode t.mode) ]
+        [ ("mode", Obda.Engine.string_of_mode t.config.Config.mode) ]
         1.0;
     ]
   in
@@ -735,6 +794,58 @@ let handle_load t s kind payload =
           bump s)
     | exception Obda.Qparse.Parse_error e -> Wire.Err ("facts: " ^ e))
 
+(* ------------------------- streaming bulk load ----------------------- *)
+(* One chunk = one WAL record = one atomic unit: validated fully, then
+   logged (as an ordinary FACTS load, so recovery replays chunks through
+   the normal path with no second deserializer), then applied.  A
+   malformed line rejects exactly its own chunk; earlier acked chunks
+   are already durable and stay.  The per-chunk version bump is
+   deliberately skipped — [op_ask] bypasses the answer cache while a
+   stream is active, and END performs the single bump that makes the
+   whole load visible to cached readers at once. *)
+
+let handle_bulk_chunk t s payload =
+  let text = String.concat "\n" payload in
+  match Obda.Qparse.parse_facts text with
+  | exception Obda.Qparse.Parse_error e -> Wire.Err ("facts: " ^ e)
+  | rows -> (
+    match log_load t s Wire.K_facts payload with
+    | Result.Error e -> Wire.Err e
+    | Result.Ok () ->
+      List.iter
+        (fun (rel, row) -> Obda.Database.insert s.database rel row)
+        rows;
+      let b =
+        match s.bulk with
+        | Some b -> b
+        | None ->
+          let b = { chunks = 0; facts = 0 } in
+          s.bulk <- Some b;
+          b
+      in
+      b.chunks <- b.chunks + 1;
+      b.facts <- b.facts + List.length rows;
+      Wire.Ok [])
+
+let handle_bulk_end _t s =
+  match s.bulk with
+  | None -> Wire.Err "no active bulk load"
+  | Some b ->
+    s.bulk <- None;
+    if b.chunks > 0 then bump s;
+    Wire.Ok [ Printf.sprintf "chunks %d facts %d" b.chunks b.facts ]
+
+(* closing the stream without END: acked chunks are durable and stay
+   (atomicity is per chunk, not per stream), so the data change must
+   still invalidate cached answers *)
+let handle_bulk_abort _t s =
+  match s.bulk with
+  | None -> Wire.Ok []  (* idempotent: nothing in flight *)
+  | Some b ->
+    s.bulk <- None;
+    if b.chunks > 0 then bump s;
+    Wire.Ok []
+
 let parse_query s text =
   match Obda.Qparse.parse_query ~signature:(Tbox.signature s.tbox) text with
   | q -> Result.Ok q
@@ -765,6 +876,29 @@ let handle_ask t s query_ref =
     here but connection teardown is the server's business. *)
 let handle t request =
   match request with
+  | Wire.Hello v ->
+    (* embedded callers get the handshake as a plain reply; the serving
+       layer additionally records the granted version per connection *)
+    Wire.Ok [ Wire.hello_reply (min v Wire.max_version) ]
+  | Wire.Bulk_chunk { session = name; payload } ->
+    let s = get_or_create_session t name in
+    let reply =
+      locked s.smutex (fun () ->
+          timed t "bulk" (fun () -> handle_bulk_chunk t s payload))
+    in
+    maybe_snapshot t;
+    reply
+  | Wire.Bulk_end { session = name } -> (
+    match find_session t name with
+    | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
+    | Some s ->
+      locked s.smutex (fun () -> timed t "bulk" (fun () -> handle_bulk_end t s)))
+  | Wire.Bulk_abort { session = name } -> (
+    match find_session t name with
+    | None -> Wire.Err (Printf.sprintf "unknown session %s" name)
+    | Some s ->
+      locked s.smutex (fun () ->
+          timed t "bulk" (fun () -> handle_bulk_abort t s)))
   | Wire.Load { session = name; kind; payload } ->
     let s = get_or_create_session t name in
     let reply =
@@ -820,7 +954,7 @@ let handle t request =
   | Wire.Metrics -> timed t "metrics" (fun () -> Wire.Ok (metrics_lines t))
   | Wire.Fail { name; spec } ->
     timed t "fail" (fun () ->
-        if not t.chaos then
+        if not t.config.Config.chaos then
           Wire.Err "FAIL requires a server started with --chaos"
         else
           match Durable.Failpoint.arm_spec name spec with

@@ -3,8 +3,13 @@
     Requests (one header line, plus [n] raw payload lines for [LOAD]):
 
     {v
+      HELLO <proto-version>
       LOAD <session> TBOX|MAPPINGS|ABOX|FACTS <n>
       <n raw payload lines>
+      BULK <session> FACTS <n>
+      <n raw fact lines>
+      BULK <session> END
+      BULK <session> ABORT
       CLASSIFY <session>
       PREPARE <session> <name> <query text ...>
       ASK <session> <name>
@@ -14,6 +19,23 @@
       FAIL <failpoint> <spec>
       QUIT
     v}
+
+    [HELLO n] negotiates the protocol version for the connection: the
+    server replies [OK 1] with a payload line [v<version> <capabilities>]
+    carrying the granted version (the minimum of the request and the
+    server's {!max_version}) and its capability tokens.  Clients that
+    skip the handshake speak protocol v1 — the verb set of PR 6 —
+    unchanged; v2-only verbs ([BULK]) are {e capability-gated}: on a v1
+    connection the server refuses them with a pointed ERR instead of a
+    generic parse failure.
+
+    [BULK] is the streaming ingestion verb (v2): facts arrive in
+    length-prefixed chunks, each validated, WAL-logged and applied
+    {e atomically} — a malformed line rejects only its own chunk, and a
+    kill-9 can only lose un-acked chunks.  [END] closes the stream and
+    invalidates the session's answer cache once; [ABORT] just closes it
+    (acked chunks are already durable and stay — atomicity is per
+    chunk, not per stream).
 
     [FAIL] arms (or, with spec [off], disarms) a named failpoint in the
     durable I/O or request path — chaos tooling only, and the service
@@ -65,7 +87,14 @@ type query_ref =
   | Inline of string  (** query text on the ASK line itself *)
 
 type request =
+  | Hello of int  (** protocol negotiation; handled at the connection layer *)
   | Load of { session : string; kind : load_kind; payload : string list }
+  | Bulk_chunk of { session : string; payload : string list }
+      (** one atomic chunk of a streaming FACTS load (v2) *)
+  | Bulk_end of { session : string }
+      (** close the stream; answer caches are invalidated here, once *)
+  | Bulk_abort of { session : string }
+      (** close the stream without the end-of-load bookkeeping *)
   | Classify of { session : string }
   | Prepare of { session : string; name : string; query : string }
   | Ask of { session : string; query : query_ref }
@@ -74,6 +103,26 @@ type request =
   | Fail of { name : string; spec : string }
       (** arm/disarm a failpoint; honoured only under [--chaos] *)
   | Quit
+
+(* --------------------------- protocol versions ----------------------- *)
+
+(** Highest protocol version this codec speaks. *)
+let max_version = 2
+
+(** Capability tokens advertised in the HELLO reply, protocol-version
+    gated: a v1 connection has no capabilities beyond the base verbs. *)
+let capabilities_of_version v = if v >= 2 then [ "bulk" ] else []
+
+(** The HELLO reply payload line: [v<n> <capabilities...>]. *)
+let hello_reply v =
+  String.concat " " (Printf.sprintf "v%d" v :: capabilities_of_version v)
+
+(** [requires_v2 r] — requests refused on a bare (v1) connection. *)
+let requires_v2 = function
+  | Bulk_chunk _ | Bulk_end _ | Bulk_abort _ -> true
+  | Hello _ | Load _ | Classify _ | Prepare _ | Ask _ | Stats _ | Metrics
+  | Fail _ | Quit ->
+    false
 
 type reply =
   | Ok of string list
@@ -95,10 +144,15 @@ let valid_name s =
 (* ------------------------------ encoding ---------------------------- *)
 
 let encode_request = function
+  | Hello v -> [ Printf.sprintf "HELLO %d" v ]
   | Load { session; kind; payload } ->
     Printf.sprintf "LOAD %s %s %d" session (string_of_kind kind)
       (List.length payload)
     :: payload
+  | Bulk_chunk { session; payload } ->
+    Printf.sprintf "BULK %s FACTS %d" session (List.length payload) :: payload
+  | Bulk_end { session } -> [ Printf.sprintf "BULK %s END" session ]
+  | Bulk_abort { session } -> [ Printf.sprintf "BULK %s ABORT" session ]
   | Classify { session } -> [ "CLASSIFY " ^ session ]
   | Prepare { session; name; query } ->
     [ Printf.sprintf "PREPARE %s %s %s" session name query ]
@@ -149,6 +203,7 @@ type decoder = {
 and pending = {
   p_session : string;
   p_kind : load_kind;
+  p_bulk : bool;  (* payload completes a BULK chunk, not a LOAD *)
   mutable p_remaining : int;
   mutable p_acc : string list;  (* reversed *)
 }
@@ -179,7 +234,43 @@ let parse_header d line =
     | Some kind, Some 0 -> Request (Load { session; kind; payload = [] })
     | Some kind, Some n ->
       d.pending <-
-        Some { p_session = session; p_kind = kind; p_remaining = n; p_acc = [] };
+        Some
+          {
+            p_session = session;
+            p_kind = kind;
+            p_bulk = false;
+            p_remaining = n;
+            p_acc = [];
+          };
+      More)
+  | [ "HELLO"; v ] -> (
+    match int_of_string_opt v with
+    | Some v when v >= 1 -> Request (Hello v)
+    | _ -> Error (Printf.sprintf "bad HELLO version %s" v))
+  | [ "BULK"; session; "END" ] when valid_name session ->
+    Request (Bulk_end { session })
+  | [ "BULK"; session; "ABORT" ] when valid_name session ->
+    Request (Bulk_abort { session })
+  | [ "BULK"; session; "FACTS"; n ] -> (
+    match int_of_string_opt n with
+    | None -> Error (Printf.sprintf "bad BULK chunk line count %s" n)
+    | _ when not (valid_name session) -> Error "bad session name"
+    | Some n when n < 0 -> Error "negative BULK chunk line count"
+    | Some n when n > d.limits.max_payload_lines ->
+      Error
+        (Printf.sprintf "chunk too large (%d lines, limit %d)" n
+           d.limits.max_payload_lines)
+    | Some 0 -> Request (Bulk_chunk { session; payload = [] })
+    | Some n ->
+      d.pending <-
+        Some
+          {
+            p_session = session;
+            p_kind = K_facts;
+            p_bulk = true;
+            p_remaining = n;
+            p_acc = [];
+          };
       More)
   | [ "CLASSIFY"; session ] when valid_name session ->
     Request (Classify { session })
@@ -219,9 +310,10 @@ let feed d line =
       p.p_remaining <- p.p_remaining - 1;
       if p.p_remaining = 0 then begin
         d.pending <- None;
+        let payload = List.rev p.p_acc in
         Request
-          (Load
-             { session = p.p_session; kind = p.p_kind; payload = List.rev p.p_acc })
+          (if p.p_bulk then Bulk_chunk { session = p.p_session; payload }
+           else Load { session = p.p_session; kind = p.p_kind; payload })
       end
       else More
     | None -> parse_header d line

@@ -106,7 +106,7 @@ let child_session dir ~crash_site ~action =
     | Result.Ok p -> p
     | Result.Error e -> failwith e
   in
-  let service = Service.create ~lru:16 ~registry () in
+  let service = Service.create ~config:{ Service.Config.default with lru = 16 } ~registry () in
   Service.attach_store service store;
   List.iter (step service) (script "s");
   Printf.printf "--- arming %s, then sending the duplicate FACTS load\n%!" crash_site;
@@ -126,7 +126,7 @@ let recover_and_probe dir =
       "--- recovered: %d mutation(s) (%d snapshot + %d wal), %d torn byte(s)\n"
       (List.length r.Store.mutations)
       r.Store.snapshot_records r.Store.wal_records r.Store.truncated_bytes;
-    let service = Service.create ~lru:16 ~registry () in
+    let service = Service.create ~config:{ Service.Config.default with lru = 16 } ~registry () in
     (match Service.restore service r.Store.mutations with
      | Result.Ok n -> Printf.printf "--- replayed %d mutation(s)\n" n
      | Result.Error e -> Printf.printf "!!! replay failed: %s\n" e);

@@ -53,13 +53,12 @@ let raw_step conn ~show lines =
   print_reply (Server.Client.read_reply conn)
 
 let () =
-  let service = Server.Service.create ~lru:16 () in
+  let service = Server.Service.create ~config:{ Server.Service.Config.default with lru = 16 } () in
   let config =
     {
       Server.Serve.workers = 1;
       queue_capacity = 1;
       request_timeout_s = 0.5;
-      slow_log_s = infinity;
       limits = { Server.Wire.max_line = 200; max_payload_lines = 50 };
     }
   in
@@ -130,6 +129,28 @@ let () =
   Parallel.Executor.resume (Server.Serve.executor srv);
   Parallel.Executor.drain (Server.Serve.executor srv);
   step conn (Server.Wire.Ask { session = "s"; query = Server.Wire.Named "people" });
+
+  (* protocol v2: BULK is refused on a v1 connection, negotiated in by
+     HELLO, and then streams chunk-atomic fact loads *)
+  print_endline "--- protocol v2: HELLO + BULK";
+  step conn
+    (Server.Wire.Bulk_chunk { session = "s"; payload = [ "c$Manager(\"carol\")" ] });
+  step conn (Server.Wire.Hello 2);
+  step conn
+    (Server.Wire.Bulk_chunk
+       { session = "s"; payload = [ "c$Manager(\"carol\")"; "c$Employee(\"dan\")" ] });
+  (* a malformed line rejects exactly its own chunk; the stream lives on *)
+  step conn
+    (Server.Wire.Bulk_chunk { session = "s"; payload = [ "this is not a fact" ] });
+  step conn
+    (Server.Wire.Bulk_chunk { session = "s"; payload = [ "c$Manager(\"erin\")" ] });
+  step conn (Server.Wire.Bulk_end { session = "s" });
+  (* ABORT after END: nothing in flight, acknowledged as a no-op *)
+  step conn (Server.Wire.Bulk_abort { session = "s" });
+  step conn
+    (Server.Wire.Ask { session = "s"; query = Server.Wire.Inline "x <- Manager(x)" });
+  (* a later HELLO can only be granted what the server speaks *)
+  step conn (Server.Wire.Hello 99);
 
   step conn Server.Wire.Quit;
   Server.Client.close conn;

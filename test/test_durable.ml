@@ -30,8 +30,8 @@ let fresh_dir () =
 
 let registry () = Obs.Registry.create ()
 
-let open_ok ?snapshot_every dir =
-  match Store.open_dir ~registry:(registry ()) ?snapshot_every dir with
+let open_ok ?snapshot_every ?(group_commit = false) dir =
+  match Store.open_dir ~registry:(registry ()) ?snapshot_every ~group_commit dir with
   | Result.Ok pair -> pair
   | Result.Error e -> Alcotest.fail e
 
@@ -311,6 +311,70 @@ let test_store_partial_write_crash () =
   Alcotest.(check int) "two records" 2 (List.length r.Store.mutations);
   Store.close store
 
+(* --------------------------- group commit ---------------------------- *)
+
+let test_store_group_concurrent_roundtrip () =
+  let dir = fresh_dir () in
+  let store, _ = open_ok ~group_commit:true dir in
+  let sessions = 4 and per_session = 25 in
+  let writer i () =
+    for j = 0 to per_session - 1 do
+      Store.append store
+        (m_load ~session:(Printf.sprintf "s%d" i) "FACTS"
+           [ Printf.sprintf "t(\"w%d_%d\")" i j ])
+    done
+  in
+  let threads = List.init sessions (fun i -> Thread.create (writer i) ()) in
+  List.iter Thread.join threads;
+  Store.close store;
+  let store, r = open_ok dir in
+  Alcotest.(check int) "every append recovered"
+    (sessions * per_session)
+    (List.length r.Store.mutations);
+  Alcotest.(check int) "no truncation" 0 r.Store.truncated_bytes;
+  (* per-writer order is commit order: each writer's own records must
+     come back in its program order, whatever the interleaving *)
+  List.iteri
+    (fun i _ ->
+      let mine =
+        List.filter_map
+          (function
+            | Store.Load { session; payload = [ p ]; _ }
+              when session = Printf.sprintf "s%d" i -> Some p
+            | _ -> None)
+          r.Store.mutations
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "writer %d in order" i)
+        (List.init per_session (fun j -> Printf.sprintf "t(\"w%d_%d\")" i j))
+        mine)
+    (List.init sessions Fun.id);
+  Store.close store
+
+let test_store_group_failed_append_repair () =
+  (* the group path must keep the single-append failure contract: an
+     injected error fails the batch, nothing of it resurfaces, and the
+     committer keeps serving later appends *)
+  Failpoint.disarm_all ();
+  Fun.protect ~finally:Failpoint.disarm_all @@ fun () ->
+  let dir = fresh_dir () in
+  let store, _ = open_ok ~group_commit:true dir in
+  let m1 = m_load "FACTS" [ "t(\"1\")" ] in
+  let m3 = m_load "FACTS" [ "t(\"3\")" ] in
+  Store.append store m1;
+  Failpoint.arm "wal.append.before_fsync" Failpoint.Inject_error;
+  (match Store.append store (m_load "FACTS" [ "t(\"2\")" ]) with
+   | () -> Alcotest.fail "append must surface the injected error"
+   | exception Failpoint.Injected _ -> ());
+  Failpoint.disarm "wal.append.before_fsync";
+  Store.append store m3;
+  Store.close store;
+  let store, r = open_ok dir in
+  Alcotest.(check (list muts_equal))
+    "failed batch leaves no trace" [ m1; m3 ] r.Store.mutations;
+  Alcotest.(check int) "no truncation on reopen" 0 r.Store.truncated_bytes;
+  Store.close store
+
 (* --------------------- service-level crash property ------------------ *)
 
 (* The end-to-end contract: apply a random mutation sequence through a
@@ -374,7 +438,7 @@ let recovers_exact_prefix ~flip seed =
   let dir = fresh_dir () in
   (* the durable run: every mutation acknowledged is in the WAL *)
   let store, _ = open_ok dir in
-  let service = Service.create ~lru:8 ~registry:(registry ()) () in
+  let service = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
   Service.attach_store service store;
   apply_all service muts;
   Store.close store;
@@ -410,11 +474,11 @@ let recovers_exact_prefix ~flip seed =
     in
     if r.Store.mutations <> take k muts then false
     else begin
-      let recovered = Service.create ~lru:8 ~registry:(registry ()) () in
+      let recovered = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
       (match Service.restore recovered r.Store.mutations with
        | Result.Ok applied when applied = k -> ()
        | _ -> Alcotest.fail "restore failed on a valid prefix");
-      let oracle = Service.create ~lru:8 ~registry:(registry ()) () in
+      let oracle = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
       apply_all oracle (take k muts);
       probe recovered = probe oracle
     end
@@ -429,12 +493,109 @@ let prop_flipped_wal_recovers_or_refuses =
     QCheck.(int_bound 1_000_000)
     (fun seed -> recovers_exact_prefix ~flip:true seed)
 
+(* ---------------- kill -9 in the middle of a BULK stream ------------- *)
+
+(* The streaming-ingestion contract: one chunk = one atomic WAL record.
+   A process killed dead mid-stream (straight SIGKILL between chunks,
+   or a torn write inside a chunk's append) must recover to exactly the
+   acknowledged chunk prefix — the torn chunk is truncated away, and an
+   acknowledged chunk can never be lost because acknowledgement follows
+   the fsync. *)
+let kill9_during_bulk seed =
+  let rng = Random.State.make [| seed |] in
+  let n_chunks = 2 + Random.State.int rng 7 in
+  let chunks =
+    List.init n_chunks (fun i ->
+        List.init
+          (1 + Random.State.int rng 2)
+          (fun j -> Printf.sprintf "t(\"bulk%d_%d\")" i j))
+  in
+  let kill_at = Random.State.int rng n_chunks in
+  let torn = Random.State.bool rng in
+  let dir = fresh_dir () in
+  let tbox = m_load "TBOX" [ "concept A"; "role r" ] in
+  let r_pipe, w_pipe = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r_pipe;
+    (match Store.open_dir ~registry:(registry ()) ~group_commit:true dir with
+     | Result.Error _ -> Unix._exit 2
+     | Result.Ok (store, _) ->
+       let service =
+         Service.create ~config:{ Service.Config.default with lru = 8 }
+           ~registry:(registry ()) ()
+       in
+       Service.attach_store service store;
+       (match Service.handle service (request_of_mutation tbox) with
+        | Wire.Ok _ -> ()
+        | _ -> Unix._exit 3);
+       List.iteri
+         (fun i payload ->
+           if i = kill_at then
+             if torn then Failpoint.arm "wal.append.write" (Failpoint.Partial 7)
+             else Unix.kill (Unix.getpid ()) Sys.sigkill;
+           match
+             Service.handle service (Wire.Bulk_chunk { session = "s"; payload })
+           with
+           | Wire.Ok _ -> ignore (Unix.write w_pipe (Bytes.make 1 'a') 0 1)
+           | _ -> Unix._exit 4)
+         chunks;
+       (* the kill always fires before the stream completes *)
+       Unix._exit 5)
+  | pid ->
+    Unix.close w_pipe;
+    (* one byte per acknowledged chunk; EOF when the child dies *)
+    let acked = ref 0 in
+    let buf = Bytes.create 16 in
+    let rec drain () =
+      match Unix.read r_pipe buf 0 16 with
+      | 0 -> ()
+      | k ->
+        acked := !acked + k;
+        drain ()
+    in
+    drain ();
+    Unix.close r_pipe;
+    let _, status = Unix.waitpid [] pid in
+    let died_hard =
+      match status with
+      | Unix.WSIGNALED s -> s = Sys.sigkill
+      | Unix.WEXITED 137 -> true (* torn write: simulated kill -9 *)
+      | _ -> false
+    in
+    if not died_hard then false
+    else begin
+      match Store.open_dir ~registry:(registry ()) dir with
+      | Result.Error _ -> false (* a kill is not corruption *)
+      | Result.Ok (store, r) ->
+        Store.close store;
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        let expected =
+          tbox
+          :: List.map
+               (fun payload -> m_load "FACTS" payload)
+               (take !acked chunks)
+        in
+        (* exactly the acknowledged prefix: the crash always lands
+           before the next chunk's fsync, so nothing unacknowledged can
+           have reached the disk whole *)
+        r.Store.mutations = expected
+    end
+
+let prop_kill9_during_bulk =
+  QCheck.Test.make ~count:20 ~name:"kill -9 mid-BULK -> acked chunk prefix"
+    QCheck.(int_bound 1_000_000)
+    kill9_during_bulk
+
 (* ---------------------- durable service round-trip ------------------- *)
 
 let test_service_recovery_roundtrip () =
   let dir = fresh_dir () in
   let store, _ = open_ok dir in
-  let service = Service.create ~lru:8 ~registry:(registry ()) () in
+  let service = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
   Service.attach_store service store;
   apply_all service
     [
@@ -464,7 +625,7 @@ let test_service_recovery_roundtrip () =
   in
   Store.close store;
   let store, r = open_ok dir in
-  let recovered = Service.create ~lru:8 ~registry:(registry ()) () in
+  let recovered = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
   (match Service.restore recovered r.Store.mutations with
    | Result.Ok 5 -> ()
    | Result.Ok n -> Alcotest.failf "replayed %d of 5" n
@@ -488,7 +649,7 @@ let test_service_snapshot_compaction () =
   (* snapshot_every 4: the 5-mutation script triggers a snapshot, so
      recovery replays compact records (plus any WAL tail), not history *)
   let store, _ = open_ok ~snapshot_every:4 dir in
-  let service = Service.create ~lru:8 ~registry:(registry ()) () in
+  let service = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
   Service.attach_store service store;
   apply_all service
     [
@@ -509,7 +670,7 @@ let test_service_snapshot_compaction () =
   Store.close store;
   let store, r = open_ok dir in
   Alcotest.(check bool) "state was compacted" true (r.Store.snapshot_records > 0);
-  let recovered = Service.create ~lru:8 ~registry:(registry ()) () in
+  let recovered = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
   (match Service.restore recovered r.Store.mutations with
    | Result.Ok _ -> ()
    | Result.Error e -> Alcotest.fail e);
@@ -530,7 +691,7 @@ let test_service_wal_refusal_is_err () =
   Fun.protect ~finally:Failpoint.disarm_all @@ fun () ->
   let dir = fresh_dir () in
   let store, _ = open_ok dir in
-  let service = Service.create ~lru:8 ~registry:(registry ()) () in
+  let service = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry:(registry ()) () in
   Service.attach_store service store;
   apply_all service
     [
@@ -587,6 +748,10 @@ let () =
             test_store_failed_append_repair;
           Alcotest.test_case "partial write + crash" `Quick
             test_store_partial_write_crash;
+          Alcotest.test_case "group commit concurrent roundtrip" `Quick
+            test_store_group_concurrent_roundtrip;
+          Alcotest.test_case "group commit failed append repair" `Quick
+            test_store_group_failed_append_repair;
         ] );
       ( "service-recovery",
         [
@@ -600,5 +765,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_truncated_wal_recovers;
           QCheck_alcotest.to_alcotest prop_flipped_wal_recovers_or_refuses;
+          QCheck_alcotest.to_alcotest prop_kill9_during_bulk;
         ] );
     ]

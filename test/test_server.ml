@@ -12,8 +12,21 @@ module Service = Server.Service
 
 (* ------------------------------- LRU -------------------------------- *)
 
+(* counter assertions read the cache's [Obs] registry — the counters'
+   only home since the PR-4 [Lru.stats] snapshot shim was retired *)
+let lru_counted r name =
+  List.find_map
+    (fun { Obs.name = n; labels; value } ->
+      if n = name && labels = [ ("cache", "test") ] then Some value else None)
+    (Obs.Registry.samples r)
+  |> Option.value ~default:0.0 |> int_of_float
+
+let lru_with_metrics ~capacity =
+  let r = Obs.Registry.create () in
+  (Lru.create ~metrics:(r, [ ("cache", "test") ]) ~capacity (), r)
+
 let test_lru_basic () =
-  let c = Lru.create ~capacity:2 () in
+  let c, r = lru_with_metrics ~capacity:2 in
   Lru.put c "a" 1;
   Lru.put c "b" 2;
   Alcotest.(check (option int)) "a cached" (Some 1) (Lru.find c "a");
@@ -23,23 +36,21 @@ let test_lru_basic () =
   Alcotest.(check (option int)) "a survives" (Some 1) (Lru.find c "a");
   Alcotest.(check (option int)) "c cached" (Some 3) (Lru.find c "c");
   Alcotest.(check (list string)) "MRU order" [ "c"; "a" ] (Lru.keys c);
-  let st = Lru.stats c in
-  Alcotest.(check int) "hits" 3 st.Lru.hits;
-  Alcotest.(check int) "misses" 1 st.Lru.misses;
-  Alcotest.(check int) "evictions" 1 st.Lru.evictions;
-  Alcotest.(check int) "size" 2 st.Lru.size
+  Alcotest.(check int) "hits" 3 (lru_counted r "obda_cache_hits_total");
+  Alcotest.(check int) "misses" 1 (lru_counted r "obda_cache_misses_total");
+  Alcotest.(check int) "evictions" 1 (lru_counted r "obda_cache_evictions_total");
+  Alcotest.(check int) "size" 2 (lru_counted r "obda_cache_size")
 
 let test_lru_capacity_zero () =
-  let c = Lru.create ~capacity:0 () in
+  let c, r = lru_with_metrics ~capacity:0 in
   Lru.put c "a" 1;
   Alcotest.(check (option int)) "stores nothing" None (Lru.find c "a");
   Alcotest.(check int) "size 0" 0 (Lru.length c);
-  let st = Lru.stats c in
-  Alcotest.(check int) "put counted" 1 st.Lru.insertions;
-  Alcotest.(check int) "self-evicted" 1 st.Lru.evictions
+  Alcotest.(check int) "put counted" 1 (lru_counted r "obda_cache_insertions_total");
+  Alcotest.(check int) "self-evicted" 1 (lru_counted r "obda_cache_evictions_total")
 
 let test_lru_capacity_one () =
-  let c = Lru.create ~capacity:1 () in
+  let c, r = lru_with_metrics ~capacity:1 in
   Lru.put c "a" 1;
   Lru.put c "b" 2;
   Alcotest.(check (option int)) "a evicted" None (Lru.find c "a");
@@ -47,14 +58,16 @@ let test_lru_capacity_one () =
   (* refreshing the resident must not evict it *)
   Lru.put c "b" 20;
   Alcotest.(check (option int)) "refreshed in place" (Some 20) (Lru.find c "b");
-  Alcotest.(check int) "exactly one eviction" 1 (Lru.stats c).Lru.evictions
+  Alcotest.(check int) "exactly one eviction" 1
+    (lru_counted r "obda_cache_evictions_total")
 
 let test_lru_remove_and_clear () =
-  let c = Lru.create ~capacity:4 () in
+  let c, r = lru_with_metrics ~capacity:4 in
   List.iter (fun (k, v) -> Lru.put c k v) [ ("a", 1); ("b", 2); ("c", 3) ];
   Lru.remove c "b";
   Alcotest.(check (option int)) "removed" None (Lru.find c "b");
-  Alcotest.(check int) "removal is not an eviction" 0 (Lru.stats c).Lru.evictions;
+  Alcotest.(check int) "removal is not an eviction" 0
+    (lru_counted r "obda_cache_evictions_total");
   Lru.clear c;
   Alcotest.(check int) "cleared" 0 (Lru.length c);
   Alcotest.(check (list string)) "empty list" [] (Lru.keys c);
@@ -175,6 +188,42 @@ let test_wire_line_too_long () =
   | Wire.Request Wire.Quit -> ()
   | _ -> Alcotest.fail "decoder must resynchronize after the error"
 
+let test_wire_v2_roundtrip () =
+  List.iter
+    (fun r -> Alcotest.(check bool) "v2 request roundtrips" true (roundtrip r))
+    [
+      Wire.Hello 2;
+      Wire.Hello 7;
+      Wire.Bulk_chunk { session = "s1"; payload = [ "a(\"x\")"; "b(\"y\")" ] };
+      Wire.Bulk_chunk { session = "s1"; payload = [] };
+      Wire.Bulk_end { session = "s1" };
+      Wire.Bulk_abort { session = "s1" };
+    ]
+
+let test_wire_v2_malformed () =
+  let errors lines =
+    List.filter_map
+      (function Result.Error e -> Some e | Result.Ok _ -> None)
+      (feed_all lines)
+  in
+  Alcotest.(check int) "HELLO 0" 1 (List.length (errors [ "HELLO 0" ]));
+  Alcotest.(check int) "HELLO junk" 1 (List.length (errors [ "HELLO x" ]));
+  Alcotest.(check int) "bad chunk count" 1
+    (List.length (errors [ "BULK s FACTS x" ]));
+  Alcotest.(check int) "negative chunk count" 1
+    (List.length (errors [ "BULK s FACTS -1" ]));
+  Alcotest.(check int) "bad bulk op" 1 (List.length (errors [ "BULK s WHAT" ]));
+  (match errors [ "BULK s FACTS 1000001" ] with
+  | [ e ] ->
+    Alcotest.(check bool) "oversized chunk says so" true
+      (String.length e >= 15 && String.sub e 0 15 = "chunk too large")
+  | _ -> Alcotest.fail "oversized chunk must be one error");
+  (* a malformed header inside a stream desynchronizes only that line:
+     the decoder resumes on the next request *)
+  (match feed_all [ "BULK s FACTS 1"; "a(\"x\")"; "QUIT" ] with
+  | [ Result.Ok (Wire.Bulk_chunk _); Result.Ok Wire.Quit ] -> ()
+  | _ -> Alcotest.fail "chunk then QUIT should decode cleanly")
+
 let test_wire_reply_header () =
   let ok = function Result.Ok v -> v | Result.Error e -> Alcotest.fail e in
   Alcotest.(check bool) "OK n" true (ok (Wire.parse_reply_header "OK 3") = `Ok 3);
@@ -200,7 +249,7 @@ let test_service_answers_and_hits () =
   (* a private registry: the process-wide default would accumulate
      counts across test cases and break the exact-count assertions *)
   let registry = Obs.Registry.create () in
-  let t = Service.create ~lru:8 ~registry () in
+  let t = Service.create ~config:{ Service.Config.default with lru = 8 } ~registry () in
   Service.set_tbox t ~session:"s" sample_tbox;
   Service.add_abox t ~session:"s"
     (Abox.of_list
@@ -222,7 +271,7 @@ let test_service_answers_and_hits () =
   Alcotest.(check bool) "answer cache hit recorded" true has_hit
 
 let test_service_invalidation_on_insert () =
-  let t = Service.create ~lru:8 () in
+  let t = Service.create ~config:{ Service.Config.default with lru = 8 } () in
   Service.set_tbox t ~session:"s" sample_tbox;
   Service.add_abox t ~session:"s" (Abox.of_list [ Abox.Concept_assert ("Employee", "ada") ]);
   let query = q "x <- Person(x)" in
@@ -235,7 +284,7 @@ let test_service_invalidation_on_insert () =
     (Service.ask t ~session:"s" query)
 
 let test_service_invalidation_on_tbox_swap () =
-  let t = Service.create ~lru:8 () in
+  let t = Service.create ~config:{ Service.Config.default with lru = 8 } () in
   Service.set_tbox t ~session:"s" sample_tbox;
   Service.add_abox t ~session:"s" (Abox.of_list [ Abox.Concept_assert ("Manager", "ada") ]);
   let query = q "x <- Person(x)" in
@@ -256,7 +305,7 @@ let test_service_invalidation_on_tbox_swap () =
     (Service.ask t ~session:"s" query)
 
 let test_service_wire_handle () =
-  let t = Service.create ~lru:8 () in
+  let t = Service.create ~config:{ Service.Config.default with lru = 8 } () in
   let ok = function
     | Wire.Ok lines -> lines
     | Wire.Err e -> Alcotest.fail ("unexpected ERR " ^ e)
@@ -306,7 +355,7 @@ let test_service_facts_load_atomic () =
      the version, hence the answer cache) untouched — a partial insert
      without a version bump would serve stale cached answers over a
      half-loaded KB *)
-  let t = Service.create ~lru:8 () in
+  let t = Service.create ~config:{ Service.Config.default with lru = 8 } () in
   let ok = function
     | Wire.Ok lines -> lines
     | Wire.Err e -> Alcotest.fail ("unexpected ERR " ^ e)
@@ -332,8 +381,68 @@ let test_service_facts_load_atomic () =
      have leaked in during the failed load *)
   Alcotest.(check (list string)) "only the successful loads" [ "a"; "c" ] (ask ())
 
+let test_service_bulk_stream () =
+  let t = Service.create ~config:{ Service.Config.default with lru = 8 } () in
+  let ok = function
+    | Wire.Ok lines -> lines
+    | Wire.Err e -> Alcotest.fail ("unexpected ERR " ^ e)
+    | Wire.Busy -> Alcotest.fail "unexpected BUSY"
+  in
+  let chunk payload =
+    Service.handle t (Wire.Bulk_chunk { session = "b"; payload })
+  in
+  let ask () =
+    ok
+      (Service.handle t
+         (Wire.Ask { session = "b"; query = Wire.Inline "x <- A(x)" }))
+  in
+  ignore
+    (ok
+       (Service.handle t
+          (Wire.Load { session = "b"; kind = Wire.K_tbox; payload = [ "concept A" ] })));
+  ignore
+    (ok
+       (Service.handle t
+          (Wire.Load
+             { session = "b"; kind = Wire.K_mappings; payload = [ "map A(x) <- t(x)" ] })));
+  (* END/ABORT against a session with no active stream *)
+  (match Service.handle t (Wire.Bulk_end { session = "b" }) with
+  | Wire.Err _ -> ()
+  | _ -> Alcotest.fail "END with no stream must ERR");
+  Alcotest.(check (list string)) "ABORT with no stream is idempotent" []
+    (ok (Service.handle t (Wire.Bulk_abort { session = "b" })));
+  (* ...and against a session that does not exist at all *)
+  (match Service.handle t (Wire.Bulk_end { session = "ghost" }) with
+  | Wire.Err _ -> ()
+  | _ -> Alcotest.fail "END on unknown session must ERR");
+  (* a cached answer must not mask mid-stream chunks: ask, load a
+     chunk, ask again without an END in between *)
+  Alcotest.(check (list string)) "warm the cache" [] (ask ());
+  ignore (ok (chunk [ "t(a)" ]));
+  Alcotest.(check (list string)) "chunk visible before END" [ "a" ] (ask ());
+  (* a malformed line rejects exactly its own chunk *)
+  (match chunk [ "t(b)"; "this is not a fact" ] with
+  | Wire.Err _ -> ()
+  | _ -> Alcotest.fail "malformed chunk must ERR");
+  Alcotest.(check (list string)) "bad chunk left no trace" [ "a" ] (ask ());
+  ignore (ok (chunk [ "t(c)"; "t(d)" ]));
+  (* the summary counts acked chunks only *)
+  Alcotest.(check (list string)) "END summary" [ "chunks 2 facts 3" ]
+    (ok (Service.handle t (Wire.Bulk_end { session = "b" })));
+  Alcotest.(check (list string)) "all acked chunks stay" [ "a"; "c"; "d" ]
+    (ask ());
+  (* mid-stream ABORT: acked chunks are durable and stay; the stream
+     is closed, so a following END has nothing to end *)
+  ignore (ok (chunk [ "t(e)" ]));
+  ignore (ok (Service.handle t (Wire.Bulk_abort { session = "b" })));
+  Alcotest.(check (list string)) "aborted stream keeps acked chunks"
+    [ "a"; "c"; "d"; "e" ] (ask ());
+  match Service.handle t (Wire.Bulk_end { session = "b" }) with
+  | Wire.Err _ -> ()
+  | _ -> Alcotest.fail "END after ABORT must ERR"
+
 let test_service_unknown_session_typed () =
-  let t = Service.create ~lru:8 () in
+  let t = Service.create ~config:{ Service.Config.default with lru = 8 } () in
   Service.set_tbox t ~session:"known" sample_tbox;
   Alcotest.check_raises "ask" (Service.Unknown_session "ghost") (fun () ->
       ignore (Service.ask t ~session:"ghost" (q "x <- Person(x)")));
@@ -398,9 +507,8 @@ let test_lru_obs_registration () =
       ("obda_cache_size", 1.0);
       ("obda_cache_capacity", 1.0);
     ];
-  (* the registry counters agree with the deprecated snapshot shim *)
-  let st = Lru.stats c in
-  Alcotest.(check int) "shim agrees" st.Lru.hits 1;
+  (* derived accessors agree with the registry *)
+  Alcotest.(check (float 0.)) "hit_rate agrees" 0.5 (Lru.hit_rate c);
   Lru.unregister c;
   Alcotest.(check int) "unregister removes all series" 0
     (List.length (Obs.Registry.samples r))
@@ -417,7 +525,7 @@ let test_loopback_client_stats () =
      spans (rewrite, eval) record there, so they must show up in STATS;
      the assertions below are robust to counts accumulated by other
      test cases sharing the process *)
-  let service = Service.create ~lru:8 () in
+  let service = Service.create ~config:{ Service.Config.default with lru = 8 } () in
   let srv = Server.Serve.create service in
   ignore (Server.Serve.listen_unix srv sock);
   Server.Serve.start srv;
@@ -495,7 +603,7 @@ let reference_answers tbox assertions query =
 
 let scenario_agrees ~capacity seed =
   let rng = Ontgen.Rng.create seed in
-  let service = Service.create ~lru:capacity () in
+  let service = Service.create ~config:{ Service.Config.default with lru = capacity } () in
   let session = "prop" in
   let tbox = ref (Ontgen.Casegen.tbox rng) in
   let assertions = ref [] in
@@ -567,6 +675,8 @@ let () =
           Alcotest.test_case "malformed" `Quick test_wire_malformed;
           Alcotest.test_case "line too long" `Quick test_wire_line_too_long;
           Alcotest.test_case "reply header" `Quick test_wire_reply_header;
+          Alcotest.test_case "v2 roundtrip" `Quick test_wire_v2_roundtrip;
+          Alcotest.test_case "v2 malformed" `Quick test_wire_v2_malformed;
         ] );
       ( "service",
         [
@@ -580,6 +690,7 @@ let () =
             test_service_facts_load_atomic;
           Alcotest.test_case "unknown session (typed)" `Quick
             test_service_unknown_session_typed;
+          Alcotest.test_case "bulk stream" `Quick test_service_bulk_stream;
         ] );
       ( "line-reader",
         [ Alcotest.test_case "crlf" `Quick test_read_line_crlf ] );
