@@ -1001,7 +1001,7 @@ let recover_bench () =
                 }))
     in
     let writer i () =
-      Array.iter (fun m -> Durable.Store.append store m) payloads.(i)
+      Array.iter (fun m -> ignore (Durable.Store.append store m)) payloads.(i)
     in
     let (), seconds =
       timeit (fun () ->
@@ -1072,6 +1072,199 @@ let recover_bench () =
   Printf.printf "(table written to BENCH_recover.json)\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* A14: replicated service — read scaling and failover time            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements against real server processes (the same binary the
+   chaos harness kills):
+
+   1. Aggregate read throughput with 1, 2 and 4 read replicas: a small
+      session is loaded on the primary, replicas catch up, then a
+      closed-loop reader per member hammers ASK for a fixed window.
+      Replicas serve reads from their replicated state, so the
+      aggregate should scale with the member count until the client
+      machine saturates.
+
+   2. Failover time: kill -9 the primary, promote the best replica
+      (highest fence, epoch + 1), measure kill → promoted node serving
+      as primary.  Repeated [rounds] times for a p50/p95.
+
+   Results land in BENCH_cluster.json. *)
+
+let cluster_bench ?(server_exe = "_build/default/bin/obda_server.exe")
+    ?(window = 2.0) ?(failover_rounds = 10) () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf "== A14: replication — read scaling + failover time ==\n%!";
+  let module Harness = Cluster.Harness in
+  let module Client = Server.Client in
+  let module Wire = Server.Wire in
+  let scratch =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "obda-bench-cluster-%d" (Unix.getpid ()))
+  in
+  Harness.rm_rf scratch;
+  Unix.mkdir scratch 0o755;
+  let session = "bench" in
+  let spawn_cluster tag n_replicas =
+    let mk name =
+      let sock = Filename.concat scratch (Printf.sprintf "%s-%s.sock" tag name) in
+      let dir = Filename.concat scratch (Printf.sprintf "%s-%s" tag name) in
+      Harness.rm_rf dir;
+      (try Sys.remove sock with Sys_error _ -> ());
+      (sock, dir)
+    in
+    let p_sock, p_dir = mk "p" in
+    let reps = List.init n_replicas (fun i -> mk (Printf.sprintf "r%d" i)) in
+    let eps =
+      ("unix:" ^ p_sock) :: List.map (fun (s, _) -> "unix:" ^ s) reps
+    in
+    let p_ep = List.hd eps in
+    let primary =
+      Harness.spawn ~exe:server_exe ~sock:p_sock ~data_dir:p_dir
+        ~group_commit:true ~cluster:eps ()
+    in
+    let replicas =
+      List.map
+        (fun (sock, dir) ->
+          Harness.spawn ~exe:server_exe ~sock ~data_dir:dir ~replica_of:p_ep
+            ~cluster:eps ())
+        reps
+    in
+    Client.close (Harness.wait_listening primary);
+    List.iter (fun r -> Client.close (Harness.wait_listening r)) replicas;
+    (primary, replicas, eps)
+  in
+  let load_dataset p_ep =
+    match Client.connect p_ep with
+    | Result.Error e -> failwith e
+    | Result.Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let rpc req =
+            match Client.request conn req with
+            | Result.Ok (Wire.Ok _) -> ()
+            | Result.Ok (Wire.Err e) -> failwith ("load: " ^ e)
+            | Result.Ok Wire.Busy -> failwith "load: busy"
+            | Result.Error e -> failwith ("load: " ^ e)
+          in
+          rpc
+            (Wire.Load
+               {
+                 session;
+                 kind = Wire.K_tbox;
+                 payload = [ "concept A"; "concept B"; "role r"; "A [= B" ];
+               });
+          rpc
+            (Wire.Load
+               {
+                 session;
+                 kind = Wire.K_facts;
+                 payload =
+                   List.init 200 (fun i ->
+                       Printf.sprintf "src(\"k%d\", \"%d\")" i (i mod 7));
+               });
+          rpc (Wire.Prepare { session; name = "q"; query = "x <- A(x)" }))
+  in
+  (* closed-loop readers, one thread per member endpoint *)
+  let read_rps eps =
+    let stop = ref false in
+    let counts = Array.make (List.length eps) 0 in
+    let reader i ep () =
+      match Client.connect ep with
+      | Result.Error _ -> ()
+      | Result.Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            let req = Wire.Ask { session; query = Wire.Named "q" } in
+            while not !stop do
+              match Client.request conn req with
+              | Result.Ok (Wire.Ok _) -> counts.(i) <- counts.(i) + 1
+              | _ -> Thread.delay 0.01
+            done)
+    in
+    let threads = List.mapi (fun i ep -> Thread.create (reader i ep) ()) eps in
+    let t0 = Unix.gettimeofday () in
+    Thread.delay window;
+    stop := true;
+    List.iter Thread.join threads;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    float_of_int (Array.fold_left ( + ) 0 counts) /. elapsed
+  in
+  (* --- read scaling ------------------------------------------------- *)
+  let read_rows =
+    List.map
+      (fun n ->
+        let primary, replicas, eps = spawn_cluster (Printf.sprintf "read%d" n) n in
+        let p_ep = List.hd eps in
+        load_dataset p_ep;
+        (* replicas serve only what they have replicated: wait for the
+           fence to reach the primary's before measuring *)
+        let target =
+          let st = Client.probe_endpoint p_ep in
+          st.Client.es_fence
+        in
+        List.iter
+          (fun ep -> ignore (Harness.wait_fence ~timeout:15.0 ep target))
+          (List.tl eps);
+        let rps = read_rps eps in
+        Printf.printf "  %d replica(s): %10.0f reads/s aggregate\n%!" n rps;
+        Harness.kill_dead primary;
+        List.iter Harness.kill_dead replicas;
+        (n, rps))
+      [ 1; 2; 4 ]
+  in
+  (* --- failover time ------------------------------------------------ *)
+  let failover_times =
+    List.init failover_rounds (fun round ->
+        let primary, replicas, eps =
+          spawn_cluster (Printf.sprintf "fo%d" round) 2
+        in
+        let p_ep = List.hd eps in
+        load_dataset p_ep;
+        let target =
+          let st = Client.probe_endpoint p_ep in
+          st.Client.es_fence
+        in
+        List.iter
+          (fun ep -> ignore (Harness.wait_fence ~timeout:15.0 ep target))
+          (List.tl eps);
+        Harness.kill_dead primary;
+        let t0 = Unix.gettimeofday () in
+        let promoted =
+          match Cluster.Node.promote_best (List.tl eps) with
+          | Result.Ok (ep, _) -> ep
+          | Result.Error e -> failwith ("promotion failed: " ^ e)
+        in
+        if not (Harness.wait_role ~timeout:10.0 promoted "primary") then
+          failwith "promoted node did not become primary";
+        let dt = Unix.gettimeofday () -. t0 in
+        List.iter Harness.kill_dead replicas;
+        dt)
+  in
+  let sorted = Array.of_list (List.sort compare failover_times) in
+  let pct p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  Printf.printf "  failover: p50 %.3fs p95 %.3fs over %d round(s)\n%!" (pct 0.5)
+    (pct 0.95) failover_rounds;
+  Harness.rm_rf scratch;
+  let oc = open_out "BENCH_cluster.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"cluster\",\n  \"read_rps\": [\n%s\n  ],\n  \
+     \"failover\": {\"rounds\": %d, \"p50_s\": %.4f, \"p95_s\": %.4f}\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, rps) ->
+            Printf.sprintf "    {\"replicas\": %d, \"reads_per_s\": %.1f}" n rps)
+          read_rows))
+    failover_rounds (pct 0.5) (pct 0.95);
+  close_out oc;
+  Printf.printf "(table written to BENCH_cluster.json)\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1095,7 +1288,7 @@ let () =
           [
             "figure1"; "figure2"; "closure"; "closure-par"; "unsat"; "implication";
             "rewrite"; "approx"; "scaling"; "data"; "serve"; "recover"; "conformance";
-            "micro";
+            "micro"; "cluster";
           ])
       args
   in
@@ -1113,6 +1306,7 @@ let () =
     | "data" -> data_ablation ()
     | "serve" -> serve_bench ~lru ~persons ~sweep_max ()
     | "recover" -> recover_bench ()
+    | "cluster" -> cluster_bench ()
     | "conformance" -> conformance_report ()
     | "micro" -> micro ()
     | _ -> ()

@@ -354,7 +354,346 @@ let run_bulk_round ~exe ~scratch ~snapshot_every rng round =
     divergences;
   divergences
 
-let run exe rounds seed snapshot_every bulk keep =
+(* --------------------------- cluster rounds --------------------------- *)
+
+(* One primary + two replicas on scratch directories.  Feed the primary
+   a script (mixed mutations, or BULK chunks with --bulk), kill it dead
+   mid-script — SIGKILL from outside, a WAL crash failpoint, or a torn
+   replication frame (partial write on repl.send.record) — then promote
+   the best replica and check three things:
+
+     1. the promoted replica answers exactly like the acknowledged
+        prefix (or prefix + the single in-flight mutation — the ack can
+        race the kill);
+     2. the surviving replica re-points at the new primary and
+        converges to the same answers;
+     3. the fenced ex-primary rejoins as a replica of the new timeline,
+        its unreplicated WAL suffix is discarded by the epoch-mismatch
+        RESET, and it converges too.
+
+   The failover time (kill acknowledged → promoted node serving as
+   primary) is recorded per round and summarized as p50/p95. *)
+
+module Harness = Cluster.Harness
+
+let cluster_crash_sites =
+  [|
+    ("wal.append.before", "crash");
+    ("wal.append.write", "partial:5");
+    ("wal.append.after_fsync", "crash");
+    ("repl.send.record", "partial:7");
+    ("repl.send.record", "partial:23");
+  |]
+
+(* raw REPL STATUS against one endpoint: returns the k=v pairs *)
+let repl_status ep =
+  match Client.connect ep with
+  | Result.Error e -> Result.Error e
+  | Result.Ok conn ->
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        match Client.hello ~version:3 conn with
+        | Result.Error e -> Result.Error e
+        | Result.Ok _ -> (
+          match Client.ok_payload (Client.request conn Wire.Repl_status) with
+          | Result.Error e -> Result.Error e
+          | Result.Ok [ line ] ->
+            Result.Ok
+              (String.split_on_char ' ' line
+              |> List.filter_map (fun tok ->
+                     match String.index_opt tok '=' with
+                     | None -> None
+                     | Some i ->
+                       Some
+                         ( String.sub tok 0 i,
+                           String.sub tok (i + 1) (String.length tok - i - 1) )))
+          | Result.Ok _ -> Result.Error "malformed STATUS reply"))
+
+let wait_subscribers ep n ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let ok =
+      match repl_status ep with
+      | Result.Ok kv -> (
+        match List.assoc_opt "subscribers" kv with
+        | Some s -> (match int_of_string_opt s with
+                     | Some k -> k >= n
+                     | None -> false)
+        | None -> false)
+      | Result.Error _ -> false
+    in
+    if ok then true
+    else if Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.05;
+      go ()
+    end
+    else false
+  in
+  go ()
+
+(* probe [ep] until its answers match one of the oracles or the
+   deadline passes; returns the divergence count of the last attempt *)
+let converge ~round ~who ep oracle oracle_next plist ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let quiet_probe () =
+    match Client.connect ep with
+    | Result.Error _ -> None
+    | Result.Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let diverged = ref false in
+          List.iter
+            (fun probe ->
+              let wire =
+                match Client.request conn probe with
+                | Result.Ok reply -> string_of_reply reply
+                | Result.Error e -> "TRANSPORT " ^ e
+              in
+              let local = string_of_reply (Service.handle oracle probe) in
+              let next =
+                Option.map
+                  (fun o -> string_of_reply (Service.handle o probe))
+                  oracle_next
+              in
+              if wire <> local && Some wire <> next then diverged := true)
+            plist;
+          Some !diverged)
+  in
+  let rec go () =
+    match quiet_probe () with
+    | Some false -> 0
+    | (Some true | None) when Unix.gettimeofday () < deadline ->
+      Thread.delay 0.1;
+      go ()
+    | _ -> (
+      (* final, loud attempt for the autopsy *)
+      match Client.connect ep with
+      | Result.Error e ->
+        Printf.printf "round %d: %s unreachable: %s\n" round who e;
+        1
+      | Result.Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            Printf.printf "round %d: %s did not converge:\n" round who;
+            probe_divergences ~round conn oracle oracle_next plist))
+  in
+  go ()
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let run_cluster_round ~exe ~scratch ~snapshot_every ~bulk rng round times =
+  let session = "chaos" in
+  let mk name i =
+    let dir = Filename.concat scratch (Printf.sprintf "c%d-%s%d" round name i) in
+    rm_rf dir;
+    let sock = Filename.concat scratch (Printf.sprintf "c%d-%s%d.sock" round name i) in
+    (try Sys.remove sock with Sys_error _ -> ());
+    (sock, dir)
+  in
+  let p_sock, p_dir = mk "p" 0 in
+  let r1_sock, r1_dir = mk "r" 1 in
+  let r2_sock, r2_dir = mk "r" 2 in
+  let eps = [ "unix:" ^ p_sock; "unix:" ^ r1_sock; "unix:" ^ r2_sock ] in
+  let p_ep = List.nth eps 0 and r1_ep = List.nth eps 1 and r2_ep = List.nth eps 2 in
+  let spawn ~sock ~dir ?replica_of () =
+    Harness.spawn ~exe ~sock ~data_dir:dir ~group_commit:bulk ~snapshot_every
+      ?replica_of ~cluster:eps ()
+  in
+  let primary = spawn ~sock:p_sock ~dir:p_dir () in
+  let rep1 = spawn ~sock:r1_sock ~dir:r1_dir ~replica_of:p_ep () in
+  let rep2 = spawn ~sock:r2_sock ~dir:r2_dir ~replica_of:p_ep () in
+  let conn = Harness.wait_listening primary in
+  ignore (Harness.wait_listening rep1);
+  ignore (Harness.wait_listening rep2);
+  (* every acked write must be covered by the semi-sync barrier, so do
+     not start writing before both replicas are subscribed *)
+  if not (wait_subscribers p_ep 2 ~timeout:10.0) then
+    failwith "replicas did not subscribe";
+  (match Client.hello conn with
+   | Result.Ok (v, _) when v >= 3 -> ()
+   | Result.Ok (v, _) -> failwith (Printf.sprintf "server granted v%d, need v3" v)
+   | Result.Error e -> failwith ("HELLO failed: " ^ e));
+  let tbox =
+    Wire.Load { session; kind = Wire.K_tbox; payload = tbox_payloads.(0) }
+  in
+  (match Client.request conn tbox with
+   | Result.Ok (Wire.Ok _) -> ()
+   | _ -> failwith "TBOX load failed");
+  let script_len = 4 + Random.State.int rng 8 in
+  let sigkill_after =
+    if Random.State.int rng 3 = 0 then Some (Random.State.int rng script_len)
+    else begin
+      let site, spec = pick rng cluster_crash_sites in
+      let skip = Random.State.int rng 4 in
+      (match
+         Client.request conn
+           (Wire.Fail { name = site; spec = Printf.sprintf "%s@%d" spec skip })
+       with
+       | Result.Ok (Wire.Ok _) -> ()
+       | _ -> failwith "FAIL verb rejected");
+      None
+    end
+  in
+  let chunk i =
+    List.init
+      (1 + Random.State.int rng 3)
+      (fun j -> Printf.sprintf "src(\"r%dc%df%d\", \"1\")" round i j)
+  in
+  let acked = ref [ tbox ] and in_flight = ref None in
+  (try
+     for i = 0 to script_len - 1 do
+       (match sigkill_after with
+        | Some k when i = k -> Harness.kill_dead primary
+        | _ -> ());
+       let req =
+         if bulk then Wire.Bulk_chunk { session; payload = chunk i }
+         else gen_request rng session
+       in
+       in_flight := Some req;
+       match Client.request conn req with
+       | Result.Ok (Wire.Ok _ | Wire.Err _) ->
+         acked := req :: !acked;
+         in_flight := None
+       | Result.Ok Wire.Busy -> in_flight := None
+       | Result.Error _ -> raise Exit
+     done
+   with Exit -> ());
+  Client.close conn;
+  let died_on_its_own = !in_flight <> None || sigkill_after <> None in
+  Harness.kill_dead primary;
+  (* ------------------------- failover window ------------------------ *)
+  let t0 = Unix.gettimeofday () in
+  let promoted_ep, _epoch =
+    match Cluster.Node.promote_best [ r1_ep; r2_ep ] with
+    | Result.Ok (ep, e) -> (ep, e)
+    | Result.Error e -> failwith ("promotion failed: " ^ e)
+  in
+  if not (Harness.wait_role ~timeout:10.0 promoted_ep "primary") then
+    failwith "promoted node did not become primary";
+  let failover_s = Unix.gettimeofday () -. t0 in
+  times := failover_s :: !times;
+  let other_ep = if promoted_ep = r1_ep then r2_ep else r1_ep in
+  (* ----------------------------- oracles ---------------------------- *)
+  let acked = List.rev !acked in
+  let script prefix =
+    if bulk then prefix @ [ Wire.Bulk_abort { session } ] else prefix
+  in
+  let oracle = build_oracle (script acked) in
+  let oracle_next =
+    match !in_flight with
+    | Some req when died_on_its_own ->
+      Some (build_oracle (script (acked @ [ req ])))
+    | _ -> None
+  in
+  let plist = probes session in
+  let d_promoted =
+    converge ~round ~who:"promoted replica" promoted_ep oracle oracle_next
+      plist ~timeout:10.0
+  in
+  (* the survivor re-resolves the primary on its own and catches up *)
+  let d_survivor =
+    converge ~round ~who:"surviving replica" other_ep oracle oracle_next plist
+      ~timeout:15.0
+  in
+  (* --------------------- ex-primary rejoins fenced ------------------- *)
+  let rejoined =
+    Harness.spawn ~exe ~sock:p_sock ~data_dir:p_dir ~group_commit:bulk
+      ~snapshot_every ~replica_of:promoted_ep ~cluster:eps ()
+  in
+  ignore (Harness.wait_listening rejoined);
+  let d_rejoin =
+    converge ~round ~who:"rejoined ex-primary" p_ep oracle oracle_next plist
+      ~timeout:15.0
+  in
+  (* the rejoined node must be a replica of the new timeline, and the
+     new primary must still accept writes *)
+  let d_roles =
+    if not (Harness.wait_role ~timeout:10.0 p_ep "replica") then begin
+      Printf.printf "round %d: ex-primary did not rejoin as replica\n" round;
+      1
+    end
+    else 0
+  in
+  let d_writes =
+    match Client.connect promoted_ep with
+    | Result.Error e ->
+      Printf.printf "round %d: promoted primary unreachable: %s\n" round e;
+      1
+    | Result.Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match
+            Client.request c
+              (Wire.Load
+                 {
+                   session;
+                   kind = Wire.K_facts;
+                   payload = [ Printf.sprintf "src(\"post%d\", \"1\")" round ];
+                 })
+          with
+          | Result.Ok (Wire.Ok _) -> 0
+          | r ->
+            Printf.printf "round %d: post-failover write refused: %s\n" round
+              (match r with
+               | Result.Ok reply -> string_of_reply reply
+               | Result.Error e -> "TRANSPORT " ^ e);
+            1)
+  in
+  let divergences = d_promoted + d_survivor + d_rejoin + d_roles + d_writes in
+  List.iter Harness.kill_dead [ rejoined; rep1; rep2 ];
+  Printf.printf
+    "cluster round %d: %d/%d acked, %s, failover %.3fs, %d divergence(s)\n%!"
+    round
+    (List.length acked - 1)
+    script_len
+    (match sigkill_after with
+     | Some k -> Printf.sprintf "sigkill@%d" k
+     | None -> "failpoint crash")
+    failover_s divergences;
+  divergences
+
+let run_cluster exe rounds seed snapshot_every bulk keep =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let scratch =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "obda-chaos-cluster-%d" (Unix.getpid ()))
+  in
+  rm_rf scratch;
+  Unix.mkdir scratch 0o755;
+  let rng = Random.State.make [| seed |] in
+  let total = ref 0 in
+  let times = ref [] in
+  for round = 1 to rounds do
+    total :=
+      !total
+      + run_cluster_round ~exe ~scratch ~snapshot_every ~bulk rng round times
+  done;
+  if not keep then rm_rf scratch;
+  let sorted = Array.of_list (List.sort compare !times) in
+  if Array.length sorted > 0 then
+    Printf.printf "failover: p50 %.3fs p95 %.3fs over %d promotion(s)\n"
+      (percentile sorted 0.50) (percentile sorted 0.95) (Array.length sorted);
+  if !total = 0 then begin
+    Printf.printf "chaos: %d cluster round(s), zero divergences\n" rounds;
+    0
+  end
+  else begin
+    Printf.printf "chaos: %d divergence(s) over %d cluster round(s)%s\n" !total
+      rounds
+      (if keep then "; scratch kept at " ^ scratch else "");
+    1
+  end
+
+let run exe rounds seed snapshot_every bulk cluster keep =
+  if cluster then run_cluster exe rounds seed snapshot_every bulk keep
+  else begin
   (* writes race the kill -9 by design; a dead peer must surface as
      EPIPE on the request, not kill the harness *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -380,6 +719,7 @@ let run exe rounds seed snapshot_every bulk keep =
       (if keep then "; scratch kept at " ^ scratch else "");
     1
   end
+  end
 
 let () =
   let exe_arg =
@@ -404,6 +744,15 @@ let () =
              ~doc:"Kill the server mid-BULK-stream (protocol v2, group \
                    commit) instead of running the mixed mutation script.")
   in
+  let cluster_arg =
+    Arg.(value & flag
+         & info [ "cluster" ]
+             ~doc:"Replication mode: 1 primary + 2 replicas; kill -9 the \
+                   primary mid-script, promote the best replica, and check \
+                   the promoted node serves exactly the acked prefix, the \
+                   survivor re-points, and the fenced ex-primary rejoins \
+                   and converges.  Composes with --bulk.")
+  in
   let keep_arg =
     Arg.(value & flag
          & info [ "keep" ] ~doc:"Keep scratch data directories for autopsy.")
@@ -418,4 +767,4 @@ let () =
        (Cmd.v info
           Term.(
             const run $ exe_arg $ rounds_arg $ seed_arg $ snapshot_arg
-            $ bulk_arg $ keep_arg)))
+            $ bulk_arg $ cluster_arg $ keep_arg)))

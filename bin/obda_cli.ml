@@ -591,7 +591,36 @@ let query_cmd =
             (fun (key, value) ->
               Printf.printf "%-*s %s\n" width key
                 (Obs.string_of_value value))
-            samples
+            samples;
+          (* the client's own side of the story: retries, reconnects and
+             failovers live in this process's registry, not the server's *)
+          List.iter
+            (fun s ->
+              let is_client_metric =
+                String.length s.Obs.name >= 12
+                && String.sub s.Obs.name 0 12 = "obda_client_"
+              in
+              if is_client_metric then
+                Printf.printf "%-*s %s\n" width s.Obs.name
+                  (Obs.string_of_value s.Obs.value))
+            (Obs.Registry.samples Obs.default)
+      end;
+      (* with a multi-endpoint --connect, also probe and print each
+         member's replication state (role, epoch, fence) *)
+      if stats && String.contains connect ',' then begin
+        print_endline "== endpoints ==";
+        List.iter
+          (fun st ->
+            match st.Server.Client.es_error with
+            | Some e ->
+              Printf.printf "%s unreachable (%s)\n" st.Server.Client.es_endpoint
+                e
+            | None ->
+              Printf.printf "%s %s epoch=%d fence=%d\n"
+                st.Server.Client.es_endpoint
+                (Option.value st.Server.Client.es_role ~default:"?")
+                st.Server.Client.es_epoch st.Server.Client.es_fence)
+          (Server.Client.endpoint_states conn)
       end;
       if metrics then
         List.iter print_endline (rpc Server.Wire.Metrics);
@@ -601,7 +630,10 @@ let query_cmd =
   let connect_arg =
     Arg.(required & opt (some string) None
          & info [ "connect" ] ~docv:"ENDPOINT"
-             ~doc:"Server endpoint: unix:/path.sock or tcp:HOST:PORT.")
+             ~doc:"Server endpoint: unix:/path.sock or tcp:HOST:PORT. A \
+                   comma-separated list makes the client failover-aware: \
+                   writes chase the cluster primary, re-resolving it after \
+                   a promotion.")
   in
   let retries_arg =
     Arg.(value & opt int 0

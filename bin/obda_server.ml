@@ -16,9 +16,22 @@ open Cmdliner
 
 let run unix_path tcp_port host workers queue timeout lru presto algorithm
     classify_jobs join_threshold slow_log data_dir snapshot_every snapshot_bytes
-    group_commit chaos =
+    group_commit chaos replica_of cluster_members advertise =
   if unix_path = None && tcp_port = None then begin
     prerr_endline "error: need at least one of --unix PATH / --tcp PORT";
+    exit 2
+  end;
+  let cluster_members =
+    match cluster_members with
+    | None -> []
+    | Some spec ->
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+  in
+  let clustered = replica_of <> None || cluster_members <> [] in
+  if clustered && data_dir = None then begin
+    prerr_endline "error: --replica-of / --cluster require --data-dir";
     exit 2
   end;
   (match Durable.Failpoint.arm_from_env () with
@@ -58,6 +71,7 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
   in
   let service = Server.Service.create ~config:service_config () in
   let snapshot_exec = ref None in
+  let node = ref None in
   Option.iter
     (fun dir ->
       (try
@@ -96,7 +110,36 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
              dir replayed r.Durable.Store.snapshot_records
              r.Durable.Store.wal_records r.Durable.Store.truncated_bytes
              r.Durable.Store.seconds
-             (if group_commit then " [group commit]" else "")))
+             (if group_commit then " [group commit]" else "");
+           if clustered then begin
+             (* the advertised endpoint defaults to the unix listener —
+                it is what refusals and STATUS hand to failover clients *)
+             let self =
+               match advertise with
+               | Some ep -> ep
+               | None -> (
+                 match unix_path with
+                 | Some p -> "unix:" ^ p
+                 | None -> "")
+             in
+             let role =
+               match replica_of with
+               | Some seed -> Cluster.Node.Replica_of seed
+               | None -> Cluster.Node.Primary
+             in
+             let n =
+               Cluster.Node.create
+                 ~registry:(Server.Service.registry service) ~service ~store
+                 ~endpoint:self ~members:cluster_members ~role ()
+             in
+             node := Some n;
+             Printf.printf "cluster: %s, epoch %d, members [%s]\n%!"
+               (match role with
+                | Cluster.Node.Primary -> "primary"
+                | Cluster.Node.Replica_of ep -> "replica of " ^ ep)
+               (Cluster.Node.epoch n)
+               (String.concat ", " cluster_members)
+           end))
     data_dir;
   let config =
     {
@@ -106,7 +149,8 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
       request_timeout_s = timeout;
     }
   in
-  let srv = Server.Serve.create ~config service in
+  let repl_hooks = Option.map Cluster.Node.serve_hooks !node in
+  let srv = Server.Serve.create ~config ?repl_hooks service in
   Option.iter
     (fun path ->
       ignore (Server.Serve.listen_unix srv path);
@@ -126,6 +170,9 @@ let run unix_path tcp_port host workers queue timeout lru presto algorithm
      below, so TERM and INT are delivered to exactly this sigwait *)
   ignore (Thread.wait_signal [ Sys.sigterm; Sys.sigint ]);
   print_endline "shutting down: draining in-flight requests...";
+  (* sever replication first: a replica stops applying, a primary stops
+     shipping, before the listeners drain *)
+  Option.iter Cluster.Node.stop !node;
   (* retire the snapshot executor first: any in-flight compaction
      finishes while the store is still open; snapshots requested during
      the request drain are shed (the next boot compacts instead) *)
@@ -241,6 +288,28 @@ let () =
              ~doc:"Accept the FAIL wire verb for arming failpoints. Test \
                    harnesses only — never in production.")
   in
+  let replica_of_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replica-of" ] ~docv:"ENDPOINT"
+             ~doc:"Start as a read-only replica following this primary \
+                   (requires --data-dir). The node subscribes to the \
+                   primary's WAL stream, applies every record through the \
+                   recovery path, and refuses mutations.")
+  in
+  let cluster_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cluster" ] ~docv:"EP1,EP2,..."
+             ~doc:"Comma-separated member endpoints of the replication \
+                   cluster (requires --data-dir). A replica re-resolves its \
+                   primary across these after a promotion; without \
+                   --replica-of the node starts as the primary.")
+  in
+  let advertise_arg =
+    Arg.(value & opt (some string) None
+         & info [ "advertise" ] ~docv:"ENDPOINT"
+             ~doc:"Endpoint this node advertises to peers and clients \
+                   (default: unix:PATH of --unix).")
+  in
   let info =
     Cmd.info "obda_server"
       ~doc:"Caching OBDA query server (LOAD/CLASSIFY/PREPARE/ASK/STATS wire protocol)."
@@ -253,4 +322,5 @@ let () =
             $ timeout_arg $ lru_arg $ presto_arg $ algorithm_arg
             $ classify_jobs_arg $ join_threshold_arg $ slow_log_arg
             $ data_dir_arg $ snapshot_every_arg $ snapshot_bytes_arg
-            $ group_commit_arg $ chaos_arg)))
+            $ group_commit_arg $ chaos_arg $ replica_of_arg $ cluster_arg
+            $ advertise_arg)))

@@ -1,0 +1,94 @@
+(** Process-level helpers shared by the chaos harness's cluster mode
+    and the cluster benchmark: spawn real [obda_server] processes with
+    replication flags, wait for them to listen, probe their replication
+    status, and kill them dead ([SIGKILL] — the whole point). *)
+
+module Client = Server.Client
+
+type server = {
+  pid : int;
+  sock : string;
+  data_dir : string;
+}
+
+let endpoint s = "unix:" ^ s.sock
+
+let rm_rf dir =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+(** Spawn one server process.  [cluster] is the full member endpoint
+    list (passed as [--cluster]); [replica_of] seeds a replica's
+    primary.  Stdout goes to /dev/null, stderr is inherited. *)
+let spawn ~exe ~sock ~data_dir ?(group_commit = false) ?(chaos = true)
+    ?(snapshot_every = 64) ?(jobs = 1) ?replica_of ?(cluster = []) () =
+  let args =
+    [ exe; "--unix"; sock; "--data-dir"; data_dir;
+      "--snapshot-every"; string_of_int snapshot_every;
+      "--jobs"; string_of_int jobs ]
+    @ (if chaos then [ "--chaos" ] else [])
+    @ (if group_commit then [ "--group-commit" ] else [])
+    @ (match replica_of with
+       | Some ep -> [ "--replica-of"; ep ]
+       | None -> [])
+    @ (match cluster with
+       | [] -> []
+       | eps -> [ "--cluster"; String.concat "," eps ])
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe (Array.of_list args) Unix.stdin null Unix.stderr
+  in
+  Unix.close null;
+  { pid; sock; data_dir }
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | _, Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+  | _, Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> "already reaped"
+
+let kill_dead s =
+  (try Unix.kill s.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (reap s.pid)
+
+let stop_gracefully s =
+  (try Unix.kill s.pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (reap s.pid)
+
+(** Block until the server accepts a connection; returns it. *)
+let wait_listening ?(timeout = 10.0) s =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match Client.connect (endpoint s) with
+    | Result.Ok conn -> conn
+    | Result.Error _ when Unix.gettimeofday () < deadline ->
+      Thread.delay 0.05;
+      go ()
+    | Result.Error e ->
+      failwith (Printf.sprintf "server on %s did not come up: %s" s.sock e)
+  in
+  go ()
+
+(** Poll [REPL STATUS] until [pred] holds of the probed state (or the
+    timeout passes — [false]). *)
+let wait_status ?(timeout = 10.0) ep pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let st = Client.probe_endpoint ep in
+    if st.Client.es_error = None && pred st then true
+    else if Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.05;
+      go ()
+    end
+    else false
+  in
+  go ()
+
+let wait_role ?timeout ep role =
+  wait_status ?timeout ep (fun st -> st.Client.es_role = Some role)
+
+(** Wait until [ep]'s replication fence reaches [fence] — catch-up
+    convergence. *)
+let wait_fence ?timeout ep fence =
+  wait_status ?timeout ep (fun st -> st.Client.es_fence >= fence)

@@ -1,0 +1,279 @@
+(** Cluster membership and epoch-numbered promotion.
+
+    A {!Node} wraps one server process's replication identity: its
+    advertised endpoint, the member list, its persisted {e epoch}, and
+    either a {!Replicate.Hub} (primary) or a {!Replicate.Subscriber}
+    (replica).  The epoch is the fencing token: promotion bumps it,
+    every replicated record carries it, and a primary that learns of a
+    higher epoch refuses all further writes — so a partitioned
+    ex-primary can accept no mutation the new timeline would miss.
+
+    The epoch is persisted (temp + rename + dir fsync) {e before} a
+    promotion takes effect: a node that crashes right after promising a
+    new epoch comes back remembering the promise. *)
+
+module Store = Durable.Store
+module Io = Durable.Io
+module Failpoint = Durable.Failpoint
+module Wire = Server.Wire
+module Service = Server.Service
+module Serve = Server.Serve
+module Client = Server.Client
+
+let log_src = Logs.Src.create "cluster.node" ~doc:"cluster membership + promotion"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* --------------------------- epoch on disk --------------------------- *)
+
+let epoch_path dir = Filename.concat dir "epoch"
+
+let load_epoch dir =
+  match open_in (epoch_path dir) with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | line -> Option.value (int_of_string_opt (String.trim line)) ~default:0
+        | exception End_of_file -> 0)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let persist_epoch dir epoch =
+  let tmp = epoch_path dir ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Io.write_string fd (Printf.sprintf "%d\n" epoch);
+      Unix.fsync fd);
+  Failpoint.check "cluster.epoch.persist";
+  Unix.rename tmp (epoch_path dir);
+  fsync_dir dir
+
+(* -------------------------------- node ------------------------------- *)
+
+type role_spec =
+  | Primary
+  | Replica_of of string  (** seed endpoint of the primary to follow *)
+
+type t = {
+  service : Service.t;
+  store : Store.t;
+  endpoint : string;  (** advertised self endpoint ("" when unknown) *)
+  members : string list;  (** every cluster endpoint, self included *)
+  dir : string;
+  registry : Obs.registry;
+  mu : Mutex.t;
+  mutable epoch : int;
+  mutable hub : Replicate.Hub.t option;
+  mutable sub : Replicate.Subscriber.t option;
+  mutable following : string;  (** current upstream endpoint, or "" *)
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let epoch t = locked t (fun () -> t.epoch)
+
+let adopt_epoch t e =
+  locked t (fun () ->
+      if e > t.epoch then begin
+        persist_epoch t.dir e;
+        t.epoch <- e;
+        Log.info (fun f -> f "adopted epoch %d" e)
+      end)
+
+(* hub + service hooks for the primary role; caller holds [t.mu] *)
+let become_primary_locked t =
+  let hub =
+    Replicate.Hub.create ~registry:t.registry ~epoch:(fun () -> t.epoch) t.store
+  in
+  t.hub <- Some hub;
+  t.following <- "";
+  Service.set_role t.service Service.Primary;
+  Service.set_repl_hooks t.service
+    (Some
+       {
+         Service.gate = Replicate.Hub.gate hub;
+         barrier = Replicate.Hub.wait_replicated hub;
+       })
+
+let become_replica_locked t ~seed =
+  let members =
+    List.sort_uniq compare
+      (List.filter (fun e -> e <> "") (seed :: t.members))
+  in
+  t.following <- seed;
+  Service.set_role t.service (Service.Replica { primary = seed });
+  Service.set_repl_hooks t.service None;
+  let sub =
+    Replicate.Subscriber.start ~registry:t.registry ~service:t.service
+      ~store:t.store ~members ~self:t.endpoint
+      ~epoch:(fun () -> epoch t)
+      ~adopt_epoch:(fun e -> adopt_epoch t e)
+      ~on_primary:(fun ep ->
+        t.following <- ep;
+        Service.set_role t.service (Service.Replica { primary = ep }))
+      ()
+  in
+  t.sub <- Some sub
+
+let create ?(registry = Obs.default) ~service ~store ~endpoint ~members ~role ()
+    =
+  let dir = Store.dir store in
+  let t =
+    {
+      service;
+      store;
+      endpoint;
+      members;
+      dir;
+      registry;
+      mu = Mutex.create ();
+      epoch = load_epoch dir;
+      hub = None;
+      sub = None;
+      following = "";
+    }
+  in
+  locked t (fun () ->
+      match role with
+      | Primary -> become_primary_locked t
+      | Replica_of seed -> become_replica_locked t ~seed);
+  t
+
+(* ------------------------------- verbs ------------------------------- *)
+
+(** The [REPL STATUS] reply: one line of [k=v] pairs — what the failover
+    client and [promote_best] probe. *)
+let status t =
+  locked t (fun () ->
+      let role, extra =
+        match t.hub with
+        | Some hub ->
+          let acked, subs = Replicate.Hub.ack_state hub in
+          let fenced =
+            match Replicate.Hub.fenced_at hub with
+            | None -> ""
+            | Some e -> Printf.sprintf " fenced=%d" e
+          in
+          ("primary", Printf.sprintf " subscribers=%d acked=%d%s" subs acked fenced)
+        | None -> ("replica", "")
+      in
+      let upstream = if t.following = "" then "-" else t.following in
+      Wire.Ok
+        [
+          Printf.sprintf "role=%s epoch=%d fence=%d primary=%s%s" role t.epoch
+            (Store.last_seq t.store) upstream extra;
+        ])
+
+(** [promote t ~epoch] — flip this node to primary under [epoch].
+    Refused unless [epoch] beats the persisted one (a promotion racing a
+    newer promotion loses).  The subscriber is severed {e before} the
+    epoch is persisted and the hub installed, so no record of the old
+    timeline can slip in after the flip. *)
+let promote t ~epoch =
+  (* sever outside [t.mu]: the subscriber thread may be inside
+     [adopt_epoch] which takes the same lock *)
+  let sub = locked t (fun () -> t.sub) in
+  Option.iter Replicate.Subscriber.stop sub;
+  locked t (fun () ->
+      t.sub <- None;
+      if epoch <= t.epoch then
+        Wire.Err
+          (Printf.sprintf "stale promotion epoch %d (current is %d)" epoch
+             t.epoch)
+      else begin
+        persist_epoch t.dir epoch;
+        t.epoch <- epoch;
+        (match t.hub with
+         | Some _ -> ()  (* already primary: just adopt the higher epoch *)
+         | None -> become_primary_locked t);
+        Log.info (fun f ->
+            f "promoted to primary at epoch %d (fence %d)" epoch
+              (Store.last_seq t.store));
+        Wire.Ok [ Printf.sprintf "primary epoch %d fence %d" epoch
+                    (Store.last_seq t.store) ]
+      end)
+
+let subscribe t ~fence ~epoch ~fd ~reader =
+  match locked t (fun () -> t.hub) with
+  | Some hub -> Replicate.Hub.subscribe hub ~fence ~epoch ~fd ~reader
+  | None ->
+    let upstream = locked t (fun () -> t.following) in
+    let reply =
+      Wire.Err
+        (if upstream = "" then "not a primary"
+         else Printf.sprintf "not a primary; primary is %s" upstream)
+    in
+    (try
+       Io.write_string fd
+         (String.concat ""
+            (List.map (fun l -> l ^ "\n") (Wire.encode_reply reply)))
+     with Unix.Unix_error _ -> ())
+
+(** The hook record handed to {!Serve.create}. *)
+let serve_hooks t =
+  {
+    Serve.rh_status = (fun () -> status t);
+    rh_promote = (fun ~epoch -> promote t ~epoch);
+    rh_subscribe =
+      (fun ~fence ~epoch ~fd ~reader -> subscribe t ~fence ~epoch ~fd ~reader);
+  }
+
+let stop t =
+  let sub, hub = locked t (fun () -> (t.sub, t.hub)) in
+  Option.iter Replicate.Subscriber.stop sub;
+  Option.iter Replicate.Hub.stop hub
+
+(* -------------------------- promotion picker ------------------------- *)
+
+(** [promote_best endpoints] — client-side failover orchestration: probe
+    every member, pick the reachable replica with the highest fence
+    (ties to the highest epoch), and promote it under
+    [max observed epoch + 1].  Returns the promoted endpoint. *)
+let promote_best endpoints =
+  let probed = List.map (fun e -> (e, Client.probe_endpoint e)) endpoints in
+  let up =
+    List.filter (fun (_, st) -> st.Client.es_role <> None) probed
+  in
+  match up with
+  | [] -> Result.Error "no reachable member to promote"
+  | _ -> (
+    let max_epoch =
+      List.fold_left (fun acc (_, st) -> max acc st.Client.es_epoch) 0 up
+    in
+    let best =
+      List.sort
+        (fun (_, a) (_, b) ->
+          match compare b.Client.es_fence a.Client.es_fence with
+          | 0 -> compare b.Client.es_epoch a.Client.es_epoch
+          | c -> c)
+        up
+      |> List.hd |> fst
+    in
+    match Client.connect best with
+    | Result.Error _ as e -> e
+    | Result.Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.hello ~version:3 c with
+          | Result.Error _ as e -> e
+          | Result.Ok _ -> (
+            match
+              Client.ok_payload
+                (Client.request c (Wire.Repl_promote { epoch = max_epoch + 1 }))
+            with
+            | Result.Error _ as e -> e
+            | Result.Ok _ -> Result.Ok (best, max_epoch + 1))))

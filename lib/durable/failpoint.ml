@@ -30,6 +30,7 @@
     leave [hit] calls compiled in. *)
 
 exception Injected of string
+exception Unknown_site of string
 
 type action =
   | Inject_error     (** raise {!Injected} at the site *)
@@ -57,7 +58,49 @@ let valid_name s =
          || c = '_' || c = '-' || c = '.')
        s
 
+(* Every site compiled into the tree.  Arming a name outside this set is
+   an error, not a no-op: a typo'd OBDA_FAILPOINTS entry used to make a
+   whole chaos campaign vacuous. *)
+let builtin_sites =
+  [ "wal.append.before";
+    "wal.append.write";
+    "wal.append.before_fsync";
+    "wal.append.after_fsync";
+    "snapshot.before_write";
+    "snapshot.write";
+    "snapshot.before_fsync";
+    "snapshot.before_rename";
+    "snapshot.after_rename";
+    "serve.request";
+    (* replication: primary send path, replica apply/ack path, epoch
+       persistence during promotion *)
+    "repl.send.record";
+    "repl.apply.before";
+    "repl.apply.after_wal";
+    "repl.ack.before";
+    "cluster.epoch.persist" ]
+
+let sites : (string, unit) Hashtbl.t =
+  let t = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace t s ()) builtin_sites;
+  t
+
+(** [register_site name] — declare an ad-hoc site (tests arm synthetic
+    names; production sites are all in [builtin_sites]). *)
+let register_site name = locked (fun () -> Hashtbl.replace sites name ())
+
+let known_site name = locked (fun () -> Hashtbl.mem sites name)
+
+let known_sites () =
+  locked (fun () -> Hashtbl.fold (fun s () acc -> s :: acc) sites [])
+  |> List.sort compare
+
+(** [arm name ?after action] — attach [action] to a known site.
+    @raise Unknown_site on a name no compiled-in site (or
+    {!register_site} call) declares: silently arming nothing is how
+    fault-injection campaigns rot. *)
 let arm name ?(after = 0) action =
+  if not (known_site name) then raise (Unknown_site name);
   locked (fun () ->
       if not (Hashtbl.mem table name) then Atomic.incr armed_count;
       Hashtbl.replace table name { action; skip = after })
@@ -140,6 +183,10 @@ let parse_spec spec =
 let arm_spec name spec =
   if not (valid_name name) then
     Result.Error (Printf.sprintf "bad failpoint name %S" name)
+  else if not (known_site name) then
+    Result.Error
+      (Printf.sprintf "unknown failpoint %S (known: %s)" name
+         (String.concat " " (known_sites ())))
   else
     match parse_spec spec with
     | Result.Error _ as e -> e

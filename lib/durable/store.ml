@@ -89,6 +89,11 @@ type t = {
   mutable since_snapshot : int;
   mutable since_snapshot_bytes : int;
   mutable snapshotting : bool;
+  observers : (int -> string -> unit) list ref;
+      (** commit observers, fired once per durable record in sequence
+          order: under [mu] on the direct path, on the committer thread
+          (via [Group.on_commit]) under group commit.  The replication
+          hub taps the commit stream here. *)
   registry : Obs.registry;
   m_truncations : Obs.Counter.t;
   m_replayed : Obs.Counter.t;
@@ -218,9 +223,20 @@ let open_dir ?(registry = Obs.default) ?(fsync_on_commit = true)
             Wal.open_append ~fsync_on_commit ~registry ~path:(wal_path dir)
               ~valid_bytes ()
           in
+          let observers = ref [] in
+          let notify batch =
+            List.iter
+              (fun (seq, payload) ->
+                List.iter
+                  (fun f -> try f seq payload with _ -> ())
+                  !observers)
+              batch
+          in
           let group =
             if group_commit then
-              Some (Wal.Group.start ~registry ~committed:valid_bytes wal)
+              Some
+                (Wal.Group.start ~registry ~on_commit:notify
+                   ~committed:valid_bytes wal)
             else None
           in
           let mutations = snap_mutations @ wal_mutations in
@@ -243,6 +259,7 @@ let open_dir ?(registry = Obs.default) ?(fsync_on_commit = true)
               since_snapshot = List.length wal_mutations;
               since_snapshot_bytes = valid_bytes;
               snapshotting = false;
+              observers;
               registry;
               m_truncations;
               m_replayed;
@@ -271,9 +288,36 @@ let repair_locked t =
     t.dirty <- false
   end
 
+(** [add_observer t f] — register a commit observer.  [f seq payload]
+    fires once per record {e after} it is durable, in sequence order:
+    under the store lock on the direct path, on the committer thread
+    under group commit (before the append's waiter is released, so by
+    the time an acknowledged append returns the record has already been
+    observed). *)
+let add_observer t f = locked t (fun () -> t.observers := !(t.observers) @ [ f ])
+
+let notify_direct t seq payload =
+  List.iter (fun f -> try f seq payload with _ -> ()) !(t.observers)
+
+(* the shared direct-path body: write one framed record at [seq] and
+   advance the counters; caller holds [t.mu] *)
+let append_direct_locked t ~seq payload =
+  repair_locked t;
+  (try Wal.append t.wal ~seq payload
+   with e ->
+     t.dirty <- true;
+     raise e);
+  t.next_seq <- max t.next_seq (seq + 1);
+  t.good_bytes <- t.good_bytes + Wal.header_size + String.length payload;
+  t.since_snapshot <- t.since_snapshot + 1;
+  t.since_snapshot_bytes <-
+    t.since_snapshot_bytes + Wal.header_size + String.length payload;
+  notify_direct t seq payload
+
 (** [append t m] — assign the next sequence number, frame, write, fsync.
     When this returns, [m] is durable; only then may the caller apply
-    and acknowledge it.  Raises {!Failpoint.Injected} or
+    and acknowledge it.  Returns the assigned sequence number (the
+    replication barrier waits on it).  Raises {!Failpoint.Injected} or
     [Unix.Unix_error] on (injected or real) I/O failure — the mutation
     must then be rejected, not applied. *)
 let append t m =
@@ -286,29 +330,46 @@ let append t m =
        is what lets concurrent sessions share one fsync.  Failed
        batches leave sequence-number gaps, which recovery tolerates
        (it filters on [seq > fence], never on density). *)
-    let ticket =
+    let seq, ticket =
       locked t (fun () ->
           let seq = t.next_seq in
           t.next_seq <- seq + 1;
           t.since_snapshot <- t.since_snapshot + 1;
           t.since_snapshot_bytes <-
             t.since_snapshot_bytes + Wal.header_size + String.length payload;
+          (seq, Wal.Group.enqueue g ~seq payload))
+    in
+    Wal.Group.await g ticket;
+    seq
+  | None ->
+    locked t (fun () ->
+        let seq = t.next_seq in
+        append_direct_locked t ~seq payload;
+        seq)
+
+(** [append_raw t ~seq payload] — append an already-encoded record under
+    an {e explicit} sequence number: the replica apply path, which must
+    preserve the primary's numbering so the replication fence is simply
+    {!last_seq} and survives restarts for free.  [seq] must exceed
+    {!last_seq} (gaps are fine — the primary's failed appends leave
+    them); a stale or duplicate [seq] is rejected loudly. *)
+let append_raw t ~seq payload =
+  if seq <= last_seq t then
+    invalid_arg
+      (Printf.sprintf "Store.append_raw: seq %d not beyond last seq %d" seq
+         (last_seq t));
+  match t.group with
+  | Some g ->
+    let ticket =
+      locked t (fun () ->
+          t.next_seq <- max t.next_seq (seq + 1);
+          t.since_snapshot <- t.since_snapshot + 1;
+          t.since_snapshot_bytes <-
+            t.since_snapshot_bytes + Wal.header_size + String.length payload;
           Wal.Group.enqueue g ~seq payload)
     in
     Wal.Group.await g ticket
-  | None ->
-    locked t (fun () ->
-        repair_locked t;
-        let seq = t.next_seq in
-        (try Wal.append t.wal ~seq payload
-         with e ->
-           t.dirty <- true;
-           raise e);
-        t.next_seq <- seq + 1;
-        t.good_bytes <- t.good_bytes + Wal.header_size + String.length payload;
-        t.since_snapshot <- t.since_snapshot + 1;
-        t.since_snapshot_bytes <-
-          t.since_snapshot_bytes + Wal.header_size + String.length payload)
+  | None -> locked t (fun () -> append_direct_locked t ~seq payload)
 
 (** [want_snapshot t] — true once either compaction trigger has fired
     ([snapshot_every] appends, or [snapshot_bytes] WAL bytes, since the
@@ -332,23 +393,21 @@ let want_snapshot t =
     empty the WAL.  Temp-file + [rename] keeps the old snapshot intact
     up to the atomic switch; the directory is fsync'd so the rename
     itself survives a crash. *)
-let write_snapshot t mutations =
-  locked t (fun () ->
-      t.snapshotting <- true;
-      Fun.protect
-        ~finally:(fun () -> t.snapshotting <- false)
-        (fun () ->
-          (* quiesce the group committer before fencing: with the store
-             lock held no new record can be enqueued, and [flush] waits
-             out the in-flight batch — so every sequence number below
-             the fence is either durably in the WAL or failed, and the
-             [Wal.reset] below cannot race a batch write *)
-          (match t.group with
-           | Some g -> Wal.Group.flush g
-           | None -> ());
-          Failpoint.check "snapshot.before_write";
-          let fence = t.next_seq - 1 in
-          let buf = Buffer.create 4096 in
+let write_snapshot_locked t ~fence mutations =
+  t.snapshotting <- true;
+  Fun.protect
+    ~finally:(fun () -> t.snapshotting <- false)
+    (fun () ->
+      (* quiesce the group committer before fencing: with the store
+         lock held no new record can be enqueued, and [flush] waits
+         out the in-flight batch — so every sequence number below
+         the fence is either durably in the WAL or failed, and the
+         [Wal.reset] below cannot race a batch write *)
+      (match t.group with
+       | Some g -> Wal.Group.flush g
+       | None -> ());
+      Failpoint.check "snapshot.before_write";
+      let buf = Buffer.create 4096 in
           let add_record i payload =
             Buffer.add_bytes buf (Wal.encode ~seq:i payload)
           in
@@ -382,7 +441,70 @@ let write_snapshot t mutations =
           Obs.Counter.incr t.m_snapshots;
           Log.info (fun m ->
               m "snapshot: %d record(s) at fence seq %d, wal reset"
-                (List.length mutations) fence)))
+                (List.length mutations) fence))
+
+let write_snapshot t mutations =
+  locked t (fun () ->
+      write_snapshot_locked t ~fence:(t.next_seq - 1) mutations)
+
+(** [install_snapshot t ~fence mutations] — replace the entire durable
+    state with [mutations] compacted at the primary's [fence]: the
+    replica's RESET catch-up path.  Any stale WAL suffix (records a
+    fenced ex-primary appended but never replicated) is discarded with
+    the reset; the next {!append_raw} continues from [fence + 1]. *)
+let install_snapshot t ~fence mutations =
+  locked t (fun () ->
+      write_snapshot_locked t ~fence mutations;
+      t.next_seq <- fence + 1)
+
+(** The catch-up plan handed to a freshly subscribed replica. *)
+type tail =
+  | Tail_records of (int * string) list
+      (** the subscriber's fence is covered by our WAL: ship exactly the
+          records with [seq > fence], then go live *)
+  | Tail_reset of {
+      fence : int;  (** our snapshot fence *)
+      state : string list;  (** compacted records rebuilding seq ≤ fence *)
+      records : (int * string) list;  (** WAL tail beyond the snapshot *)
+    }
+      (** the subscriber is behind our snapshot (or lived under an older
+          epoch): it must wipe and rebuild from the compacted state *)
+
+(** [read_tail t ~fence ~register] — compute the catch-up plan for a
+    subscriber that has everything up to [fence], atomically with
+    [register ()]: both run under the store lock with the group
+    committer flushed, so every record not in the returned plan will be
+    delivered to whatever live queue [register] attaches (via
+    {!add_observer}'s stream) — no gap, no duplicate beyond seq-based
+    dedup.  Raises [Failure] if the snapshot is unreadable. *)
+let read_tail t ~fence ~register =
+  locked t (fun () ->
+      (match t.group with
+       | Some g -> Wal.Group.flush g
+       | None -> ());
+      let snap_fence, state =
+        match read_snapshot (snapshot_path t.dir) with
+        | Result.Error e -> failwith e
+        | Result.Ok None -> (0, [])
+        | Result.Ok (Some (f, ms)) -> (f, List.map encode_mutation ms)
+      in
+      let entries =
+        match Wal.scan_file (wal_path t.dir) with
+        | exception Wal.Corrupt e -> failwith e
+        | { Wal.entries; _ } ->
+          List.filter_map
+            (fun e ->
+              if e.Wal.seq > snap_fence then Some (e.Wal.seq, e.Wal.payload)
+              else None)
+            entries
+      in
+      let plan =
+        if fence >= snap_fence then
+          Tail_records (List.filter (fun (s, _) -> s > fence) entries)
+        else Tail_reset { fence = snap_fence; state; records = entries }
+      in
+      register ();
+      plan)
 
 (** [close t] — drain the group committer (if any), then fsync and
     close the WAL (the graceful-shutdown path: SIGTERM drains, then

@@ -231,6 +231,10 @@ module Group = struct
     mutable last_batch : int;
         (** previous batch's size — the harvest target under steady load *)
     max_batch : int;
+    on_commit : ((int * string) list -> unit) option;
+        (** fired on the committer thread after each durable batch, in
+            sequence order, before the batch's waiters are released —
+            the replication hub's tap into the commit stream *)
     m_group_size : Obs.Histogram.t;
     m_group_commits : Obs.Counter.t;
   }
@@ -306,6 +310,13 @@ module Group = struct
       let outcome = commit_batch g batch in
       Obs.Histogram.observe g.m_group_size (float_of_int (List.length batch));
       Obs.Counter.incr g.m_group_commits;
+      (match (outcome, g.on_commit) with
+      | Committed, Some f -> (
+        (* observer runs before waiters are released: when an append
+           returns, its record is already in the replication stream *)
+        try f (List.map (fun (seq, payload, _) -> (seq, payload)) batch)
+        with _ -> ())
+      | _ -> ());
       List.iter
         (fun (_, _, tk) ->
           tk.outcome <- outcome;
@@ -320,9 +331,10 @@ module Group = struct
 
   (** [start ~registry ~committed wal] — spawn the committer over an
       opened appender whose good data ends at offset [committed]. *)
-  let start ?(max_batch = 64) ~registry ~committed wal =
+  let start ?(max_batch = 64) ?on_commit ~registry ~committed wal =
     let g =
       {
+        on_commit;
         wal;
         gm = Mutex.create ();
         arrived = Condition.create ();

@@ -13,7 +13,15 @@
     reply was lost re-applies to the same state.  The default
     [retries = 0] is the historical single-attempt behaviour.  Retries
     and reconnections are counted as [obda_client_retries_total] /
-    [obda_client_reconnects_total]. *)
+    [obda_client_reconnects_total].
+
+    Failover: [connect "a.sock,b.sock"] makes the client
+    cluster-aware.  Mutations are routed to the member currently
+    believed primary; a ["read-only replica"] refusal or a dead
+    connection triggers a primary re-resolution ([REPL STATUS] probe
+    across members) under the same backoff schedule, counted as
+    [obda_client_failovers_total].  Reads rotate away from dead
+    members but otherwise stay where they are — replicas serve them. *)
 
 type conn = {
   fd : Unix.file_descr;
@@ -21,15 +29,25 @@ type conn = {
 }
 
 type t = {
-  endpoint : string;
+  mutable endpoints : string array;  (** ≥ 1; [active] indexes into it *)
+  mutable active : int;
+  mutable primary : int option;
+      (** endpoint believed to be the cluster primary; [None] until a
+          write is redirected or a probe resolves one *)
+  mutable hello_version : int option;
+      (** re-negotiated on every fresh dial once {!hello} has run — a
+          failover mid-BULK must not silently drop back to v1 *)
   retries : int;
   base_delay : float;
   max_delay : float;
   jitter : float;        (** relative: 0.25 = +/-25% of the delay *)
   m_retries : Obs.Counter.t;
   m_reconnects : Obs.Counter.t;
+  m_failovers : Obs.Counter.t;
   mutable conn : conn option;
 }
+
+let endpoint t = t.endpoints.(t.active)
 
 (** Endpoint syntax accepted by [connect]:
     - ["unix:/path/to.sock"]
@@ -75,14 +93,29 @@ let dial spec =
       Result.Error
         (Printf.sprintf "connect %s: %s" spec (Unix.error_message e)))
 
+(** [connect spec] — dial one endpoint, or a comma-separated list of
+    them ("a.sock,b.sock,tcp:host:port").  With several endpoints the
+    client becomes failover-aware: writes chase the cluster primary
+    (re-resolved by probing [REPL STATUS] after a redirect or a dead
+    connection), reads stick to the current endpoint and rotate away
+    from a dead one.  The first endpoint that accepts the dial becomes
+    the initial active one. *)
 let connect ?(retries = 0) ?(base_delay = 0.05) ?(max_delay = 2.0)
     ?(jitter = 0.25) ?(registry = Obs.default) spec =
-  match dial spec with
-  | Result.Error _ as e -> e
-  | Result.Ok conn ->
-    Result.Ok
+  let endpoints =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> Array.of_list
+  in
+  if Array.length endpoints = 0 then Result.Error "empty endpoint spec"
+  else
+    let mk active conn =
       {
-        endpoint = spec;
+        endpoints;
+        active;
+        primary = None;
+        hello_version = None;
         retries;
         base_delay;
         max_delay;
@@ -90,8 +123,23 @@ let connect ?(retries = 0) ?(base_delay = 0.05) ?(max_delay = 2.0)
         m_retries = Obs.Registry.counter registry "obda_client_retries_total";
         m_reconnects =
           Obs.Registry.counter registry "obda_client_reconnects_total";
-        conn = Some conn;
+        m_failovers =
+          Obs.Registry.counter registry "obda_client_failovers_total";
+        conn;
       }
+    in
+    let rec try_dial i last_err =
+      if i >= Array.length endpoints then Result.Error last_err
+      else
+        match dial endpoints.(i) with
+        | Result.Ok conn -> Result.Ok (mk i (Some conn))
+        | Result.Error e ->
+          if Array.length endpoints > 1 then
+            (* failover clients tolerate a dead member at connect time *)
+            try_dial (i + 1) e
+          else Result.Error e
+    in
+    try_dial 0 "no endpoints"
 
 let drop_conn t =
   match t.conn with
@@ -101,18 +149,6 @@ let drop_conn t =
     t.conn <- None
 
 let close t = drop_conn t
-
-(* re-establish after a drop; counted — the initial dial is not *)
-let ensure_conn t =
-  match t.conn with
-  | Some c -> Result.Ok c
-  | None -> (
-    match dial t.endpoint with
-    | Result.Error _ as e -> e
-    | Result.Ok c ->
-      Obs.Counter.incr t.m_reconnects;
-      t.conn <- Some c;
-      Result.Ok c)
 
 (* -------------------------- one raw exchange ------------------------- *)
 
@@ -145,6 +181,167 @@ let read_reply_conn conn =
       in
       collect n []))
 
+(* one blocking request/reply on a raw connection, bypassing the retry
+   machinery — used for HELLO replay and endpoint probing *)
+let exchange_conn conn req =
+  match send_conn conn (Wire.encode_request req) with
+  | Result.Error _ as e -> e
+  | Result.Ok () -> read_reply_conn conn
+
+(* re-establish after a drop; counted — the initial dial is not.  A
+   fresh connection starts at protocol v1, so once [hello] has
+   negotiated a version we replay the handshake here: a reconnect (or a
+   failover) must not silently downgrade the stream mid-BULK. *)
+let ensure_conn t =
+  match t.conn with
+  | Some c -> Result.Ok c
+  | None -> (
+    match dial (endpoint t) with
+    | Result.Error _ as e -> e
+    | Result.Ok c -> (
+      Obs.Counter.incr t.m_reconnects;
+      let renegotiated =
+        match t.hello_version with
+        | None -> Result.Ok ()
+        | Some v -> (
+          match exchange_conn c (Wire.Hello v) with
+          | Result.Ok (Wire.Ok _) -> Result.Ok ()
+          | Result.Ok (Wire.Err m) -> Result.Error ("HELLO replay: " ^ m)
+          | Result.Ok Wire.Busy -> Result.Error "HELLO replay: server busy"
+          | Result.Error _ as e -> e)
+      in
+      match renegotiated with
+      | Result.Ok () ->
+        t.conn <- Some c;
+        Result.Ok c
+      | Result.Error _ as e ->
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        e))
+
+(* ------------------------- failover routing ------------------------- *)
+
+(** Probed view of one endpoint, for routing and for
+    [obda_cli query --stats]. *)
+type endpoint_state = {
+  es_endpoint : string;
+  es_role : string option;  (** "primary" / "replica", [None] if down *)
+  es_epoch : int;
+  es_fence : int;
+  es_error : string option;
+}
+
+(* one-shot probe over a throwaway connection: HELLO 3 + REPL STATUS.
+   The status payload is a single line of [k=v] pairs
+   (role/epoch/fence/primary). *)
+let probe_endpoint spec =
+  match dial spec with
+  | Result.Error e ->
+    { es_endpoint = spec; es_role = None; es_epoch = -1; es_fence = -1;
+      es_error = Some e }
+  | Result.Ok conn ->
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let status =
+          match exchange_conn conn (Wire.Hello 3) with
+          | Result.Error _ as e -> e
+          | Result.Ok (Wire.Err m) -> Result.Error ("HELLO: " ^ m)
+          | Result.Ok Wire.Busy -> Result.Error "server busy"
+          | Result.Ok (Wire.Ok _) -> (
+            match exchange_conn conn Wire.Repl_status with
+            | Result.Error _ as e -> e
+            | Result.Ok (Wire.Ok [ line ]) -> Result.Ok line
+            | Result.Ok (Wire.Err m) -> Result.Error m
+            | Result.Ok Wire.Busy -> Result.Error "server busy"
+            | Result.Ok (Wire.Ok _) -> Result.Error "malformed STATUS reply")
+        in
+        match status with
+        | Result.Error e ->
+          { es_endpoint = spec; es_role = None; es_epoch = -1; es_fence = -1;
+            es_error = Some e }
+        | Result.Ok line ->
+          let kv =
+            String.split_on_char ' ' line
+            |> List.filter_map (fun tok ->
+                   match String.index_opt tok '=' with
+                   | None -> None
+                   | Some i ->
+                     Some
+                       ( String.sub tok 0 i,
+                         String.sub tok (i + 1) (String.length tok - i - 1) ))
+          in
+          let find k = List.assoc_opt k kv in
+          let int_of k =
+            match find k with
+            | None -> -1
+            | Some v -> Option.value (int_of_string_opt v) ~default:(-1)
+          in
+          { es_endpoint = spec;
+            es_role = find "role";
+            es_epoch = int_of "epoch";
+            es_fence = int_of "fence";
+            es_error = None })
+
+(** [endpoint_states t] — probe every configured endpoint; surfaced by
+    [obda_cli query --stats]. *)
+let endpoint_states t =
+  Array.to_list (Array.map probe_endpoint t.endpoints)
+
+let switch_to t i =
+  if i <> t.active then begin
+    drop_conn t;
+    t.active <- i;
+    Obs.Counter.incr t.m_failovers
+  end
+
+let index_of_endpoint t spec =
+  let n = Array.length t.endpoints in
+  let rec go i = if i >= n then None
+    else if t.endpoints.(i) = spec then Some i else go (i + 1) in
+  go 0
+
+(* a "read-only replica; primary is <ep>" refusal names the place to go;
+   learn endpoints we were not configured with *)
+let note_primary_hint t msg =
+  let marker = "primary is " in
+  match
+    let ml = String.length marker in
+    let rec find i =
+      if i + ml > String.length msg then None
+      else if String.sub msg i ml = marker then Some (i + ml)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> ()
+  | Some start ->
+    let ep = String.trim (String.sub msg start (String.length msg - start)) in
+    if ep <> "" then (
+      (match index_of_endpoint t ep with
+       | Some _ -> ()
+       | None -> t.endpoints <- Array.append t.endpoints [| ep |]);
+      t.primary <- index_of_endpoint t ep)
+
+(* probe all members and point [active] at the primary with the highest
+   epoch; no-op if none answers as primary (mid-promotion — the caller's
+   backoff will land here again) *)
+let resolve_primary t =
+  let best = ref None in
+  Array.iteri
+    (fun i ep ->
+      let st = probe_endpoint ep in
+      if st.es_role = Some "primary" then
+        match !best with
+        | Some (_, e) when e >= st.es_epoch -> ()
+        | _ -> best := Some (i, st.es_epoch))
+    t.endpoints;
+  match !best with
+  | None -> ()
+  | Some (i, _) ->
+    t.primary <- Some i;
+    switch_to t i
+
 (* raw access on the current connection (no retry) — the transcript
    tests speak malformed protocol through these on purpose *)
 
@@ -163,17 +360,38 @@ let read_reply t =
 
 (* ------------------------------ retries ------------------------------ *)
 
-let backoff_delay t attempt =
-  let d = Float.min t.max_delay (t.base_delay *. (2. ** float_of_int attempt)) in
-  let r = (Random.float 2.0 -. 1.0) *. t.jitter in
+(** Jittered exponential backoff, shared by the retry loop below, the
+    failover path and the replication subscriber's reconnect loop. *)
+let backoff ~base_delay ~max_delay ~jitter attempt =
+  let d = Float.min max_delay (base_delay *. (2. ** float_of_int attempt)) in
+  let r = (Random.float 2.0 -. 1.0) *. jitter in
   Float.max 0.0 (d *. (1. +. r))
+
+let backoff_delay t attempt =
+  backoff ~base_delay:t.base_delay ~max_delay:t.max_delay ~jitter:t.jitter
+    attempt
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
 
 (** [request t req] — send one request, read one reply; with
     [retries > 0], transparently retries transport failures and [BUSY]
-    sheds, reconnecting as needed. *)
+    sheds, reconnecting as needed.  With several endpoints the same
+    retry budget also drives failover: a mutation refused with
+    {!Service.read_only_prefix} (or sent into a dead connection)
+    re-resolves the cluster primary via [REPL STATUS] probes and is
+    retried there, under the same jittered backoff; a read on a dead
+    endpoint rotates to the next member. *)
 let request t req =
   let lines = Wire.encode_request req in
+  let is_write = Service.is_mutation req in
+  let multi = Array.length t.endpoints > 1 in
   let rec attempt n =
+    (* writes chase the known primary before spending an attempt *)
+    (match (is_write, t.primary) with
+     | true, Some i when i <> t.active -> switch_to t i
+     | _ -> ());
     let outcome =
       match ensure_conn t with
       | Result.Error _ as e -> e
@@ -191,9 +409,30 @@ let request t req =
     | Result.Ok Wire.Busy when n < t.retries ->
       (* shed by admission control: the connection is fine, just wait *)
       retry ()
+    | Result.Ok (Wire.Err m)
+      when is_write
+           && starts_with ~prefix:Service.read_only_prefix m
+           && n < t.retries ->
+      (* redirected: this member is (now) a replica *)
+      t.primary <- None;
+      note_primary_hint t m;
+      (match t.primary with
+       | Some i when i <> t.active -> switch_to t i
+       | Some _ -> ()
+       | None ->
+         Obs.Counter.incr t.m_failovers;
+         drop_conn t;
+         resolve_primary t);
+      retry ()
     | Result.Ok _ as reply -> reply
     | Result.Error _ when n < t.retries ->
       drop_conn t;
+      if multi then
+        if is_write then begin
+          t.primary <- None;
+          resolve_primary t
+        end
+        else switch_to t ((t.active + 1) mod Array.length t.endpoints);
       retry ()
     | Result.Error _ as e -> e
   in
@@ -250,6 +489,7 @@ let metrics t = ok_payload (request t Wire.Metrics)
     [min version its-max].  Bulk ingestion requires a granted version
     ≥ 2 (capability ["bulk"]). *)
 let hello ?(version = Wire.max_version) t =
+  t.hello_version <- Some version;
   match ok_payload (request t (Wire.Hello version)) with
   | Result.Error _ as e -> e
   | Result.Ok [ line ] -> (

@@ -52,6 +52,21 @@ let default_config =
     limits = Wire.default_limits;
   }
 
+(** The cluster node's hooks into the serve loop.  [REPL] verbs are
+    handled {e inline} on the connection thread, never queued: STATUS
+    and PROMOTE must keep working while the executor is saturated —
+    failover probes a wedged node too.  [rh_subscribe] sends its own
+    reply and then owns the connection as a replication stream; it
+    returns only when the stream ends (the handler thread becomes the
+    primary's ACK reader for that subscriber). *)
+type repl_hooks = {
+  rh_status : unit -> Wire.reply;
+  rh_promote : epoch:int -> Wire.reply;
+  rh_subscribe :
+    fence:int -> epoch:int -> fd:Unix.file_descr ->
+    reader:Durable.Io.reader -> unit;
+}
+
 (* request-lifecycle metric handles, resolved once at [create] *)
 type req_metrics = {
   m_ok : Obs.Counter.t;
@@ -66,6 +81,7 @@ type t = {
   service : Service.t;
   exec : Parallel.Executor.t;
   config : config;
+  repl : repl_hooks option;
   rm : req_metrics;
   mutex : Mutex.t;
   mutable listeners : Unix.file_descr list;
@@ -74,7 +90,7 @@ type t = {
   mutable stopping : bool;
 }
 
-let create ?(config = default_config) service =
+let create ?(config = default_config) ?repl_hooks service =
   let registry = Service.registry service in
   let result_counter r =
     Obs.Registry.counter registry ~labels:[ ("result", r) ] "obda_requests_total"
@@ -85,6 +101,7 @@ let create ?(config = default_config) service =
       Parallel.Executor.create ~registry ~workers:config.workers
         ~queue_capacity:config.queue_capacity ();
     config;
+    repl = repl_hooks;
     rm =
       {
         m_ok = result_counter "ok";
@@ -221,9 +238,43 @@ let handle_connection t fd =
         proto := granted;
         send_reply fd (Wire.Ok [ Wire.hello_reply granted ]);
         loop ()
-      | Wire.Request request when !proto < 2 && Wire.requires_v2 request ->
+      | Wire.Request request when Wire.min_version request > !proto ->
+        let v = Wire.min_version request in
+        let verb =
+          match request with
+          | Wire.Bulk_chunk _ | Wire.Bulk_end _ | Wire.Bulk_abort _ -> "BULK"
+          | Wire.Repl_subscribe _ | Wire.Repl_status | Wire.Repl_promote _ ->
+            "REPL"
+          | _ -> "this verb"
+        in
         send_reply fd
-          (Wire.Err "BULK requires protocol v2: send HELLO 2 first");
+          (Wire.Err
+             (Printf.sprintf "%s requires protocol v%d: send HELLO %d first"
+                verb v v));
+        loop ()
+      (* REPL verbs run inline on the connection thread, never queued:
+         failover must be able to probe and promote a node whose
+         executor is wedged *)
+      | Wire.Request (Wire.Repl_subscribe { fence; epoch }) -> (
+        match t.repl with
+        | None ->
+          send_reply fd (Wire.Err "replication not enabled on this server");
+          loop ()
+        | Some h ->
+          (* the hook replies itself, then owns the fd as a record
+             stream; when it returns the connection is done *)
+          h.rh_subscribe ~fence ~epoch ~fd ~reader)
+      | Wire.Request Wire.Repl_status ->
+        (match t.repl with
+         | None ->
+           send_reply fd (Wire.Err "replication not enabled on this server")
+         | Some h -> send_reply fd (h.rh_status ()));
+        loop ()
+      | Wire.Request (Wire.Repl_promote { epoch }) ->
+        (match t.repl with
+         | None ->
+           send_reply fd (Wire.Err "replication not enabled on this server")
+         | Some h -> send_reply fd (h.rh_promote ~epoch));
         loop ()
       | Wire.Request request ->
         send_reply fd (dispatch t request);

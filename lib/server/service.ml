@@ -110,6 +110,30 @@ type session = {
           bypass the answer cache, END bumps once *)
 }
 
+(** The node's replication role.  A [Replica] refuses every mutating
+    verb over the wire — its state advances only through the replication
+    apply path — so a client that writes to the wrong node gets a
+    pointed, machine-detectable refusal (see {!read_only_prefix})
+    instead of a silent fork. *)
+type role =
+  | Primary
+  | Replica of { primary : string }  (** advertised primary endpoint, or "" *)
+
+(** Every read-only refusal starts with this token — the failover client
+    keys on it to re-resolve the primary. *)
+let read_only_prefix = "read-only replica"
+
+(** Hooks a cluster node installs on its primary: [gate] runs before a
+    mutation is WAL-appended (a fenced ex-primary refuses before logging
+    anything), [barrier] runs after the append with the assigned
+    sequence number and blocks until the replication layer is satisfied
+    (first subscriber ack, or immediately when no replica is
+    subscribed). *)
+type repl_hooks = {
+  gate : unit -> (unit, string) Result.t;
+  barrier : int -> (unit, string) Result.t;
+}
+
 type t = {
   registry_mutex : Mutex.t;  (** guards [sessions]; never held across an op *)
   cache_mutex : Mutex.t;     (** guards [rewrites] and [classifications] *)
@@ -117,6 +141,8 @@ type t = {
   mutable store : Durable.Store.t option;
       (** attached via {!attach_store} after {!restore}; [None] = no
           durability *)
+  mutable role : role;
+  mutable repl : repl_hooks option;
   config : Config.t;
   registry : Obs.registry;   (** every metric of this service lives here *)
   mutable snapshot_exec : Parallel.Executor.t option;
@@ -139,6 +165,8 @@ let create ?(config = Config.default) ?(registry = Obs.default) () =
     cache_mutex = Mutex.create ();
     snap_mutex = Mutex.create ();
     store = None;
+    role = Primary;
+    repl = None;
     config;
     registry;
     snapshot_exec = None;
@@ -155,6 +183,13 @@ let create ?(config = Config.default) ?(registry = Obs.default) () =
   }
 
 let registry t = t.registry
+let role t = t.role
+let set_role t role = t.role <- role
+
+(** [set_repl_hooks t hooks] — install the cluster gate/barrier around
+    every WAL append ([None] removes them: promotion to a standalone
+    primary, tests). *)
+let set_repl_hooks t hooks = t.repl <- hooks
 
 let locked m f =
   Mutex.lock m;
@@ -259,15 +294,25 @@ let log_mutation t m =
   match t.store with
   | None -> Result.Ok ()
   | Some store -> (
-    try
-      Durable.Store.append store m;
-      Result.Ok ()
-    with
-    | Durable.Failpoint.Injected name ->
-      Result.Error (Printf.sprintf "wal: injected fault at %s" name)
-    | Unix.Unix_error (e, fn, _) ->
-      Result.Error (Printf.sprintf "wal: %s: %s" fn (Unix.error_message e))
-    | Sys_error e -> Result.Error ("wal: " ^ e))
+    (* a fenced ex-primary refuses before logging: its WAL must not grow
+       a suffix the new epoch will never replicate *)
+    match (match t.repl with Some r -> r.gate () | None -> Result.Ok ()) with
+    | Result.Error _ as e -> e
+    | Result.Ok () -> (
+      try
+        let seq = Durable.Store.append store m in
+        (* semi-synchronous replication: hold the ack until the record
+           is on at least one subscribed replica.  A barrier refusal
+           leaves the record durable locally but unacknowledged — the
+           client must treat it as not applied, and a later epoch-gated
+           rejoin discards it with the rest of the stale suffix. *)
+        match t.repl with Some r -> r.barrier seq | None -> Result.Ok ()
+      with
+      | Durable.Failpoint.Injected name ->
+        Result.Error (Printf.sprintf "wal: injected fault at %s" name)
+      | Unix.Unix_error (e, fn, _) ->
+        Result.Error (Printf.sprintf "wal: %s: %s" fn (Unix.error_message e))
+      | Sys_error e -> Result.Error ("wal: " ^ e)))
 
 let log_load t s kind payload =
   log_mutation t
@@ -757,12 +802,15 @@ let render_tuple = function
   | [] -> "()"  (* boolean query answered positively *)
   | tuple -> String.concat ", " tuple
 
-let handle_load t s kind payload =
+let handle_load ?(log = true) t s kind payload =
   let text = String.concat "\n" payload in
   (* validate fully, then WAL, then apply: a malformed payload is never
-     logged, and a refused append is an ERR with nothing applied *)
+     logged, and a refused append is an ERR with nothing applied.
+     [log = false] is the replication / restore apply path: the record
+     is already durable (in the recovered WAL, or [append_raw]'d by the
+     replica applier before this call). *)
   let commit apply =
-    match log_load t s kind payload with
+    match (if log then log_load t s kind payload else Result.Ok ()) with
     | Result.Error e -> Wire.Err e
     | Result.Ok () ->
       apply ();
@@ -804,12 +852,14 @@ let handle_load t s kind payload =
    stream is active, and END performs the single bump that makes the
    whole load visible to cached readers at once. *)
 
-let handle_bulk_chunk t s payload =
+let handle_bulk_chunk ?(log = true) t s payload =
   let text = String.concat "\n" payload in
   match Obda.Qparse.parse_facts text with
   | exception Obda.Qparse.Parse_error e -> Wire.Err ("facts: " ^ e)
   | rows -> (
-    match log_load t s Wire.K_facts payload with
+    match
+      (if log then log_load t s Wire.K_facts payload else Result.Ok ())
+    with
     | Result.Error e -> Wire.Err e
     | Result.Ok () ->
       List.iter
@@ -869,12 +919,34 @@ let handle_ask t s query_ref =
       let tuples = op_ask t s q in
       Wire.Ok (List.map render_tuple tuples))
 
+let is_mutation = function
+  | Wire.Load _ | Wire.Bulk_chunk _ | Wire.Bulk_end _ | Wire.Bulk_abort _
+  | Wire.Prepare _ ->
+    true
+  | Wire.Hello _ | Wire.Classify _ | Wire.Ask _ | Wire.Stats _ | Wire.Metrics
+  | Wire.Fail _ | Wire.Repl_subscribe _ | Wire.Repl_status | Wire.Repl_promote _
+  | Wire.Quit ->
+    false
+
 (** [handle t request] — the service behind the wire protocol.  Pure
     mapping of requests onto the typed operations above; handlers may be
     invoked from any worker, and requests lock only their own session,
     so distinct sessions are served in parallel.  [Quit] is acknowledged
-    here but connection teardown is the server's business. *)
-let handle t request =
+    here but connection teardown is the server's business.
+
+    [internal] marks the replication / restore apply path: the role
+    check is skipped (that is the {e only} way a replica's state moves)
+    and nothing is re-logged to the WAL. *)
+let rec handle ?(internal = false) t request =
+  match t.role with
+  | Replica { primary } when (not internal) && is_mutation request ->
+    Wire.Err
+      (if primary = "" then read_only_prefix
+       else Printf.sprintf "%s; primary is %s" read_only_prefix primary)
+  | _ -> handle_checked ~internal t request
+
+and handle_checked ~internal t request =
+  let log = not internal in
   match request with
   | Wire.Hello v ->
     (* embedded callers get the handshake as a plain reply; the serving
@@ -884,7 +956,7 @@ let handle t request =
     let s = get_or_create_session t name in
     let reply =
       locked s.smutex (fun () ->
-          timed t "bulk" (fun () -> handle_bulk_chunk t s payload))
+          timed t "bulk" (fun () -> handle_bulk_chunk ~log t s payload))
     in
     maybe_snapshot t;
     reply
@@ -903,7 +975,7 @@ let handle t request =
     let s = get_or_create_session t name in
     let reply =
       locked s.smutex (fun () ->
-          timed t "load" (fun () -> handle_load t s kind payload))
+          timed t "load" (fun () -> handle_load ~log t s kind payload))
     in
     maybe_snapshot t;
     reply
@@ -930,9 +1002,11 @@ let handle t request =
               | Result.Error e -> Wire.Err ("query: " ^ e)
               | Result.Ok _ -> (
                 match
-                  log_mutation t
-                    (Durable.Store.Prepare
-                       { session = name; name = qname; query })
+                  if log then
+                    log_mutation t
+                      (Durable.Store.Prepare
+                         { session = name; name = qname; query })
+                  else Result.Ok ()
                 with
                 | Result.Error e -> Wire.Err e
                 | Result.Ok () ->
@@ -960,6 +1034,10 @@ let handle t request =
           match Durable.Failpoint.arm_spec name spec with
           | Result.Ok () -> Wire.Ok []
           | Result.Error e -> Wire.Err ("failpoint: " ^ e))
+  | Wire.Repl_subscribe _ | Wire.Repl_status | Wire.Repl_promote _ ->
+    (* intercepted by the serving layer when a cluster node is wired in;
+       reaching the bare service means there is none *)
+    Wire.Err "replication not enabled on this server"
   | Wire.Quit -> Wire.Ok []
 
 (* ------------------------------ recovery ---------------------------- *)
@@ -972,15 +1050,34 @@ let handle t request =
     acknowledged once cannot legally fail, so an error here means the
     log and the code disagree, and refusing to serve beats serving
     divergent answers. *)
+let request_of_mutation m =
+  match m with
+  | Durable.Store.Load { session; kind; payload } -> (
+    match Wire.kind_of_string kind with
+    | Some kind -> Result.Ok (Wire.Load { session; kind; payload })
+    | None -> Result.Error (Printf.sprintf "unknown load kind %s" kind))
+  | Durable.Store.Prepare { session; name; query } ->
+    Result.Ok (Wire.Prepare { session; name; query })
+
+(** [apply_replicated t m] — apply one already-durable mutation through
+    the ordinary handlers, bypassing the role check and the WAL: the
+    replica applier's entry point, and exactly what {!restore} does per
+    record.  Replicas thereby run the same code recovery runs — not a
+    parallel interpreter that could drift. *)
+let apply_replicated t m =
+  match request_of_mutation m with
+  | Result.Error _ as e -> e
+  | Result.Ok req -> (
+    match handle ~internal:true t req with
+    | Wire.Ok _ -> Result.Ok ()
+    | Wire.Err e -> Result.Error e
+    | Wire.Busy -> Result.Error "busy")
+
 let restore t mutations =
   let replay m =
-    match m with
-    | Durable.Store.Load { session; kind; payload } -> (
-      match Wire.kind_of_string kind with
-      | Some kind -> handle t (Wire.Load { session; kind; payload })
-      | None -> Wire.Err (Printf.sprintf "unknown load kind %s" kind))
-    | Durable.Store.Prepare { session; name; query } ->
-      handle t (Wire.Prepare { session; name; query })
+    match request_of_mutation m with
+    | Result.Ok req -> handle ~internal:true t req
+    | Result.Error e -> Wire.Err e
   in
   let rec go i = function
     | [] -> Result.Ok i
@@ -995,6 +1092,13 @@ let restore t mutations =
 (** [attach_store t store] switches mutation logging on: every later
     acknowledged mutation is on disk before it is applied. *)
 let attach_store t store = t.store <- Some store
+
+(** [reset_sessions t] drops every session — the replica's RESET
+    catch-up wipes its state before rebuilding from the primary's
+    compacted stream.  Fingerprint-keyed service caches stay: their
+    entries are pure functions of their keys. *)
+let reset_sessions t =
+  List.iter (fun name -> drop_session t ~session:name) (session_names t)
 
 (** The attached store, if any — the server's drain path syncs and
     closes it. *)

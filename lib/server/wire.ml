@@ -102,27 +102,40 @@ type request =
   | Metrics  (** Prometheus-style text exposition *)
   | Fail of { name : string; spec : string }
       (** arm/disarm a failpoint; honoured only under [--chaos] *)
+  | Repl_subscribe of { fence : int; epoch : int }
+      (** become a replication subscriber: the connection turns into a
+          record stream after the reply (v3) *)
+  | Repl_status  (** role / epoch / fence probe — cheap, never queued *)
+  | Repl_promote of { epoch : int }
+      (** promote this replica to primary under [epoch] (v3) *)
   | Quit
 
 (* --------------------------- protocol versions ----------------------- *)
 
 (** Highest protocol version this codec speaks. *)
-let max_version = 2
+let max_version = 3
 
 (** Capability tokens advertised in the HELLO reply, protocol-version
     gated: a v1 connection has no capabilities beyond the base verbs. *)
-let capabilities_of_version v = if v >= 2 then [ "bulk" ] else []
+let capabilities_of_version v =
+  (if v >= 2 then [ "bulk" ] else []) @ if v >= 3 then [ "repl" ] else []
 
 (** The HELLO reply payload line: [v<n> <capabilities...>]. *)
 let hello_reply v =
   String.concat " " (Printf.sprintf "v%d" v :: capabilities_of_version v)
 
-(** [requires_v2 r] — requests refused on a bare (v1) connection. *)
-let requires_v2 = function
-  | Bulk_chunk _ | Bulk_end _ | Bulk_abort _ -> true
+(** [min_version r] — lowest protocol version a connection must have
+    negotiated before the server accepts [r]; verbs above the
+    connection's version are refused with a pointed ERR. *)
+let min_version = function
+  | Bulk_chunk _ | Bulk_end _ | Bulk_abort _ -> 2
+  | Repl_subscribe _ | Repl_promote _ | Repl_status -> 3
   | Hello _ | Load _ | Classify _ | Prepare _ | Ask _ | Stats _ | Metrics
   | Fail _ | Quit ->
-    false
+    1
+
+(** [requires_v2 r] — requests refused on a bare (v1) connection. *)
+let requires_v2 r = min_version r > 1
 
 type reply =
   | Ok of string list
@@ -163,6 +176,10 @@ let encode_request = function
   | Stats (Some session) -> [ "STATS " ^ session ]
   | Metrics -> [ "METRICS" ]
   | Fail { name; spec } -> [ Printf.sprintf "FAIL %s %s" name spec ]
+  | Repl_subscribe { fence; epoch } ->
+    [ Printf.sprintf "REPL SUBSCRIBE %d %d" fence epoch ]
+  | Repl_status -> [ "REPL STATUS" ]
+  | Repl_promote { epoch } -> [ Printf.sprintf "REPL PROMOTE %d" epoch ]
   | Quit -> [ "QUIT" ]
 
 let encode_reply = function
@@ -285,6 +302,25 @@ let parse_header d line =
   | [ "STATS"; session ] when valid_name session -> Request (Stats (Some session))
   | [ "METRICS" ] -> Request Metrics
   | [ "FAIL"; name; spec ] when valid_name name -> Request (Fail { name; spec })
+  | "REPL" :: rest -> (
+    match rest with
+    | [ "SUBSCRIBE"; fence ] | [ "SUBSCRIBE"; fence; _ ] -> (
+      let epoch =
+        match rest with
+        | [ _; _; e ] -> int_of_string_opt e
+        | _ -> Some 0
+      in
+      match (int_of_string_opt fence, epoch) with
+      | Some f, Some e when f >= 0 && e >= 0 ->
+        Request (Repl_subscribe { fence = f; epoch = e })
+      | _ -> Error "bad REPL SUBSCRIBE fence or epoch")
+    | [ "STATUS" ] -> Request Repl_status
+    | [ "PROMOTE"; epoch ] -> (
+      match int_of_string_opt epoch with
+      | Some e when e >= 1 -> Request (Repl_promote { epoch = e })
+      | _ -> Error "bad REPL PROMOTE epoch")
+    | verb :: _ -> Error (Printf.sprintf "malformed REPL command %s" verb)
+    | [] -> Error "malformed REPL command (want SUBSCRIBE | STATUS | PROMOTE)")
   | [ "QUIT" ] -> Request Quit
   | [] -> More  (* blank lines between requests are tolerated *)
   | verb :: _ ->
@@ -317,6 +353,67 @@ let feed d line =
       end
       else More
     | None -> parse_header d line
+
+(* --------------------------- REPL streaming -------------------------- *)
+
+(** After [REPL SUBSCRIBE]'s OK the connection stops being
+    request/reply and becomes a symmetric frame stream:
+
+    {v
+      primary → replica:
+        REPL RESET <fence> <k>     wipe; k STATE frames rebuild seq ≤ fence
+        REPL STATE <n>             one compacted record (n payload lines)
+        REPL RECORD <seq> <epoch> <n>   one WAL record (n payload lines)
+      replica → primary:
+        REPL ACK <seq>             applied durably through <seq>
+        REPL NACK <epoch>          refused: the sender's epoch is stale
+    v}
+
+    Payload lines are counted and raw, exactly like LOAD. *)
+type frame =
+  | F_record of { seq : int; epoch : int; count : int }
+  | F_reset of { fence : int; state_records : int }
+  | F_state of { count : int }
+  | F_ack of { seq : int }
+  | F_nack of { epoch : int }
+
+let encode_frame = function
+  | F_record { seq; epoch; count } ->
+    Printf.sprintf "REPL RECORD %d %d %d" seq epoch count
+  | F_reset { fence; state_records } ->
+    Printf.sprintf "REPL RESET %d %d" fence state_records
+  | F_state { count } -> Printf.sprintf "REPL STATE %d" count
+  | F_ack { seq } -> Printf.sprintf "REPL ACK %d" seq
+  | F_nack { epoch } -> Printf.sprintf "REPL NACK %d" epoch
+
+let parse_frame line =
+  let int_ge lo s =
+    match int_of_string_opt s with
+    | Some v when v >= lo -> Some v
+    | _ -> None
+  in
+  match tokens line with
+  | [ "REPL"; "RECORD"; seq; epoch; count ] -> (
+    match (int_ge 1 seq, int_ge 0 epoch, int_ge 0 count) with
+    | Some seq, Some epoch, Some count -> Result.Ok (F_record { seq; epoch; count })
+    | _ -> Result.Error ("bad REPL RECORD frame: " ^ line))
+  | [ "REPL"; "RESET"; fence; k ] -> (
+    match (int_ge 0 fence, int_ge 0 k) with
+    | Some fence, Some state_records -> Result.Ok (F_reset { fence; state_records })
+    | _ -> Result.Error ("bad REPL RESET frame: " ^ line))
+  | [ "REPL"; "STATE"; count ] -> (
+    match int_ge 0 count with
+    | Some count -> Result.Ok (F_state { count })
+    | None -> Result.Error ("bad REPL STATE frame: " ^ line))
+  | [ "REPL"; "ACK"; seq ] -> (
+    match int_ge 0 seq with
+    | Some seq -> Result.Ok (F_ack { seq })
+    | None -> Result.Error ("bad REPL ACK frame: " ^ line))
+  | [ "REPL"; "NACK"; epoch ] -> (
+    match int_ge 0 epoch with
+    | Some epoch -> Result.Ok (F_nack { epoch })
+    | None -> Result.Error ("bad REPL NACK frame: " ^ line))
+  | _ -> Result.Error ("unrecognized REPL frame: " ^ line)
 
 (* ------------------------- reply-side parsing ------------------------ *)
 

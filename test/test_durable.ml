@@ -79,8 +79,18 @@ let test_failpoint_specs () =
 
 let test_failpoint_fire_and_skip () =
   Failpoint.disarm_all ();
+  (* arming rejects unknown site names loudly; synthetic test sites must
+     be registered first *)
+  Failpoint.register_site "t.x";
+  Failpoint.register_site "t.w";
   Fun.protect ~finally:Failpoint.disarm_all @@ fun () ->
   Alcotest.(check bool) "unarmed proceeds" true (Failpoint.hit "t.x" = None);
+  (match Failpoint.arm_spec "t.unknown" "error" with
+   | Result.Ok () -> Alcotest.fail "unknown site must be rejected"
+   | Result.Error _ -> ());
+  Alcotest.check_raises "arm of unknown site raises"
+    (Failpoint.Unknown_site "t.unknown") (fun () ->
+      Failpoint.arm "t.unknown" (Failpoint.Inject_error));
   (* error with a skip-count of 2: two free passes, then every hit raises *)
   (match Failpoint.arm_spec "t.x" "error@2" with
    | Result.Ok () -> ()
@@ -106,6 +116,8 @@ let test_failpoint_env () =
       Unix.putenv "OBDA_FAILPOINTS" "";
       Failpoint.disarm_all ())
   @@ fun () ->
+  Failpoint.register_site "a.b";
+  Failpoint.register_site "c.d";
   Unix.putenv "OBDA_FAILPOINTS" "a.b=error@1, c.d=delay:0.01";
   (match Failpoint.arm_from_env () with
    | Result.Ok () -> ()
@@ -227,7 +239,7 @@ let test_store_roundtrip () =
   in
   let store, r0 = open_ok dir in
   Alcotest.(check (list muts_equal)) "fresh dir is empty" [] r0.Store.mutations;
-  List.iter (Store.append store) muts;
+  List.iter (fun m -> ignore (Store.append store m)) muts;
   Store.close store;
   let store, r = open_ok dir in
   Alcotest.(check (list muts_equal)) "replayed in order" muts r.Store.mutations;
@@ -238,13 +250,13 @@ let test_store_snapshot_fence () =
   let dir = fresh_dir () in
   let store, _ = open_ok dir in
   let before = [ m_load "FACTS" [ "t(\"a\")" ]; m_load "FACTS" [ "t(\"b\")" ] ] in
-  List.iter (Store.append store) before;
+  List.iter (fun m -> ignore (Store.append store m)) before;
   (* the compacted state replaces the WAL prefix; later appends live in
      the (reset) WAL and replay after it *)
   let compact = [ m_load "FACTS" [ "t(\"a\")"; "t(\"b\")" ] ] in
   Store.write_snapshot store compact;
   let after = m_load "FACTS" [ "t(\"c\")" ] in
-  Store.append store after;
+  ignore (Store.append store after);
   Store.close store;
   let store, r = open_ok dir in
   Alcotest.(check (list muts_equal))
@@ -260,16 +272,16 @@ let test_store_failed_append_repair () =
   let store, _ = open_ok dir in
   let m1 = m_load "FACTS" [ "t(\"1\")" ] in
   let m3 = m_load "FACTS" [ "t(\"3\")" ] in
-  Store.append store m1;
+  ignore (Store.append store m1);
   (* the record hits the file, then the pre-fsync failpoint fires: the
      append reports failure, so the mutation was never acknowledged and
      must not resurface after the repair *)
   Failpoint.arm "wal.append.before_fsync" Failpoint.Inject_error;
   (match Store.append store (m_load "FACTS" [ "t(\"2\")" ]) with
-   | () -> Alcotest.fail "append must surface the injected error"
+   | (_ : int) -> Alcotest.fail "append must surface the injected error"
    | exception Failpoint.Injected _ -> ());
   Failpoint.disarm "wal.append.before_fsync";
-  Store.append store m3;
+  ignore (Store.append store m3);
   Store.close store;
   let store, r = open_ok dir in
   Alcotest.(check (list muts_equal))
@@ -282,14 +294,14 @@ let test_store_partial_write_crash () =
   let dir = fresh_dir () in
   let m1 = m_load "FACTS" [ "t(\"committed\")" ] in
   let store, _ = open_ok dir in
-  Store.append store m1;
+  ignore (Store.append store m1);
   Store.close store;
   (match Unix.fork () with
    | 0 ->
      Failpoint.arm "wal.append.write" (Failpoint.Partial 5);
      (match Store.open_dir ~registry:(registry ()) dir with
       | Result.Ok (store, _) ->
-        (try Store.append store (m_load "FACTS" [ "t(\"torn\")" ])
+        (try ignore (Store.append store (m_load "FACTS" [ "t(\"torn\")" ]))
          with _ -> ());
         (* partial:5 must have crashed the process before this *)
         Unix._exit 1
@@ -304,7 +316,7 @@ let test_store_partial_write_crash () =
     "acknowledged prefix only" [ m1 ] r.Store.mutations;
   Alcotest.(check int) "5 torn bytes dropped" 5 r.Store.truncated_bytes;
   (* the truncation is physical: reopening again finds a clean log *)
-  Store.append store (m_load "FACTS" [ "t(\"after\")" ]);
+  ignore (Store.append store (m_load "FACTS" [ "t(\"after\")" ]));
   Store.close store;
   let store, r = open_ok dir in
   Alcotest.(check int) "clean after repair" 0 r.Store.truncated_bytes;
@@ -319,9 +331,10 @@ let test_store_group_concurrent_roundtrip () =
   let sessions = 4 and per_session = 25 in
   let writer i () =
     for j = 0 to per_session - 1 do
-      Store.append store
-        (m_load ~session:(Printf.sprintf "s%d" i) "FACTS"
-           [ Printf.sprintf "t(\"w%d_%d\")" i j ])
+      ignore
+        (Store.append store
+           (m_load ~session:(Printf.sprintf "s%d" i) "FACTS"
+              [ Printf.sprintf "t(\"w%d_%d\")" i j ]))
     done
   in
   let threads = List.init sessions (fun i -> Thread.create (writer i) ()) in
@@ -361,13 +374,13 @@ let test_store_group_failed_append_repair () =
   let store, _ = open_ok ~group_commit:true dir in
   let m1 = m_load "FACTS" [ "t(\"1\")" ] in
   let m3 = m_load "FACTS" [ "t(\"3\")" ] in
-  Store.append store m1;
+  ignore (Store.append store m1);
   Failpoint.arm "wal.append.before_fsync" Failpoint.Inject_error;
   (match Store.append store (m_load "FACTS" [ "t(\"2\")" ]) with
-   | () -> Alcotest.fail "append must surface the injected error"
+   | (_ : int) -> Alcotest.fail "append must surface the injected error"
    | exception Failpoint.Injected _ -> ());
   Failpoint.disarm "wal.append.before_fsync";
-  Store.append store m3;
+  ignore (Store.append store m3);
   Store.close store;
   let store, r = open_ok dir in
   Alcotest.(check (list muts_equal))
