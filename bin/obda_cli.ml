@@ -616,10 +616,11 @@ let query_cmd =
               Printf.printf "%s unreachable (%s)\n" st.Server.Client.es_endpoint
                 e
             | None ->
-              Printf.printf "%s %s epoch=%d fence=%d\n"
+              Printf.printf "%s %s epoch=%d fence=%d%s\n"
                 st.Server.Client.es_endpoint
                 (Option.value st.Server.Client.es_role ~default:"?")
-                st.Server.Client.es_epoch st.Server.Client.es_fence)
+                st.Server.Client.es_epoch st.Server.Client.es_fence
+                (if st.Server.Client.es_fenced then " fenced" else ""))
           (Server.Client.endpoint_states conn)
       end;
       if metrics then

@@ -10,7 +10,10 @@
 
     The epoch is persisted (temp + rename + dir fsync) {e before} a
     promotion takes effect: a node that crashes right after promising a
-    new epoch comes back remembering the promise. *)
+    new epoch comes back remembering the promise.  Fencing is persisted
+    the same way (a [fenced] marker file written before the in-memory
+    fence engages): a fenced ex-primary that crashes restarts fenced,
+    and only a promotion to a higher epoch clears the marker. *)
 
 module Store = Durable.Store
 module Io = Durable.Io
@@ -59,6 +62,41 @@ let persist_epoch dir epoch =
   Unix.rename tmp (epoch_path dir);
   fsync_dir dir
 
+(* The fence marker: while this file exists (and names an epoch >= the
+   persisted one) the node's primary role is poisoned — a higher epoch
+   was seen and no promotion has superseded it.  Persisted so a fenced
+   ex-primary that crashes restarts fenced, not as a write-accepting
+   primary of a dead timeline (a split-brain window until some peer
+   happened to re-fence it). *)
+let fenced_path dir = Filename.concat dir "fenced"
+
+let load_fenced dir =
+  match open_in (fenced_path dir) with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | line -> int_of_string_opt (String.trim line)
+        | exception End_of_file -> None)
+
+let persist_fenced dir epoch =
+  let tmp = fenced_path dir ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Io.write_string fd (Printf.sprintf "%d\n" epoch);
+      Unix.fsync fd);
+  Unix.rename tmp (fenced_path dir);
+  fsync_dir dir
+
+let clear_fenced dir =
+  match Unix.unlink (fenced_path dir) with
+  | () -> fsync_dir dir
+  | exception Unix.Unix_error _ -> ()
+
 (* -------------------------------- node ------------------------------- *)
 
 type role_spec =
@@ -93,10 +131,19 @@ let adopt_epoch t e =
         Log.info (fun f -> f "adopted epoch %d" e)
       end)
 
+(* the hub's [on_fence]: marker first, then epoch — a crash between the
+   two restarts fenced at the old epoch (safe), never unfenced at the
+   new one (two write-accepting primaries of the same epoch).  Called
+   from hub threads outside both locks. *)
+let note_fenced t e =
+  persist_fenced t.dir e;
+  adopt_epoch t e
+
 (* hub + service hooks for the primary role; caller holds [t.mu] *)
 let become_primary_locked t =
   let hub =
-    Replicate.Hub.create ~registry:t.registry ~epoch:(fun () -> t.epoch) t.store
+    Replicate.Hub.create ~registry:t.registry ~epoch:(fun () -> t.epoch)
+      ~on_fence:(note_fenced t) t.store
   in
   t.hub <- Some hub;
   t.following <- "";
@@ -150,6 +197,20 @@ let create ?(registry = Obs.default) ~service ~store ~endpoint ~members ~role ()
       match role with
       | Primary -> become_primary_locked t
       | Replica_of seed -> become_replica_locked t ~seed);
+  (* a primary restarting with a live fence marker was fenced and never
+     re-promoted: come back fenced.  A marker below the persisted epoch
+     was superseded by a later promotion (crash between epoch persist
+     and marker removal) — discard it. *)
+  (match role with
+   | Replica_of _ -> ()
+   | Primary -> (
+     match load_fenced dir with
+     | Some e when e >= t.epoch -> (
+       match locked t (fun () -> t.hub) with
+       | Some hub -> Replicate.Hub.fence_off hub ~epoch:e
+       | None -> ())
+     | Some _ -> clear_fenced dir
+     | None -> ()));
   t
 
 (* ------------------------------- verbs ------------------------------- *)
@@ -179,32 +240,51 @@ let status t =
 
 (** [promote t ~epoch] — flip this node to primary under [epoch].
     Refused unless [epoch] beats the persisted one (a promotion racing a
-    newer promotion loses).  The subscriber is severed {e before} the
+    newer promotion loses) — and checked {e before} the subscriber is
+    severed, so a stale promotion cannot cost a live replica its
+    subscription.  On success the subscriber is severed before the
     epoch is persisted and the hub installed, so no record of the old
-    timeline can slip in after the flip. *)
+    timeline can slip in after the flip; re-promoting a fenced
+    ex-primary clears the now-superseded fence, or its gate would keep
+    refusing every write of the very timeline it now leads. *)
 let promote t ~epoch =
-  (* sever outside [t.mu]: the subscriber thread may be inside
-     [adopt_epoch] which takes the same lock *)
-  let sub = locked t (fun () -> t.sub) in
-  Option.iter Replicate.Subscriber.stop sub;
-  locked t (fun () ->
-      t.sub <- None;
-      if epoch <= t.epoch then
-        Wire.Err
-          (Printf.sprintf "stale promotion epoch %d (current is %d)" epoch
-             t.epoch)
-      else begin
-        persist_epoch t.dir epoch;
-        t.epoch <- epoch;
-        (match t.hub with
-         | Some _ -> ()  (* already primary: just adopt the higher epoch *)
-         | None -> become_primary_locked t);
-        Log.info (fun f ->
-            f "promoted to primary at epoch %d (fence %d)" epoch
-              (Store.last_seq t.store));
-        Wire.Ok [ Printf.sprintf "primary epoch %d fence %d" epoch
-                    (Store.last_seq t.store) ]
-      end)
+  let stale cur =
+    Wire.Err
+      (Printf.sprintf "stale promotion epoch %d (current is %d)" epoch cur)
+  in
+  let cur = locked t (fun () -> t.epoch) in
+  if epoch <= cur then stale cur
+  else begin
+    (* sever outside [t.mu]: the subscriber thread may be inside
+       [adopt_epoch] which takes the same lock *)
+    let sub = locked t (fun () -> t.sub) in
+    Option.iter Replicate.Subscriber.stop sub;
+    locked t (fun () ->
+        t.sub <- None;
+        if epoch <= t.epoch then begin
+          (* lost a race to a newer promotion/adoption between the check
+             and the sever: resume replicating rather than staying a
+             severed, ever-staler replica *)
+          if t.hub = None then become_replica_locked t ~seed:t.following;
+          stale t.epoch
+        end
+        else begin
+          persist_epoch t.dir epoch;
+          t.epoch <- epoch;
+          clear_fenced t.dir;
+          (match t.hub with
+           | Some hub ->
+             (* already primary: adopt the higher epoch; a fence
+                recorded at a lower epoch is superseded by it *)
+             Replicate.Hub.unfence hub ~epoch
+           | None -> become_primary_locked t);
+          Log.info (fun f ->
+              f "promoted to primary at epoch %d (fence %d)" epoch
+                (Store.last_seq t.store));
+          Wire.Ok [ Printf.sprintf "primary epoch %d fence %d" epoch
+                      (Store.last_seq t.store) ]
+        end)
+  end
 
 let subscribe t ~fence ~epoch ~fd ~reader =
   match locked t (fun () -> t.hub) with
@@ -239,16 +319,27 @@ let stop t =
 (* -------------------------- promotion picker ------------------------- *)
 
 (** [promote_best endpoints] — client-side failover orchestration: probe
-    every member, pick the reachable replica with the highest fence
-    (ties to the highest epoch), and promote it under
-    [max observed epoch + 1].  Returns the promoted endpoint. *)
+    every member, pick the reachable {e unfenced} member with the
+    highest fence (ties to the highest epoch), and promote it under
+    [max observed epoch + 1].  A live fenced ex-primary is never a
+    candidate even though its unacked WAL suffix typically gives it the
+    highest fence: that suffix is the divergent timeline — promoting it
+    would resurrect writes whose clients were told they failed.  Its
+    epoch still counts toward the maximum, so the winner's epoch beats
+    it.  Returns the promoted endpoint. *)
 let promote_best endpoints =
   let probed = List.map (fun e -> (e, Client.probe_endpoint e)) endpoints in
   let up =
     List.filter (fun (_, st) -> st.Client.es_role <> None) probed
   in
-  match up with
-  | [] -> Result.Error "no reachable member to promote"
+  let candidates =
+    List.filter (fun (_, st) -> not st.Client.es_fenced) up
+  in
+  match candidates with
+  | [] ->
+    Result.Error
+      (if up = [] then "no reachable member to promote"
+       else "no reachable unfenced member to promote")
   | _ -> (
     let max_epoch =
       List.fold_left (fun acc (_, st) -> max acc st.Client.es_epoch) 0 up
@@ -259,7 +350,7 @@ let promote_best endpoints =
           match compare b.Client.es_fence a.Client.es_fence with
           | 0 -> compare b.Client.es_epoch a.Client.es_epoch
           | c -> c)
-        up
+        candidates
       |> List.hd |> fst
     in
     match Client.connect best with

@@ -66,6 +66,9 @@ module Hub = struct
   type t = {
     store : Store.t;
     epoch : unit -> int;  (** the owning node's current epoch *)
+    on_fence : int -> unit;
+        (** durably record the learned higher epoch {e before} the
+            fence takes effect (node-side: marker file + epoch) *)
     ack_timeout : float;
         (** how long a mutation waits for the first replica ack before
             the hub drops the laggards and proceeds standalone *)
@@ -121,11 +124,13 @@ module Hub = struct
         Condition.broadcast t.cond)
 
   let create ?(ack_timeout = 2.0) ?(queue_capacity = 8192)
-      ?(registry = Obs.default) ~epoch store =
+      ?(registry = Obs.default) ?(on_fence = fun (_ : int) -> ()) ~epoch store
+      =
     let t =
       {
         store;
         epoch;
+        on_fence;
         ack_timeout;
         queue_capacity;
         mu = Mutex.create ();
@@ -156,16 +161,53 @@ module Hub = struct
     in
     t
 
+  (** [fence_off t ~epoch] — a peer proved [epoch] exists elsewhere:
+      refuse every further write.  The learned epoch is handed to
+      [on_fence] {e before} the fence takes effect — and outside the
+      hub lock, since the node-side handler persists it under the node
+      lock — so a fenced ex-primary that crashes comes back fenced, not
+      as a write-accepting primary of a dead timeline.  A persistence
+      failure still fences in memory: refusing writes is the safe
+      side. *)
   let fence_off t ~epoch =
+    let fresh =
+      locked t (fun () ->
+          match t.fenced_at with Some e when e >= epoch -> false | _ -> true)
+    in
+    if fresh then begin
+      (try t.on_fence epoch
+       with e ->
+         Log.err (fun f ->
+             f "hub: persisting fence at epoch %d failed: %s" epoch
+               (Printexc.to_string e)));
+      locked t (fun () ->
+          match t.fenced_at with
+          | Some e when e >= epoch -> ()
+          | _ ->
+            t.fenced_at <- Some epoch;
+            List.iter (fun m -> drop_locked t m "hub fenced") t.members;
+            ignore (reap_locked t);
+            Condition.broadcast t.cond;
+            Log.warn (fun f ->
+                f "hub: fenced — epoch %d exists elsewhere" epoch))
+    end
+
+  (** [unfence t ~epoch] — a promotion re-adopted this hub under
+      [epoch]: a fence recorded at a strictly lower epoch is superseded
+      and writes resume.  Without this, a fenced ex-primary promoted to
+      a higher epoch would report primary yet refuse every mutation —
+      a cluster-wide write outage, since the highest epoch routes all
+      writes to it. *)
+  let unfence t ~epoch =
     locked t (fun () ->
         match t.fenced_at with
-        | Some e when e >= epoch -> ()
-        | _ ->
-          t.fenced_at <- Some epoch;
-          List.iter (fun m -> drop_locked t m "hub fenced") t.members;
-          ignore (reap_locked t);
+        | Some e when epoch > e ->
+          t.fenced_at <- None;
           Condition.broadcast t.cond;
-          Log.warn (fun f -> f "hub: fenced — epoch %d exists elsewhere" epoch))
+          Log.info (fun f ->
+              f "hub: unfenced — re-promoted at epoch %d (was fenced at %d)"
+                epoch e)
+        | _ -> ())
 
   let fenced_at t = locked t (fun () -> t.fenced_at)
 
@@ -524,8 +566,11 @@ module Subscriber = struct
     let candidates = List.filter (fun e -> e <> t.self) t.members in
     let probed = List.map (fun e -> (e, Client.probe_endpoint e)) candidates in
     match
+      (* a fenced ex-primary still advertises role=primary but its
+         timeline is dead — never follow it *)
       List.filter
-        (fun (_, st) -> st.Client.es_role = Some "primary")
+        (fun (_, st) ->
+          st.Client.es_role = Some "primary" && not st.Client.es_fenced)
         probed
       |> List.sort (fun (_, a) (_, b) ->
              compare b.Client.es_epoch a.Client.es_epoch)

@@ -227,6 +227,10 @@ type endpoint_state = {
   es_role : string option;  (** "primary" / "replica", [None] if down *)
   es_epoch : int;
   es_fence : int;
+  es_fenced : bool;
+      (** an ex-primary refusing writes: a higher epoch exists
+          elsewhere — never a promotion candidate, never a write
+          target *)
   es_error : string option;
 }
 
@@ -237,7 +241,7 @@ let probe_endpoint spec =
   match dial spec with
   | Result.Error e ->
     { es_endpoint = spec; es_role = None; es_epoch = -1; es_fence = -1;
-      es_error = Some e }
+      es_fenced = false; es_error = Some e }
   | Result.Ok conn ->
     Fun.protect
       ~finally:(fun () ->
@@ -259,7 +263,7 @@ let probe_endpoint spec =
         match status with
         | Result.Error e ->
           { es_endpoint = spec; es_role = None; es_epoch = -1; es_fence = -1;
-            es_error = Some e }
+            es_fenced = false; es_error = Some e }
         | Result.Ok line ->
           let kv =
             String.split_on_char ' ' line
@@ -281,6 +285,7 @@ let probe_endpoint spec =
             es_role = find "role";
             es_epoch = int_of "epoch";
             es_fence = int_of "fence";
+            es_fenced = find "fenced" <> None;
             es_error = None })
 
 (** [endpoint_states t] — probe every configured endpoint; surfaced by
@@ -331,7 +336,9 @@ let resolve_primary t =
   Array.iteri
     (fun i ep ->
       let st = probe_endpoint ep in
-      if st.es_role = Some "primary" then
+      (* a fenced ex-primary still advertises role=primary but refuses
+         every write — routing there would wedge the client *)
+      if st.es_role = Some "primary" && not st.es_fenced then
         match !best with
         | Some (_, e) when e >= st.es_epoch -> ()
         | _ -> best := Some (i, st.es_epoch))

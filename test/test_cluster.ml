@@ -108,6 +108,11 @@ let test_malformed_repl_requests () =
 
 (* ------------------------- epoch fencing ----------------------------- *)
 
+let string_of_reply = function
+  | Wire.Ok lines -> "OK " ^ String.concat " | " lines
+  | Wire.Err e -> "ERR " ^ e
+  | Wire.Busy -> "BUSY"
+
 let test_stale_epoch_promotion () =
   let dir = fresh_dir () in
   match Store.open_dir ~registry:(registry ()) dir with
@@ -174,6 +179,228 @@ let test_hub_fenced_by_higher_epoch () =
     Unix.close b;
     Store.close store;
     Harness.rm_rf dir
+
+(* The full fenced-ex-primary life cycle against one node directory:
+   fencing persists a marker (and adopts the learned epoch) before it
+   engages, a restart as primary comes back fenced, and only a
+   promotion past the fenced epoch clears it and reopens the gate. *)
+let test_fence_persists_and_repromotion_clears () =
+  let dir = fresh_dir () in
+  let open_node () =
+    match Store.open_dir ~registry:(registry ()) dir with
+    | Result.Error e -> Alcotest.failf "open_dir: %s" e
+    | Result.Ok (store, _) ->
+      let service = Service.create ~registry:(registry ()) () in
+      Service.attach_store service store;
+      let node =
+        Node.create ~registry:(registry ()) ~service ~store ~endpoint:""
+          ~members:[] ~role:Node.Primary ()
+      in
+      (store, service, node)
+  in
+  let mutate service tag =
+    Service.handle service
+      (Wire.Load
+         { session = "s"; kind = Wire.K_tbox; payload = [ "concept " ^ tag ] })
+  in
+  let check_refused what = function
+    | Wire.Err m ->
+      let p = Service.read_only_prefix in
+      Alcotest.(check string) (what ^ " refusal is machine-detectable") p
+        (String.sub m 0 (String.length p))
+    | r -> Alcotest.failf "%s accepted a write: %s" what (string_of_reply r)
+  in
+  let store, service, node = open_node () in
+  (match mutate service "A" with
+   | Wire.Ok _ -> ()
+   | r -> Alcotest.failf "pre-fence write refused: %s" (string_of_reply r));
+  (* a subscriber that lived under epoch 5 proves a newer timeline *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Node.subscribe node ~fence:0 ~epoch:5 ~fd:a ~reader:(Durable.Io.reader a);
+  Unix.close a;
+  Unix.close b;
+  check_refused "fenced primary" (mutate service "B");
+  Alcotest.(check int) "fencing adopts the learned epoch" 5 (Node.epoch node);
+  Alcotest.(check (option int)) "fence marker persisted" (Some 5)
+    (Node.load_fenced dir);
+  Node.stop node;
+  Store.close store;
+  (* kill -9 equivalent: a fresh process over the same directory must
+     come back fenced, not as a write-accepting stale primary *)
+  let store2, service2, node2 = open_node () in
+  check_refused "restarted fenced ex-primary" (mutate service2 "C");
+  (match Node.promote node2 ~epoch:6 with
+   | Wire.Ok _ -> ()
+   | r -> Alcotest.failf "re-promotion refused: %s" (string_of_reply r));
+  (match mutate service2 "D" with
+   | Wire.Ok _ -> ()
+   | r ->
+     Alcotest.failf "re-promoted primary still refuses writes: %s"
+       (string_of_reply r));
+  Alcotest.(check (option int)) "fence marker cleared by promotion" None
+    (Node.load_fenced dir);
+  Node.stop node2;
+  Store.close store2;
+  Harness.rm_rf dir
+
+(* A stale promotion must be refused without severing the replica's
+   live subscription — otherwise two racing [promote_best] calls leave
+   the loser silently unreplicated forever. *)
+let test_stale_promotion_keeps_subscriber () =
+  let dir = fresh_dir () in
+  match Store.open_dir ~registry:(registry ()) dir with
+  | Result.Error e -> Alcotest.failf "open_dir: %s" e
+  | Result.Ok (store, _) ->
+    let service = Service.create ~registry:(registry ()) () in
+    Service.attach_store service store;
+    let node =
+      Node.create ~registry:(registry ()) ~service ~store ~endpoint:""
+        ~members:[]
+        ~role:(Node.Replica_of "unix:/tmp/obda-nowhere.sock")
+        ()
+    in
+    Alcotest.(check bool) "replica starts with a subscriber" true
+      (node.Node.sub <> None);
+    (match Node.promote node ~epoch:0 with
+     | Wire.Err _ -> ()
+     | r -> Alcotest.failf "stale promotion accepted: %s" (string_of_reply r));
+    Alcotest.(check bool) "subscriber survives the stale promotion" true
+      (node.Node.sub <> None);
+    (match
+       Service.handle service
+         (Wire.Load { session = "s"; kind = Wire.K_tbox; payload = [ "concept A" ] })
+     with
+     | Wire.Err _ -> ()
+     | r ->
+       Alcotest.failf "node lost its replica role: %s" (string_of_reply r));
+    (* a genuine promotion severs the subscription and flips the role *)
+    (match Node.promote node ~epoch:1 with
+     | Wire.Ok _ -> ()
+     | r -> Alcotest.failf "promotion refused: %s" (string_of_reply r));
+    Alcotest.(check bool) "subscriber severed by the real promotion" true
+      (node.Node.sub = None);
+    (match
+       Service.handle service
+         (Wire.Load { session = "s"; kind = Wire.K_tbox; payload = [ "concept A" ] })
+     with
+     | Wire.Ok _ -> ()
+     | r ->
+       Alcotest.failf "promoted node refuses writes: %s" (string_of_reply r));
+    Node.stop node;
+    Store.close store;
+    Harness.rm_rf dir
+
+(* a canned wire member: answers HELLO / REPL STATUS / REPL PROMOTE
+   from fixed strings — just enough protocol for [probe_endpoint] and
+   [promote_best] to talk to *)
+let fake_member ~sock ~status_line ~accept_promote =
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX sock);
+  Unix.listen srv 8;
+  let stop = ref false in
+  let promoted_at = ref None in
+  let serve_conn fd =
+    let reader = Durable.Io.reader fd in
+    let send lines =
+      try
+        Durable.Io.write_string fd
+          (String.concat "" (List.map (fun l -> l ^ "\n") lines))
+      with Unix.Unix_error _ -> ()
+    in
+    let rec go () =
+      match Durable.Io.read_line reader ~max_line:4096 with
+      | None -> ()
+      | Some line ->
+        (match String.split_on_char ' ' line with
+         | "HELLO" :: _ -> send [ "OK 1"; "v3 bulk repl" ]
+         | [ "REPL"; "STATUS" ] -> send [ "OK 1"; status_line ]
+         | [ "REPL"; "PROMOTE"; e ] ->
+           if accept_promote then begin
+             promoted_at := int_of_string_opt e;
+             send [ "OK 1"; Printf.sprintf "primary epoch %s fence 0" e ]
+           end
+           else send [ "ERR promotion refused" ]
+         | _ -> send [ "ERR unknown verb" ]);
+        go ()
+    in
+    go ();
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          match Unix.accept srv with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ -> serve_conn fd
+        done)
+      ()
+  in
+  let shutdown () =
+    stop := true;
+    (* wake the blocked accept with a throwaway dial *)
+    (match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+     | exception Unix.Unix_error _ -> ()
+     | fd ->
+       (try Unix.connect fd (Unix.ADDR_UNIX sock) with Unix.Unix_error _ -> ());
+       (try Unix.close fd with Unix.Unix_error _ -> ()));
+    Thread.join th;
+    try Unix.close srv with Unix.Unix_error _ -> ()
+  in
+  (shutdown, promoted_at)
+
+(* A live fenced ex-primary advertises role=primary and typically holds
+   the highest fence (its divergent unacked WAL suffix) — [promote_best]
+   must skip it, while its epoch still raises the promotion epoch. *)
+let test_promote_best_skips_fenced () =
+  let scratch = fresh_dir () in
+  Fun.protect ~finally:(fun () -> Harness.rm_rf scratch) @@ fun () ->
+  let f_sock = Filename.concat scratch "f.sock" in
+  let r_sock = Filename.concat scratch "r.sock" in
+  let shutdown_f, promoted_f =
+    fake_member ~sock:f_sock ~accept_promote:false
+      ~status_line:
+        "role=primary epoch=7 fence=99 primary=- subscribers=0 acked=-1 \
+         fenced=7"
+  in
+  let shutdown_r, promoted_r =
+    fake_member ~sock:r_sock ~accept_promote:true
+      ~status_line:"role=replica epoch=7 fence=5 primary=-"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown_f ();
+      shutdown_r ())
+    (fun () ->
+      let f_ep = "unix:" ^ f_sock and r_ep = "unix:" ^ r_sock in
+      Alcotest.(check bool) "probe parses fenced=" true
+        (Client.probe_endpoint f_ep).Client.es_fenced;
+      Alcotest.(check bool) "unfenced member probes clean" false
+        (Client.probe_endpoint r_ep).Client.es_fenced;
+      (* a fenced member alone is not promotable *)
+      (match Node.promote_best [ f_ep ] with
+       | Result.Error m ->
+         Alcotest.(check bool) "refusal names the fence" true
+           (let marker = "unfenced" in
+            let lm = String.length marker and l = String.length m in
+            let rec scan i =
+              i + lm <= l && (String.sub m i lm = marker || scan (i + 1))
+            in
+            scan 0)
+       | Result.Ok (ep, _) ->
+         Alcotest.failf "promoted a fenced ex-primary: %s" ep);
+      (* with a replica present, the replica wins despite its lower
+         fence, at an epoch above the fenced member's *)
+      (match Node.promote_best [ f_ep; r_ep ] with
+       | Result.Error e -> Alcotest.failf "promotion failed: %s" e
+       | Result.Ok (ep, epoch) ->
+         Alcotest.(check string) "replica chosen over fenced ex-primary" r_ep
+           ep;
+         Alcotest.(check int) "promotion epoch beats the fenced one" 8 epoch);
+      Alcotest.(check (option int)) "replica got REPL PROMOTE" (Some 8)
+        !promoted_r;
+      Alcotest.(check (option int)) "fenced member was never promoted" None
+        !promoted_f)
 
 let test_replica_read_only () =
   let s = Service.create ~registry:(registry ()) () in
@@ -244,11 +471,6 @@ let wait_subscribers ep n ~timeout =
     end
   in
   go ()
-
-let string_of_reply = function
-  | Wire.Ok lines -> "OK " ^ String.concat " | " lines
-  | Wire.Err e -> "ERR " ^ e
-  | Wire.Busy -> "BUSY"
 
 (* One full round against real server processes: spawn a primary and
    one replica, wait for the subscription (the semi-sync barrier only
@@ -408,6 +630,12 @@ let () =
             test_stale_epoch_promotion;
           Alcotest.test_case "hub fenced by higher-epoch subscriber" `Quick
             test_hub_fenced_by_higher_epoch;
+          Alcotest.test_case "fence persists; re-promotion clears it" `Quick
+            test_fence_persists_and_repromotion_clears;
+          Alcotest.test_case "stale promotion keeps the subscriber" `Quick
+            test_stale_promotion_keeps_subscriber;
+          Alcotest.test_case "promote_best skips a fenced ex-primary" `Quick
+            test_promote_best_skips_fenced;
           Alcotest.test_case "replica refuses mutations" `Quick
             test_replica_read_only;
         ] );
